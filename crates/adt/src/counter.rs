@@ -1,0 +1,269 @@
+//! The `Counter` data type: increment / decrement / read.
+//!
+//! An extension beyond the paper's four examples, included because counters
+//! (escrow-style quantities, statistics, reference counts) are the classic
+//! "hot spot" object in transaction processing. Increments and decrements
+//! commute with each other; a read does not commute with them, but an
+//! increment or decrement requested while an uncommitted read is in the log
+//! is recoverable (its return value is always `ok`).
+
+use crate::compat::{CompatibilityTable, TableEntry};
+use crate::op::{AdtOp, OpCall, OpResult};
+use crate::spec::AdtSpec;
+use crate::value::Value;
+use std::sync::OnceLock;
+
+/// An unbounded signed counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counter {
+    value: i64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter { value: 0 }
+    }
+
+    /// A counter starting at the given value.
+    pub fn with_value(value: i64) -> Self {
+        Counter { value }
+    }
+
+    /// The current count.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+}
+
+/// Operations on a [`Counter`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CounterOp {
+    /// Add the given amount; returns `ok`.
+    Increment(i64),
+    /// Subtract the given amount; returns `ok`.
+    Decrement(i64),
+    /// Return the current count.
+    Read,
+}
+
+/// Kind index of `increment`.
+pub const COUNTER_INC: usize = 0;
+/// Kind index of `decrement`.
+pub const COUNTER_DEC: usize = 1;
+/// Kind index of `read`.
+pub const COUNTER_READ: usize = 2;
+
+const COUNTER_OP_NAMES: &[&str] = &["increment", "decrement", "read"];
+
+impl AdtOp for CounterOp {
+    const KINDS: usize = 3;
+
+    fn kind(&self) -> usize {
+        match self {
+            CounterOp::Increment(_) => COUNTER_INC,
+            CounterOp::Decrement(_) => COUNTER_DEC,
+            CounterOp::Read => COUNTER_READ,
+        }
+    }
+
+    fn kind_name(&self) -> &'static str {
+        COUNTER_OP_NAMES[self.kind()]
+    }
+
+    fn kind_names() -> &'static [&'static str] {
+        COUNTER_OP_NAMES
+    }
+
+    fn to_call(&self) -> OpCall {
+        match self {
+            CounterOp::Increment(n) => OpCall::unary(COUNTER_INC, *n),
+            CounterOp::Decrement(n) => OpCall::unary(COUNTER_DEC, *n),
+            CounterOp::Read => OpCall::nullary(COUNTER_READ),
+        }
+    }
+
+    fn from_call(call: &OpCall) -> Option<Self> {
+        match call.kind {
+            COUNTER_INC => Some(CounterOp::Increment(call.params.first()?.as_int()?)),
+            COUNTER_DEC => Some(CounterOp::Decrement(call.params.first()?.as_int()?)),
+            COUNTER_READ => Some(CounterOp::Read),
+            _ => None,
+        }
+    }
+}
+
+impl AdtSpec for Counter {
+    type Op = CounterOp;
+    const TYPE_NAME: &'static str = "counter";
+
+    fn apply(&mut self, op: &Self::Op) -> OpResult {
+        match op {
+            CounterOp::Increment(n) => {
+                self.value = self.value.wrapping_add(*n);
+                OpResult::Ok
+            }
+            CounterOp::Decrement(n) => {
+                self.value = self.value.wrapping_sub(*n);
+                OpResult::Ok
+            }
+            CounterOp::Read => OpResult::Value(Value::Int(self.value)),
+        }
+    }
+
+    /// Commutativity for Counter.
+    ///
+    /// | requested \ executed | inc | dec | read |
+    /// |---|---|---|---|
+    /// | inc  | Yes | Yes | No |
+    /// | dec  | Yes | Yes | No |
+    /// | read | No | No | Yes |
+    fn commutativity_table() -> &'static CompatibilityTable {
+        static TABLE: OnceLock<CompatibilityTable> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            use TableEntry::*;
+            CompatibilityTable::from_rows(
+                "Counter commutativity",
+                COUNTER_OP_NAMES,
+                &[&[Yes, Yes, No], &[Yes, Yes, No], &[No, No, Yes]],
+            )
+        })
+    }
+
+    /// Recoverability for Counter.
+    ///
+    /// | requested \ executed | inc | dec | read |
+    /// |---|---|---|---|
+    /// | inc  | Yes | Yes | Yes |
+    /// | dec  | Yes | Yes | Yes |
+    /// | read | No | No | Yes |
+    fn recoverability_table() -> &'static CompatibilityTable {
+        static TABLE: OnceLock<CompatibilityTable> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            use TableEntry::*;
+            CompatibilityTable::from_rows(
+                "Counter recoverability",
+                COUNTER_OP_NAMES,
+                &[&[Yes, Yes, Yes], &[Yes, Yes, Yes], &[No, No, Yes]],
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::{check_commutative, check_recoverable, verify_tables};
+    use crate::Compatibility;
+    use proptest::prelude::*;
+
+    fn probe_states() -> Vec<Counter> {
+        vec![
+            Counter::new(),
+            Counter::with_value(5),
+            Counter::with_value(-17),
+            Counter::with_value(1_000_000),
+        ]
+    }
+
+    fn probe_ops() -> Vec<CounterOp> {
+        vec![
+            CounterOp::Increment(1),
+            CounterOp::Increment(10),
+            CounterOp::Decrement(3),
+            CounterOp::Read,
+        ]
+    }
+
+    #[test]
+    fn counter_semantics() {
+        let mut c = Counter::new();
+        assert_eq!(c.apply(&CounterOp::Read), OpResult::Value(Value::Int(0)));
+        assert_eq!(c.apply(&CounterOp::Increment(5)), OpResult::Ok);
+        assert_eq!(c.apply(&CounterOp::Decrement(2)), OpResult::Ok);
+        assert_eq!(c.apply(&CounterOp::Read), OpResult::Value(Value::Int(3)));
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn increments_commute_reads_do_not() {
+        assert_eq!(
+            Counter::classify(&CounterOp::Increment(1), &CounterOp::Decrement(2)),
+            Compatibility::Commutative
+        );
+        assert_eq!(
+            Counter::classify(&CounterOp::Increment(1), &CounterOp::Read),
+            Compatibility::Recoverable
+        );
+        assert_eq!(
+            Counter::classify(&CounterOp::Read, &CounterOp::Increment(1)),
+            Compatibility::NonRecoverable
+        );
+        assert_eq!(
+            Counter::classify(&CounterOp::Read, &CounterOp::Read),
+            Compatibility::Commutative
+        );
+    }
+
+    #[test]
+    fn tables_are_sound_wrt_definitions() {
+        let violations = verify_tables::<Counter>(&probe_states(), &probe_ops());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn read_genuinely_not_recoverable_after_increment() {
+        let states = probe_states();
+        assert!(!check_recoverable(
+            &states,
+            &CounterOp::Read,
+            &CounterOp::Increment(1)
+        ));
+        assert!(check_commutative(
+            &states,
+            &CounterOp::Increment(2),
+            &CounterOp::Increment(3)
+        ));
+    }
+
+    #[test]
+    fn op_call_round_trip() {
+        for op in probe_ops() {
+            let call = op.to_call();
+            assert_eq!(CounterOp::from_call(&call), Some(op.clone()));
+        }
+        assert_eq!(CounterOp::from_call(&OpCall::nullary(4)), None);
+        assert_eq!(
+            CounterOp::from_call(&OpCall::unary(COUNTER_INC, "not an int")),
+            None
+        );
+        assert_eq!(CounterOp::Read.kind_name(), "read");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inc_dec_commute(start in -100i64..100, a in 0i64..50, b in 0i64..50) {
+            let states = vec![Counter::with_value(start)];
+            prop_assert!(check_commutative(
+                &states,
+                &CounterOp::Increment(a),
+                &CounterOp::Decrement(b)
+            ));
+        }
+
+        #[test]
+        fn prop_tables_sound(start in -100i64..100, amounts in proptest::collection::vec(0i64..20, 1..4)) {
+            let states = vec![Counter::with_value(start)];
+            let mut ops = vec![CounterOp::Read];
+            for (i, a) in amounts.iter().enumerate() {
+                if i % 2 == 0 {
+                    ops.push(CounterOp::Increment(*a));
+                } else {
+                    ops.push(CounterOp::Decrement(*a));
+                }
+            }
+            let violations = verify_tables::<Counter>(&states, &ops);
+            prop_assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+}

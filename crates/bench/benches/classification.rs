@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the semantic layer: compatibility classification (the
+//! object managers' hot path) and random conflict-table generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sbcc_adt::{
+    AbstractObject, AdtObject, AdtOp, AdtSpec, ConflictTable, SemanticObject, Stack, StackOp,
+    TableObject, TableOp, Value,
+};
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classification");
+    configure(&mut group);
+
+    // Typed classification through the static tables.
+    let push = StackOp::Push(Value::Int(1));
+    let pop = StackOp::Pop;
+    group.bench_function("stack_typed_pair", |b| {
+        b.iter(|| Stack::classify(black_box(&push), black_box(&pop)))
+    });
+
+    // Parameter-dependent classification on the keyed table.
+    let ins = TableOp::Insert(Value::Int(10), Value::Int(1));
+    let lookup = TableOp::Lookup(Value::Int(11));
+    group.bench_function("table_parameter_dependent_pair", |b| {
+        b.iter(|| TableObject::classify(black_box(&ins), black_box(&lookup)))
+    });
+
+    // Erased classification as the kernel performs it.
+    let erased: Box<dyn SemanticObject> = Box::new(AdtObject::new(TableObject::new()));
+    let ins_call = ins.to_call();
+    let lookup_call = lookup.to_call();
+    group.bench_function("table_erased_pair", |b| {
+        b.iter(|| erased.classify(black_box(&ins_call), black_box(&lookup_call)))
+    });
+
+    // Abstract object (simulation model): direct table lookup.
+    let mut rng = StdRng::seed_from_u64(1);
+    let abstract_obj = AbstractObject::random(4, 4, 4, &mut rng);
+    let a = sbcc_adt::OpCall::nullary(0);
+    let b_call = sbcc_adt::OpCall::nullary(3);
+    group.bench_function("abstract_object_pair", |b| {
+        b.iter(|| abstract_obj.classify(black_box(&a), black_box(&b_call)))
+    });
+
+    // Scanning a log of 16 executed operations, as an object manager does.
+    let executed: Vec<sbcc_adt::OpCall> = (0..16)
+        .map(|i| {
+            if i % 2 == 0 {
+                TableOp::Insert(Value::Int(i), Value::Int(i)).to_call()
+            } else {
+                TableOp::Lookup(Value::Int(i)).to_call()
+            }
+        })
+        .collect();
+    let requested = TableOp::Size.to_call();
+    group.bench_function("scan_log_of_16", |b| {
+        b.iter(|| {
+            executed
+                .iter()
+                .map(|e| erased.classify(black_box(&requested), black_box(e)))
+                .filter(|c| !c.admits_execution())
+                .count()
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_table_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conflict_table_generation");
+    configure(&mut group);
+
+    for (p_c, p_r) in [(4usize, 0usize), (4, 4), (4, 8), (2, 8)] {
+        group.bench_function(format!("random_pc{p_c}_pr{p_r}"), |b| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| ConflictTable::random(4, black_box(p_c), black_box(p_r), &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classification, bench_table_generation);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Benchmarks of the dependency-graph substrate: the would-close-cycle check
+//! the scheduler performs on every blocking or recoverable request.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sbcc_graph::{DependencyGraph, EdgeKind};
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+}
+
+/// Build a graph shaped like the scheduler's: `n` transactions, a sparse mix
+/// of commit-dependency chains plus some wait-for edges.
+fn build_graph(n: u64) -> DependencyGraph<u64> {
+    let mut g = DependencyGraph::new();
+    for i in 0..n {
+        g.add_node(i);
+    }
+    for i in 1..n {
+        // chain of commit dependencies on the previous transaction
+        g.add_edge(i, i - 1, EdgeKind::CommitDep);
+        if i % 7 == 0 {
+            g.add_edge(i, i / 2, EdgeKind::WaitFor);
+        }
+    }
+    g
+}
+
+fn bench_would_close_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("would_close_cycle");
+    configure(&mut group);
+
+    for n in [50u64, 200, 1000] {
+        let mut g = build_graph(n);
+        // Asking whether the oldest transaction may depend on the newest —
+        // the worst case, traversing the whole chain without finding a cycle
+        // ... except it does find one, which is exactly the expensive path.
+        group.bench_function(format!("chain_{n}_nodes_cycle"), |b| {
+            b.iter(|| g.would_close_cycle(black_box(0), black_box(&[n - 1])))
+        });
+        // And a cheap no-cycle check from the newest.
+        group.bench_function(format!("chain_{n}_nodes_no_cycle"), |b| {
+            b.iter(|| g.would_close_cycle(black_box(n - 1), black_box(&[0])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_maintenance");
+    configure(&mut group);
+
+    group.bench_function("add_and_remove_200_node_graph", |b| {
+        b.iter(|| {
+            let mut g = build_graph(200);
+            for i in 0..200u64 {
+                g.remove_node(black_box(i));
+            }
+            g.node_count()
+        })
+    });
+
+    let mut g = build_graph(200);
+    group.bench_function("zero_out_degree_scan_200", |b| {
+        b.iter(|| black_box(&mut g).zero_out_degree_nodes().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_would_close_cycle, bench_graph_maintenance);
+criterion_main!(benches);

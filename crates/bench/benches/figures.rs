@@ -1,0 +1,101 @@
+//! Reduced-scale versions of the paper's figure sweeps, one benchmark per
+//! figure family. Each iteration runs a complete (small) closed-network
+//! simulation, so the reported time tracks how expensive the corresponding
+//! experiment is — and the returned throughput preserves the figure's shape
+//! (recoverability ≥ commutativity, more recoverable entries ⇒ more
+//! throughput).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sbcc_bench::bench_params;
+use sbcc_core::ConflictPolicy;
+use sbcc_sim::{DataModel, ResourceMode, SimParams, Simulator};
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+}
+
+fn run(params: SimParams) -> f64 {
+    Simulator::new(params).run().throughput
+}
+
+fn bench_fig04_rw_infinite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04_rw_inf");
+    configure(&mut group);
+    for policy in [
+        ConflictPolicy::CommutativityOnly,
+        ConflictPolicy::Recoverability,
+    ] {
+        group.bench_function(format!("{policy}_mpl40"), |b| {
+            b.iter(|| run(black_box(bench_params(policy, 40))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10_fig11_rw_finite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_fig11_rw_finite");
+    configure(&mut group);
+    for (label, units) in [("fig10_5ru", 5usize), ("fig11_1ru", 1)] {
+        for policy in [
+            ConflictPolicy::CommutativityOnly,
+            ConflictPolicy::Recoverability,
+        ] {
+            group.bench_function(format!("{label}_{policy}"), |b| {
+                b.iter(|| {
+                    run(black_box(
+                        bench_params(policy, 40)
+                            .with_resources(ResourceMode::Finite { resource_units: units }),
+                    ))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig14_fig17_adt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_fig17_adt");
+    configure(&mut group);
+    for (label, resources) in [
+        ("fig14_inf", ResourceMode::Infinite),
+        ("fig17_5ru", ResourceMode::Finite { resource_units: 5 }),
+    ] {
+        for p_r in [0usize, 4, 8] {
+            group.bench_function(format!("{label}_pr{p_r}"), |b| {
+                b.iter(|| {
+                    let mut p = bench_params(ConflictPolicy::Recoverability, 40)
+                        .with_resources(resources);
+                    p.data_model = DataModel::abstract_adt(4, p_r);
+                    run(black_box(p))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig08_unfair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_rw_unfair");
+    configure(&mut group);
+    for policy in [
+        ConflictPolicy::CommutativityOnly,
+        ConflictPolicy::Recoverability,
+    ] {
+        group.bench_function(format!("{policy}_mpl40"), |b| {
+            b.iter(|| run(black_box(bench_params(policy, 40).with_fair_scheduling(false))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig04_rw_infinite,
+    bench_fig08_unfair,
+    bench_fig10_fig11_rw_finite,
+    bench_fig14_fig17_adt
+);
+criterion_main!(benches);

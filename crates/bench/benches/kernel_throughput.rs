@@ -1,0 +1,107 @@
+//! Raw scheduler throughput: how many operations per second the kernel
+//! admits under each conflict policy and recovery strategy, independent of
+//! the queuing model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sbcc_adt::{Counter, CounterOp, Stack, StackOp, TableObject, TableOp, Value};
+use sbcc_core::{ConflictPolicy, RecoveryStrategy, SchedulerConfig, SchedulerKernel};
+use std::time::Duration;
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+}
+
+/// 64 transactions of 8 operations each over a small hot object set — a
+/// dense, conflict-heavy workload.
+fn run_workload(policy: ConflictPolicy, recovery: RecoveryStrategy) -> u64 {
+    let mut kernel = SchedulerKernel::new(
+        SchedulerConfig::default()
+            .with_policy(policy)
+            .with_recovery(recovery)
+            .with_history(false),
+    );
+    let stack = kernel.register("stack", Stack::new()).unwrap();
+    let counter = kernel.register("counter", Counter::new()).unwrap();
+    let table = kernel.register("table", TableObject::new()).unwrap();
+
+    let mut completed = 0u64;
+    let mut live = Vec::new();
+    for round in 0..64i64 {
+        let t = kernel.begin();
+        let mut aborted = false;
+        for step in 0..8i64 {
+            let outcome = match step % 4 {
+                0 => kernel.request_op(t, stack, &StackOp::Push(Value::Int(round))),
+                1 => kernel.request_op(t, counter, &CounterOp::Increment(1)),
+                2 => kernel.request_op(
+                    t,
+                    table,
+                    &TableOp::Insert(Value::Int(round * 8 + step), Value::Int(step)),
+                ),
+                _ => kernel.request_op(t, counter, &CounterOp::Decrement(1)),
+            }
+            .unwrap();
+            if !outcome.is_executed() {
+                aborted = true;
+                break;
+            }
+        }
+        if !aborted {
+            let _ = kernel.commit(t);
+            completed += 1;
+        }
+        let _ = kernel.drain_events();
+        live.push(t);
+        // Periodically commit stragglers so logs do not grow without bound.
+        if round % 16 == 15 {
+            live.clear();
+        }
+    }
+    completed
+}
+
+fn bench_kernel_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_throughput");
+    configure(&mut group);
+    for policy in [
+        ConflictPolicy::CommutativityOnly,
+        ConflictPolicy::Recoverability,
+    ] {
+        group.bench_function(format!("policy_{policy}"), |b| {
+            b.iter(|| run_workload(black_box(policy), RecoveryStrategy::IntentionsList))
+        });
+    }
+    for recovery in [RecoveryStrategy::IntentionsList, RecoveryStrategy::UndoReplay] {
+        group.bench_function(format!("recovery_{recovery}"), |b| {
+            b.iter(|| run_workload(ConflictPolicy::Recoverability, black_box(recovery)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hotspot_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotspot_counter");
+    configure(&mut group);
+    group.bench_function("200_concurrent_increments", |b| {
+        b.iter(|| {
+            let mut kernel = SchedulerKernel::new(
+                SchedulerConfig::default().with_history(false),
+            );
+            let counter = kernel.register("hits", Counter::new()).unwrap();
+            let txns: Vec<_> = (0..200).map(|_| kernel.begin()).collect();
+            for t in &txns {
+                let _ = kernel.request_op(*t, counter, &CounterOp::Increment(1));
+            }
+            for t in &txns {
+                let _ = kernel.commit(*t);
+            }
+            kernel.stats().commits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_policies, bench_hotspot_counter);
+criterion_main!(benches);

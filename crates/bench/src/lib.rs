@@ -1,0 +1,57 @@
+//! # sbcc-bench — benchmark support
+//!
+//! The Criterion benchmarks live in `benches/`:
+//!
+//! * `classification` — compatibility-table lookups and random-table
+//!   generation (the object managers' hot path);
+//! * `cycle_detection` — dependency-graph cycle checks at various graph
+//!   sizes;
+//! * `kernel_throughput` — raw scheduler throughput under both conflict
+//!   policies and both recovery strategies;
+//! * `figures` — reduced-scale versions of the paper's figure sweeps
+//!   (Figures 4, 8, 10, 11, 14, 17), small enough for `cargo bench` yet
+//!   preserving the qualitative shape;
+//! * `ablations` — the design choices called out in DESIGN.md §7
+//!   (fair scheduling, mpl slot accounting, recovery strategy, victim
+//!   policy, cycle-check algorithm).
+//!
+//! This library crate only hosts small helpers shared by the benches.
+
+#![forbid(unsafe_code)]
+
+use sbcc_core::ConflictPolicy;
+use sbcc_sim::{SimParams, Simulator};
+
+/// A reduced-scale parameter set that keeps the paper's structure (closed
+/// network, think times, 4–12 operation transactions) but completes quickly
+/// enough for a benchmark iteration.
+pub fn bench_params(policy: ConflictPolicy, mpl: usize) -> SimParams {
+    SimParams {
+        db_size: 200,
+        num_terminals: 60,
+        mpl_level: mpl,
+        target_completions: 400,
+        seed: 99,
+        policy,
+        ..SimParams::default()
+    }
+}
+
+/// Run one reduced-scale simulation and return its throughput (used as the
+/// benchmark work item).
+pub fn run_once(params: SimParams) -> f64 {
+    Simulator::new(params).run().throughput
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_params_are_valid_and_runnable() {
+        let p = bench_params(ConflictPolicy::Recoverability, 20);
+        p.validate().unwrap();
+        let throughput = run_once(p);
+        assert!(throughput > 0.0);
+    }
+}

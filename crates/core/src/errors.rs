@@ -1,0 +1,89 @@
+//! Error types for the concurrency-control kernel and the [`crate::Database`]
+//! front-end.
+
+use crate::events::AbortReason;
+use crate::txn::{TxnId, TxnState};
+use std::fmt;
+
+/// Errors returned by kernel and database operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The transaction id is unknown (never begun in this kernel).
+    UnknownTransaction(TxnId),
+    /// The object id or name is unknown.
+    UnknownObject(String),
+    /// The transaction is not in a state that allows the attempted action
+    /// (e.g. committing a blocked transaction, invoking an operation from a
+    /// terminated transaction).
+    InvalidState {
+        /// The transaction concerned.
+        txn: TxnId,
+        /// Its current state.
+        state: TxnState,
+        /// The action that was attempted.
+        action: &'static str,
+    },
+    /// The transaction was aborted by the scheduler (deadlock or
+    /// commit-dependency cycle) or by an explicit abort.
+    Aborted {
+        /// The transaction concerned.
+        txn: TxnId,
+        /// Why it was aborted.
+        reason: AbortReason,
+    },
+    /// An object with this name is already registered.
+    DuplicateObject(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownTransaction(t) => write!(f, "unknown transaction {t}"),
+            CoreError::UnknownObject(name) => write!(f, "unknown object {name:?}"),
+            CoreError::InvalidState { txn, state, action } => {
+                write!(f, "cannot {action}: transaction {txn} is {state}")
+            }
+            CoreError::Aborted { txn, reason } => {
+                write!(f, "transaction {txn} aborted: {reason}")
+            }
+            CoreError::DuplicateObject(name) => {
+                write!(f, "an object named {name:?} is already registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let t = TxnId(3);
+        assert!(CoreError::UnknownTransaction(t).to_string().contains("T3"));
+        assert!(CoreError::UnknownObject("acct".into())
+            .to_string()
+            .contains("acct"));
+        let e = CoreError::InvalidState {
+            txn: t,
+            state: TxnState::Blocked,
+            action: "commit",
+        };
+        assert!(e.to_string().contains("commit"));
+        assert!(e.to_string().contains("blocked"));
+        let e = CoreError::Aborted {
+            txn: t,
+            reason: AbortReason::DeadlockCycle,
+        };
+        assert!(e.to_string().contains("aborted"));
+        assert!(CoreError::DuplicateObject("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&CoreError::UnknownTransaction(TxnId(1)));
+    }
+}

@@ -1,0 +1,235 @@
+//! Outcomes and events reported by the kernel.
+//!
+//! The kernel is a synchronous state machine: every call returns the outcome
+//! for the *calling* transaction, while side effects on **other**
+//! transactions (a blocked request that became executable, a cascaded
+//! commit of a pseudo-committed transaction, an abort of a retried request
+//! that closed a cycle) are queued as [`KernelEvent`]s, drained by the
+//! caller with [`crate::SchedulerKernel::drain_events`].
+
+use crate::txn::TxnId;
+use sbcc_adt::OpResult;
+use std::fmt;
+
+/// Why the scheduler aborted a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// Blocking the transaction would have closed a cycle in the dependency
+    /// graph (a deadlock, possibly involving commit-dependency edges).
+    DeadlockCycle,
+    /// Executing the recoverable operation would have closed a cycle of
+    /// commit dependencies, violating serializability (Lemma 4).
+    CommitDependencyCycle,
+    /// The transaction was chosen as the victim of a cycle created by some
+    /// other transaction's request (only under
+    /// [`crate::VictimPolicy::Youngest`]).
+    VictimSelected,
+    /// The application explicitly aborted the transaction.
+    Explicit,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::DeadlockCycle => write!(f, "deadlock cycle"),
+            AbortReason::CommitDependencyCycle => write!(f, "commit-dependency cycle"),
+            AbortReason::VictimSelected => write!(f, "selected as cycle victim"),
+            AbortReason::Explicit => write!(f, "explicit abort"),
+        }
+    }
+}
+
+/// Outcome of an operation request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOutcome {
+    /// The operation executed immediately.
+    Executed {
+        /// The operation's return value.
+        result: OpResult,
+        /// Transactions this transaction now has a commit dependency on
+        /// (empty when the operation commuted with everything).
+        commit_deps: Vec<TxnId>,
+    },
+    /// The operation conflicts with uncommitted operations; the transaction
+    /// is blocked until the holders terminate (the request is retried
+    /// automatically and reported via [`KernelEvent::Unblocked`]).
+    Blocked {
+        /// The transactions being waited on.
+        waiting_on: Vec<TxnId>,
+    },
+    /// The transaction was aborted instead (the request would have closed a
+    /// cycle).
+    Aborted {
+        /// Why the transaction was aborted.
+        reason: AbortReason,
+    },
+}
+
+impl RequestOutcome {
+    /// `true` when the operation executed.
+    pub fn is_executed(&self) -> bool {
+        matches!(self, RequestOutcome::Executed { .. })
+    }
+
+    /// `true` when the transaction is now blocked.
+    pub fn is_blocked(&self) -> bool {
+        matches!(self, RequestOutcome::Blocked { .. })
+    }
+
+    /// `true` when the transaction was aborted.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, RequestOutcome::Aborted { .. })
+    }
+
+    /// The result, if the operation executed.
+    pub fn result(&self) -> Option<&OpResult> {
+        match self {
+            RequestOutcome::Executed { result, .. } => Some(result),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of a commit request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The transaction actually committed (its effects are folded into the
+    /// committed object states and it has left the dependency graph).
+    Committed,
+    /// The transaction pseudo-committed: complete from the user's point of
+    /// view, guaranteed to commit, but the actual commit waits for the
+    /// listed transactions to terminate (Section 4.3).
+    PseudoCommitted {
+        /// Live transactions this transaction still has commit dependencies
+        /// on.
+        waiting_on: Vec<TxnId>,
+    },
+}
+
+impl CommitOutcome {
+    /// `true` for an actual commit.
+    pub fn is_full_commit(&self) -> bool {
+        matches!(self, CommitOutcome::Committed)
+    }
+
+    /// `true` for a pseudo-commit.
+    pub fn is_pseudo_commit(&self) -> bool {
+        matches!(self, CommitOutcome::PseudoCommitted { .. })
+    }
+}
+
+/// Side effects on transactions other than the caller's, produced while the
+/// kernel processed a request, commit or abort.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KernelEvent {
+    /// A previously blocked transaction's pending request was retried; the
+    /// outcome is attached (it may have executed, re-blocked, or been
+    /// aborted because the retry would close a cycle).
+    Unblocked {
+        /// The transaction whose pending request was retried.
+        txn: TxnId,
+        /// The outcome of the retry.
+        outcome: RequestOutcome,
+    },
+    /// A pseudo-committed transaction's last commit dependency terminated
+    /// and it has now actually committed.
+    Committed {
+        /// The transaction that actually committed.
+        txn: TxnId,
+    },
+    /// A transaction was aborted as a side effect (deadlock victim during a
+    /// retry, or victim selection on behalf of another requester).
+    Aborted {
+        /// The transaction that was aborted.
+        txn: TxnId,
+        /// Why it was aborted.
+        reason: AbortReason,
+    },
+}
+
+impl KernelEvent {
+    /// The transaction this event concerns.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            KernelEvent::Unblocked { txn, .. }
+            | KernelEvent::Committed { txn }
+            | KernelEvent::Aborted { txn, .. } => *txn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbcc_adt::OpResult;
+
+    #[test]
+    fn abort_reason_display() {
+        assert_eq!(AbortReason::DeadlockCycle.to_string(), "deadlock cycle");
+        assert_eq!(
+            AbortReason::CommitDependencyCycle.to_string(),
+            "commit-dependency cycle"
+        );
+        assert_eq!(AbortReason::Explicit.to_string(), "explicit abort");
+        assert_eq!(
+            AbortReason::VictimSelected.to_string(),
+            "selected as cycle victim"
+        );
+    }
+
+    #[test]
+    fn request_outcome_predicates() {
+        let e = RequestOutcome::Executed {
+            result: OpResult::Ok,
+            commit_deps: vec![],
+        };
+        let b = RequestOutcome::Blocked {
+            waiting_on: vec![TxnId(1)],
+        };
+        let a = RequestOutcome::Aborted {
+            reason: AbortReason::DeadlockCycle,
+        };
+        assert!(e.is_executed() && !e.is_blocked() && !e.is_aborted());
+        assert!(b.is_blocked() && !b.is_executed());
+        assert!(a.is_aborted() && !a.is_executed());
+        assert_eq!(e.result(), Some(&OpResult::Ok));
+        assert_eq!(b.result(), None);
+    }
+
+    #[test]
+    fn commit_outcome_predicates() {
+        assert!(CommitOutcome::Committed.is_full_commit());
+        assert!(!CommitOutcome::Committed.is_pseudo_commit());
+        let p = CommitOutcome::PseudoCommitted {
+            waiting_on: vec![TxnId(1)],
+        };
+        assert!(p.is_pseudo_commit());
+        assert!(!p.is_full_commit());
+    }
+
+    #[test]
+    fn kernel_event_txn_accessor() {
+        assert_eq!(
+            KernelEvent::Committed { txn: TxnId(4) }.txn(),
+            TxnId(4)
+        );
+        assert_eq!(
+            KernelEvent::Aborted {
+                txn: TxnId(5),
+                reason: AbortReason::Explicit
+            }
+            .txn(),
+            TxnId(5)
+        );
+        assert_eq!(
+            KernelEvent::Unblocked {
+                txn: TxnId(6),
+                outcome: RequestOutcome::Aborted {
+                    reason: AbortReason::DeadlockCycle
+                }
+            }
+            .txn(),
+            TxnId(6)
+        );
+    }
+}

@@ -1,0 +1,739 @@
+//! The concurrency-control kernel: the paper's object managers plus
+//! transaction manager in one deterministic, synchronous state machine.
+//!
+//! The kernel implements:
+//!
+//! * the **Figure 2 algorithm** for executing operations — classify the
+//!   request against every uncommitted operation, block behind
+//!   non-recoverable holders (with deadlock detection), or execute with
+//!   commit-dependency edges after checking that no dependency cycle is
+//!   created;
+//! * the **commit protocol of Section 4.3** — a transaction with outstanding
+//!   commit dependencies *pseudo-commits*; when a transaction terminates,
+//!   pseudo-committed transactions whose out-degree drops to zero actually
+//!   commit (cascading through chains of dependencies);
+//! * **recovery** (Section 4.4) via intentions lists or replay-based undo;
+//! * **fair scheduling** (Section 5.2): an incoming request that conflicts
+//!   with a blocked request waits behind it.
+//!
+//! The kernel is single-threaded by design (the simulator drives it
+//! directly); [`crate::Database`] adds a thread-safe, blocking front-end.
+
+use crate::errors::CoreError;
+use crate::events::{AbortReason, CommitOutcome, KernelEvent, RequestOutcome};
+use crate::history::HistoryRecorder;
+use crate::object::{Classification, ManagedObject, ObjectId};
+use crate::policy::{SchedulerConfig, VictimPolicy};
+use crate::stats::KernelStats;
+use crate::txn::{ExecutedOp, PendingRequest, TxnId, TxnRecord, TxnState};
+use sbcc_adt::{AdtObject, AdtSpec, OpCall, OpResult, SemanticObject};
+use sbcc_graph::{DependencyGraph, EdgeKind};
+use std::collections::HashMap;
+
+/// Compact record kept for a terminated transaction after its full
+/// [`TxnRecord`] has been dropped (keeping the full record for every
+/// transaction ever begun would grow without bound in long-running
+/// workloads such as the simulation study).
+#[derive(Debug, Clone, Copy)]
+struct FinishedTxn {
+    state: TxnState,
+    executed_ops: usize,
+}
+
+/// The scheduler kernel. See the module documentation for an overview.
+pub struct SchedulerKernel {
+    config: SchedulerConfig,
+    objects: Vec<ManagedObject>,
+    object_names: HashMap<String, ObjectId>,
+    txns: HashMap<TxnId, TxnRecord>,
+    finished: HashMap<TxnId, FinishedTxn>,
+    graph: DependencyGraph<TxnId>,
+    next_txn_id: u64,
+    next_seq: u64,
+    next_commit_index: u64,
+    stats: KernelStats,
+    history: Option<HistoryRecorder>,
+    events: Vec<KernelEvent>,
+    pending_dirty: Vec<ObjectId>,
+}
+
+impl std::fmt::Debug for SchedulerKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerKernel")
+            .field("objects", &self.objects.len())
+            .field("transactions", &self.txns.len())
+            .field("policy", &self.config.policy)
+            .finish()
+    }
+}
+
+impl SchedulerKernel {
+    /// Build a kernel with the given configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        let history = if config.record_history {
+            Some(HistoryRecorder::new())
+        } else {
+            None
+        };
+        SchedulerKernel {
+            config,
+            objects: Vec::new(),
+            object_names: HashMap::new(),
+            txns: HashMap::new(),
+            finished: HashMap::new(),
+            graph: DependencyGraph::new(),
+            next_txn_id: 0,
+            next_seq: 0,
+            next_commit_index: 0,
+            stats: KernelStats::default(),
+            history,
+            events: Vec::new(),
+            pending_dirty: Vec::new(),
+        }
+    }
+
+    /// The kernel's configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Raw counters.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Number of cycle-detection invocations so far (wait-for *and*
+    /// commit-dependency checks combined, as in the paper's cycle check
+    /// ratio).
+    pub fn cycle_checks(&self) -> u64 {
+        self.graph.cycle_checks()
+    }
+
+    /// The recorded history, when `record_history` is enabled.
+    pub fn history(&self) -> Option<&HistoryRecorder> {
+        self.history.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // Object registration and inspection
+    // ------------------------------------------------------------------
+
+    /// Register an erased semantic object under a unique name.
+    pub fn register_object(
+        &mut self,
+        name: impl Into<String>,
+        object: Box<dyn SemanticObject>,
+    ) -> Result<ObjectId, CoreError> {
+        let name = name.into();
+        if self.object_names.contains_key(&name) {
+            return Err(CoreError::DuplicateObject(name));
+        }
+        let id = ObjectId(self.objects.len() as u32);
+        self.objects
+            .push(ManagedObject::new(id, name.clone(), object, self.config.recovery));
+        self.object_names.insert(name, id);
+        Ok(id)
+    }
+
+    /// Register a typed atomic data type instance under a unique name.
+    pub fn register<A: AdtSpec>(
+        &mut self,
+        name: impl Into<String>,
+        adt: A,
+    ) -> Result<ObjectId, CoreError> {
+        self.register_object(name, Box::new(AdtObject::new(adt)))
+    }
+
+    /// Number of registered objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// All object ids, in registration order.
+    pub fn object_ids(&self) -> Vec<ObjectId> {
+        (0..self.objects.len() as u32).map(ObjectId).collect()
+    }
+
+    /// Resolve an object name.
+    pub fn object_id(&self, name: &str) -> Option<ObjectId> {
+        self.object_names.get(name).copied()
+    }
+
+    /// The registration name of an object.
+    pub fn object_name(&self, id: ObjectId) -> Option<&str> {
+        self.objects.get(id.0 as usize).map(|o| o.name())
+    }
+
+    /// The object state reflecting exactly the committed transactions.
+    pub fn object_committed_state(&self, id: ObjectId) -> Option<&dyn SemanticObject> {
+        self.objects.get(id.0 as usize).map(|o| o.committed_state())
+    }
+
+    /// The object state as registered.
+    pub fn object_initial_state(&self, id: ObjectId) -> Option<&dyn SemanticObject> {
+        self.objects.get(id.0 as usize).map(|o| o.initial_state())
+    }
+
+    /// Number of uncommitted operations currently logged on an object.
+    pub fn object_log_len(&self, id: ObjectId) -> usize {
+        self.objects.get(id.0 as usize).map(|o| o.log_len()).unwrap_or(0)
+    }
+
+    /// Number of blocked requests queued on an object.
+    pub fn object_blocked_len(&self, id: ObjectId) -> usize {
+        self.objects
+            .get(id.0 as usize)
+            .map(|o| o.blocked_len())
+            .unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction life cycle
+    // ------------------------------------------------------------------
+
+    /// Begin a new transaction.
+    pub fn begin(&mut self) -> TxnId {
+        self.next_txn_id += 1;
+        let id = TxnId(self.next_txn_id);
+        self.txns.insert(id, TxnRecord::new(id));
+        self.graph.add_node(id);
+        self.stats.transactions_begun += 1;
+        if let Some(h) = &mut self.history {
+            h.record_begin(id);
+        }
+        id
+    }
+
+    /// The current state of a transaction.
+    pub fn txn_state(&self, txn: TxnId) -> Option<TxnState> {
+        self.txns
+            .get(&txn)
+            .map(|r| r.state)
+            .or_else(|| self.finished.get(&txn).map(|f| f.state))
+    }
+
+    /// Transactions that are still live (active, blocked or
+    /// pseudo-committed).
+    pub fn live_transactions(&self) -> Vec<TxnId> {
+        let mut out: Vec<TxnId> = self
+            .txns
+            .values()
+            .filter(|r| r.state.is_live())
+            .map(|r| r.id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of operations a transaction executed (still available after it
+    /// terminated).
+    pub fn executed_ops_of(&self, txn: TxnId) -> usize {
+        self.txns
+            .get(&txn)
+            .map(|r| r.executed_ops())
+            .or_else(|| self.finished.get(&txn).map(|f| f.executed_ops))
+            .unwrap_or(0)
+    }
+
+    /// The operations a *live* transaction has executed so far. Terminated
+    /// transactions return an empty list (their detailed records are
+    /// dropped; enable history recording to keep full per-operation data).
+    pub fn ops_of(&self, txn: TxnId) -> Vec<ExecutedOp> {
+        self.txns.get(&txn).map(|r| r.ops.clone()).unwrap_or_default()
+    }
+
+    /// The live transactions `txn` currently has commit dependencies on.
+    pub fn commit_dependencies_of(&self, txn: TxnId) -> Vec<TxnId> {
+        let mut deps = self.graph.out_neighbors_kind(txn, EdgeKind::CommitDep);
+        deps.sort_unstable();
+        deps
+    }
+
+    /// The live transactions `txn` is currently waiting on (wait-for edges).
+    pub fn waiting_on(&self, txn: TxnId) -> Vec<TxnId> {
+        let mut deps = self.graph.out_neighbors_kind(txn, EdgeKind::WaitFor);
+        deps.sort_unstable();
+        deps
+    }
+
+    /// Drain the queued side-effect events (unblocks, cascaded commits,
+    /// victim aborts) produced since the last drain.
+    pub fn drain_events(&mut self) -> Vec<KernelEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Request execution of an operation on behalf of a transaction.
+    pub fn request(
+        &mut self,
+        txn: TxnId,
+        object: ObjectId,
+        call: OpCall,
+    ) -> Result<RequestOutcome, CoreError> {
+        self.ensure_object(object)?;
+        let state = self
+            .txn_state(txn)
+            .ok_or(CoreError::UnknownTransaction(txn))?;
+        if state != TxnState::Active {
+            return Err(CoreError::InvalidState {
+                txn,
+                state,
+                action: "request an operation",
+            });
+        }
+        self.stats.requests += 1;
+        let outcome = self.process_request(txn, object, call, false);
+        self.settle();
+        Ok(outcome)
+    }
+
+    /// Request an operation using a typed operation value.
+    pub fn request_op<O: sbcc_adt::AdtOp>(
+        &mut self,
+        txn: TxnId,
+        object: ObjectId,
+        op: &O,
+    ) -> Result<RequestOutcome, CoreError> {
+        self.request(txn, object, op.to_call())
+    }
+
+    /// Commit a transaction. Depending on outstanding commit dependencies
+    /// this is an actual commit or a pseudo-commit.
+    pub fn commit(&mut self, txn: TxnId) -> Result<CommitOutcome, CoreError> {
+        let state = self
+            .txn_state(txn)
+            .ok_or(CoreError::UnknownTransaction(txn))?;
+        if state != TxnState::Active {
+            return Err(CoreError::InvalidState {
+                txn,
+                state,
+                action: "commit",
+            });
+        }
+        let mut deps = self.graph.out_neighbors_kind(txn, EdgeKind::CommitDep);
+        deps.sort_unstable();
+        if deps.is_empty() {
+            self.actually_commit(txn);
+            self.settle();
+            Ok(CommitOutcome::Committed)
+        } else {
+            let rec = self.txns.get_mut(&txn).expect("checked above");
+            rec.state = TxnState::PseudoCommitted;
+            self.stats.pseudo_commits += 1;
+            if let Some(h) = &mut self.history {
+                h.record_pseudo_commit(txn);
+            }
+            Ok(CommitOutcome::PseudoCommitted { waiting_on: deps })
+        }
+    }
+
+    /// Explicitly abort an active or blocked transaction.
+    ///
+    /// A pseudo-committed transaction cannot be aborted — by construction it
+    /// will definitely commit.
+    pub fn abort(&mut self, txn: TxnId) -> Result<(), CoreError> {
+        let state = self
+            .txn_state(txn)
+            .ok_or(CoreError::UnknownTransaction(txn))?;
+        if !matches!(state, TxnState::Active | TxnState::Blocked) {
+            return Err(CoreError::InvalidState {
+                txn,
+                state,
+                action: "abort",
+            });
+        }
+        self.abort_internal(txn, AbortReason::Explicit);
+        self.settle();
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (used by tests)
+    // ------------------------------------------------------------------
+
+    /// Check internal invariants; returns a description of the first
+    /// violation found.
+    pub fn check_invariants(&mut self) -> Result<(), String> {
+        if self.graph.has_cycle() {
+            return Err("dependency graph contains a cycle".to_owned());
+        }
+        for node in self.graph.nodes().collect::<Vec<_>>() {
+            match self.txns.get(&node) {
+                Some(r) if r.state.is_live() => {}
+                Some(r) => {
+                    return Err(format!(
+                        "terminated transaction {node} (state {}) still has a graph node",
+                        r.state
+                    ))
+                }
+                None => return Err(format!("graph node {node} has no transaction record")),
+            }
+        }
+        for obj in &self.objects {
+            for entry in obj.log() {
+                match self.txns.get(&entry.txn) {
+                    Some(r) if r.state.is_live() => {}
+                    _ => {
+                        return Err(format!(
+                            "object {} holds a log entry for non-live transaction {}",
+                            obj.name(),
+                            entry.txn
+                        ))
+                    }
+                }
+            }
+            for blocked in obj.blocked_queue() {
+                match self.txns.get(&blocked.txn) {
+                    Some(r) if r.state == TxnState::Blocked => {}
+                    _ => {
+                        return Err(format!(
+                            "object {} queues a blocked request for a transaction that is not blocked ({})",
+                            obj.name(),
+                            blocked.txn
+                        ))
+                    }
+                }
+            }
+        }
+        for rec in self.txns.values() {
+            if rec.state == TxnState::Blocked && rec.pending.is_none() {
+                return Err(format!("blocked transaction {} has no pending request", rec.id));
+            }
+            if rec.state != TxnState::Blocked && rec.pending.is_some() {
+                return Err(format!(
+                    "transaction {} has a pending request but is {}",
+                    rec.id, rec.state
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn ensure_object(&self, object: ObjectId) -> Result<(), CoreError> {
+        if (object.0 as usize) < self.objects.len() {
+            Ok(())
+        } else {
+            Err(CoreError::UnknownObject(format!("{object}")))
+        }
+    }
+
+    fn object_mut(&mut self, object: ObjectId) -> &mut ManagedObject {
+        &mut self.objects[object.0 as usize]
+    }
+
+    fn object_ref(&self, object: ObjectId) -> &ManagedObject {
+        &self.objects[object.0 as usize]
+    }
+
+    /// The Figure-2 algorithm for a single request. `is_retry` marks
+    /// automatic retries of previously blocked requests (they do not count
+    /// as new blocking events in the statistics).
+    fn process_request(
+        &mut self,
+        txn: TxnId,
+        object: ObjectId,
+        call: OpCall,
+        is_retry: bool,
+    ) -> RequestOutcome {
+        loop {
+            let classification = self.classify_for(txn, object, &call);
+            let Classification {
+                conflicts,
+                commit_deps,
+            } = classification;
+
+            if !conflicts.is_empty() {
+                // Step 1: the request conflicts; it must wait unless waiting
+                // would close a cycle.
+                if self.graph.would_close_cycle(txn, &conflicts) {
+                    match self.select_victim(txn, &conflicts) {
+                        victim if victim == txn => {
+                            self.abort_internal(txn, AbortReason::DeadlockCycle);
+                            return RequestOutcome::Aborted {
+                                reason: AbortReason::DeadlockCycle,
+                            };
+                        }
+                        victim => {
+                            self.abort_internal(victim, AbortReason::VictimSelected);
+                            self.events.push(KernelEvent::Aborted {
+                                txn: victim,
+                                reason: AbortReason::VictimSelected,
+                            });
+                            continue;
+                        }
+                    }
+                }
+                for holder in &conflicts {
+                    self.graph.add_edge(txn, *holder, EdgeKind::WaitFor);
+                }
+                self.object_mut(object).push_blocked(txn, call.clone());
+                let rec = self.txns.get_mut(&txn).expect("transaction exists");
+                rec.state = TxnState::Blocked;
+                rec.pending = Some(PendingRequest {
+                    object,
+                    call,
+                });
+                rec.touched.insert(object);
+                rec.times_blocked += 1;
+                if !is_retry {
+                    self.stats.blocks += 1;
+                }
+                return RequestOutcome::Blocked {
+                    waiting_on: conflicts,
+                };
+            }
+
+            if commit_deps.is_empty() {
+                // Step 2: everything commutes.
+                let result = self.execute_op(txn, object, call);
+                if is_retry {
+                    self.stats.unblocks += 1;
+                }
+                return RequestOutcome::Executed {
+                    result,
+                    commit_deps: Vec::new(),
+                };
+            }
+
+            // Step 3: recoverable — check the commit-dependency relation
+            // stays acyclic, then execute with commit-dependency edges.
+            if self.graph.would_close_cycle(txn, &commit_deps) {
+                match self.select_victim(txn, &commit_deps) {
+                    victim if victim == txn => {
+                        self.abort_internal(txn, AbortReason::CommitDependencyCycle);
+                        return RequestOutcome::Aborted {
+                            reason: AbortReason::CommitDependencyCycle,
+                        };
+                    }
+                    victim => {
+                        self.abort_internal(victim, AbortReason::VictimSelected);
+                        self.events.push(KernelEvent::Aborted {
+                            txn: victim,
+                            reason: AbortReason::VictimSelected,
+                        });
+                        continue;
+                    }
+                }
+            }
+            for holder in &commit_deps {
+                self.graph.add_edge(txn, *holder, EdgeKind::CommitDep);
+                self.stats.commit_dependencies += 1;
+            }
+            let result = self.execute_op(txn, object, call);
+            if is_retry {
+                self.stats.unblocks += 1;
+            }
+            return RequestOutcome::Executed {
+                result,
+                commit_deps,
+            };
+        }
+    }
+
+    fn classify_for(&self, txn: TxnId, object: ObjectId, call: &OpCall) -> Classification {
+        let obj = self.object_ref(object);
+        let fairness = if self.config.fair_scheduling {
+            obj.blocked_pairs()
+        } else {
+            Vec::new()
+        };
+        obj.classify(self.config.policy, txn, call, &fairness)
+    }
+
+    /// Pick the transaction to abort for a cycle closed by `requester`
+    /// adding edges towards `targets`.
+    fn select_victim(&mut self, requester: TxnId, targets: &[TxnId]) -> TxnId {
+        match self.config.victim {
+            VictimPolicy::Requester => requester,
+            VictimPolicy::Youngest => {
+                let Some(path) = self.graph.path_from_any(targets, requester) else {
+                    return requester;
+                };
+                // The cycle consists of the requester plus the path back to
+                // it; the youngest is the one with the largest id. A
+                // pseudo-committed participant can never be the victim (it
+                // is guaranteed to commit), so it is skipped.
+                path.into_iter()
+                    .filter(|t| {
+                        self.txns
+                            .get(t)
+                            .map(|r| {
+                                matches!(r.state, TxnState::Active | TxnState::Blocked)
+                            })
+                            .unwrap_or(false)
+                    })
+                    .max()
+                    .unwrap_or(requester)
+            }
+        }
+    }
+
+    fn execute_op(&mut self, txn: TxnId, object: ObjectId, call: OpCall) -> OpResult {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        let result = self.objects[object.0 as usize].execute(txn, seq, call.clone());
+        let rec = self.txns.get_mut(&txn).expect("transaction exists");
+        rec.ops.push(ExecutedOp {
+            object,
+            call: call.clone(),
+            result: result.clone(),
+            seq,
+        });
+        rec.touched.insert(object);
+        self.stats.operations_executed += 1;
+        if let Some(h) = &mut self.history {
+            h.record_op(txn, object, call, result.clone(), seq);
+        }
+        result
+    }
+
+    fn actually_commit(&mut self, txn: TxnId) {
+        let rec = self.txns.remove(&txn).expect("transaction exists");
+        debug_assert!(matches!(
+            rec.state,
+            TxnState::Active | TxnState::PseudoCommitted
+        ));
+        self.next_commit_index += 1;
+        let touched: Vec<ObjectId> = rec.touched.iter().copied().collect();
+        for obj in &touched {
+            self.objects[obj.0 as usize].commit_txn(txn);
+        }
+        self.graph.remove_node(txn);
+        self.pending_dirty.extend(touched);
+        self.stats.commits += 1;
+        self.finished.insert(
+            txn,
+            FinishedTxn {
+                state: TxnState::Committed,
+                executed_ops: rec.executed_ops(),
+            },
+        );
+        if let Some(h) = &mut self.history {
+            h.record_committed(txn, self.next_commit_index);
+        }
+    }
+
+    fn abort_internal(&mut self, txn: TxnId, reason: AbortReason) {
+        let mut rec = self.txns.remove(&txn).expect("transaction exists");
+        debug_assert!(
+            matches!(rec.state, TxnState::Active | TxnState::Blocked),
+            "only active or blocked transactions can abort (got {})",
+            rec.state
+        );
+        let pending_object = rec.pending.take().map(|p| p.object);
+        let touched: Vec<ObjectId> = rec.touched.iter().copied().collect();
+        if let Some(obj) = pending_object {
+            self.objects[obj.0 as usize].remove_blocked(txn);
+        }
+        for obj in &touched {
+            self.objects[obj.0 as usize].abort_txn(txn);
+        }
+        self.graph.remove_node(txn);
+        self.pending_dirty.extend(touched);
+        match reason {
+            AbortReason::DeadlockCycle => self.stats.aborts_deadlock += 1,
+            AbortReason::CommitDependencyCycle => self.stats.aborts_commit_cycle += 1,
+            AbortReason::VictimSelected => self.stats.aborts_victim += 1,
+            AbortReason::Explicit => self.stats.aborts_explicit += 1,
+        }
+        self.finished.insert(
+            txn,
+            FinishedTxn {
+                state: TxnState::Aborted,
+                executed_ops: rec.executed_ops(),
+            },
+        );
+        if let Some(h) = &mut self.history {
+            h.record_aborted(txn, reason);
+        }
+    }
+
+    /// Propagate the consequences of terminations: cascade actual commits of
+    /// pseudo-committed transactions whose dependencies are gone, and retry
+    /// blocked requests on objects whose logs changed. Runs to fixpoint.
+    fn settle(&mut self) {
+        loop {
+            // Cascade commits of pseudo-committed transactions.
+            let mut cascaded = false;
+            loop {
+                let candidates: Vec<TxnId> = self
+                    .graph
+                    .zero_out_degree_nodes()
+                    .into_iter()
+                    .filter(|t| {
+                        self.txns
+                            .get(t)
+                            .map(|r| r.state == TxnState::PseudoCommitted)
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                for txn in candidates {
+                    self.actually_commit(txn);
+                    self.events.push(KernelEvent::Committed { txn });
+                    cascaded = true;
+                }
+            }
+
+            if self.pending_dirty.is_empty() {
+                if !cascaded {
+                    break;
+                }
+                continue;
+            }
+
+            // Retry blocked requests on the dirty objects.
+            let mut dirty = std::mem::take(&mut self.pending_dirty);
+            dirty.sort_unstable();
+            dirty.dedup();
+            for obj in dirty {
+                self.retry_blocked(obj);
+            }
+        }
+    }
+
+    fn retry_blocked(&mut self, object: ObjectId) {
+        let queue = self.objects[object.0 as usize].take_blocked();
+        for request in queue {
+            // Skip stale entries: the transaction may have been aborted (as
+            // a cycle victim) while we were processing earlier entries.
+            let still_blocked = self
+                .txns
+                .get(&request.txn)
+                .map(|r| {
+                    r.state == TxnState::Blocked
+                        && r.pending
+                            .as_ref()
+                            .map(|p| p.object == object && p.call == request.call)
+                            .unwrap_or(false)
+                })
+                .unwrap_or(false);
+            if !still_blocked {
+                continue;
+            }
+            {
+                let rec = self.txns.get_mut(&request.txn).expect("transaction exists");
+                rec.state = TxnState::Active;
+                rec.pending = None;
+            }
+            self.graph.clear_out_edges(request.txn, EdgeKind::WaitFor);
+            let outcome = self.process_request(request.txn, object, request.call, true);
+            match &outcome {
+                RequestOutcome::Blocked { .. } => {
+                    // Still blocked; it was re-queued by process_request.
+                }
+                _ => {
+                    self.events.push(KernelEvent::Unblocked {
+                        txn: request.txn,
+                        outcome,
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! Managed objects: the per-object state the paper's *object managers* keep.
+//!
+//! Each object manager maintains an execution log of uncommitted operations
+//! on its object (Section 4) plus a queue of blocked requests. Conflict
+//! classification happens against that log using the object's compatibility
+//! tables (through the erased [`SemanticObject`] interface), and the chosen
+//! [`RecoveryStrategy`] decides how operation results are computed and how
+//! commits/aborts update the object state.
+
+use crate::policy::{ConflictPolicy, RecoveryStrategy};
+use crate::txn::TxnId;
+use sbcc_adt::{Compatibility, OpCall, OpResult, SemanticObject};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a registered object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}", self.0)
+    }
+}
+
+/// One uncommitted operation in an object's execution log.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// The transaction that executed the operation.
+    pub txn: TxnId,
+    /// Global execution sequence number.
+    pub seq: u64,
+    /// The operation.
+    pub call: OpCall,
+    /// The result that was returned to the transaction.
+    pub result: OpResult,
+}
+
+/// A blocked operation request waiting in an object's queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockedRequest {
+    /// The blocked transaction.
+    pub txn: TxnId,
+    /// The operation it wants to execute.
+    pub call: OpCall,
+}
+
+/// Summary of classifying a requested operation against an object's log
+/// (and, under fair scheduling, its blocked queue).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Classification {
+    /// Transactions holding at least one uncommitted operation the request
+    /// is neither commutative with nor recoverable relative to. Non-empty
+    /// means the requester must wait (or abort on a cycle).
+    pub conflicts: Vec<TxnId>,
+    /// Transactions holding at least one uncommitted operation the request
+    /// is recoverable relative to (but does not commute with). Executing the
+    /// request creates commit-dependency edges to these transactions.
+    pub commit_deps: Vec<TxnId>,
+}
+
+impl Classification {
+    /// `true` when the request can execute immediately with no commit
+    /// dependencies (everything commutes).
+    pub fn is_free(&self) -> bool {
+        self.conflicts.is_empty() && self.commit_deps.is_empty()
+    }
+}
+
+/// The per-object state maintained by the kernel.
+pub struct ManagedObject {
+    id: ObjectId,
+    name: String,
+    /// Snapshot of the state at registration time (used by the history
+    /// checker to replay committed transactions from scratch).
+    initial: Box<dyn SemanticObject>,
+    /// State reflecting exactly the committed transactions.
+    committed: Box<dyn SemanticObject>,
+    /// Committed state plus all uncommitted logged operations, in execution
+    /// order. Maintained only under [`RecoveryStrategy::UndoReplay`].
+    materialized: Option<Box<dyn SemanticObject>>,
+    /// Uncommitted operations, in execution order.
+    log: Vec<LogEntry>,
+    /// Blocked requests, FIFO.
+    blocked: VecDeque<BlockedRequest>,
+    strategy: RecoveryStrategy,
+}
+
+impl fmt::Debug for ManagedObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ManagedObject")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("type", &self.committed.type_name())
+            .field("log_len", &self.log.len())
+            .field("blocked_len", &self.blocked.len())
+            .finish()
+    }
+}
+
+impl ManagedObject {
+    /// Wrap a semantic object for management by the kernel.
+    pub fn new(
+        id: ObjectId,
+        name: impl Into<String>,
+        object: Box<dyn SemanticObject>,
+        strategy: RecoveryStrategy,
+    ) -> Self {
+        let materialized = match strategy {
+            RecoveryStrategy::IntentionsList => None,
+            RecoveryStrategy::UndoReplay => Some(object.boxed_clone()),
+        };
+        ManagedObject {
+            id,
+            name: name.into(),
+            initial: object.boxed_clone(),
+            committed: object,
+            materialized,
+            log: Vec::new(),
+            blocked: VecDeque::new(),
+            strategy,
+        }
+    }
+
+    /// The object's id.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The object's registration name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The state at registration time.
+    pub fn initial_state(&self) -> &dyn SemanticObject {
+        self.initial.as_ref()
+    }
+
+    /// The state reflecting exactly the committed transactions.
+    pub fn committed_state(&self) -> &dyn SemanticObject {
+        self.committed.as_ref()
+    }
+
+    /// Number of uncommitted operations currently in the log.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The uncommitted log entries (execution order).
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// Number of blocked requests queued on this object.
+    pub fn blocked_len(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// The blocked requests (FIFO order).
+    pub fn blocked_queue(&self) -> &VecDeque<BlockedRequest> {
+        &self.blocked
+    }
+
+    /// Classify `call`, requested by `txn`, against the uncommitted
+    /// operations of **other** transactions in the log.
+    ///
+    /// Under [`ConflictPolicy::CommutativityOnly`] a `Recoverable`
+    /// classification is demoted to a conflict, which is exactly how the
+    /// baseline protocol behaves.
+    ///
+    /// If `fairness_extra` is non-empty those `(transaction, call)` pairs
+    /// (typically the object's blocked queue) are also checked: a conflict
+    /// with any of them blocks the request even though they have not
+    /// executed (the fair-scheduling rule of Section 5.2).
+    pub fn classify(
+        &self,
+        policy: ConflictPolicy,
+        txn: TxnId,
+        call: &OpCall,
+        fairness_extra: &[(TxnId, OpCall)],
+    ) -> Classification {
+        let mut conflicts: Vec<TxnId> = Vec::new();
+        let mut commit_deps: Vec<TxnId> = Vec::new();
+
+        for entry in &self.log {
+            if entry.txn == txn {
+                continue;
+            }
+            match self.effective(policy, call, &entry.call) {
+                Compatibility::Commutative => {}
+                Compatibility::Recoverable => {
+                    if !commit_deps.contains(&entry.txn) {
+                        commit_deps.push(entry.txn);
+                    }
+                }
+                Compatibility::NonRecoverable => {
+                    if !conflicts.contains(&entry.txn) {
+                        conflicts.push(entry.txn);
+                    }
+                }
+            }
+        }
+        for (other, other_call) in fairness_extra {
+            if *other == txn {
+                continue;
+            }
+            // Fairness is a *symmetric* conflict test between two pending
+            // requests: the incoming request waits if either order of the
+            // two operations would be non-recoverable. This is what stops an
+            // incoming operation from overtaking (and thereby starving) a
+            // blocked request it conflicts with — e.g. a new reader behind a
+            // blocked writer under commutativity, or a new writer behind a
+            // blocked reader under recoverability.
+            let incoming_after_blocked = self.effective(policy, call, other_call);
+            let blocked_after_incoming = self.effective(policy, other_call, call);
+            if (incoming_after_blocked == Compatibility::NonRecoverable
+                || blocked_after_incoming == Compatibility::NonRecoverable)
+                && !conflicts.contains(other)
+            {
+                conflicts.push(*other);
+            }
+        }
+        // A transaction that must be waited on anyway is not listed as a
+        // commit dependency.
+        commit_deps.retain(|t| !conflicts.contains(t));
+        Classification {
+            conflicts,
+            commit_deps,
+        }
+    }
+
+    fn effective(&self, policy: ConflictPolicy, requested: &OpCall, executed: &OpCall) -> Compatibility {
+        let c = self.committed.classify(requested, executed);
+        match (policy, c) {
+            (ConflictPolicy::CommutativityOnly, Compatibility::Recoverable) => {
+                Compatibility::NonRecoverable
+            }
+            (_, c) => c,
+        }
+    }
+
+    /// Execute an admitted operation for `txn`, computing its result
+    /// according to the recovery strategy and appending it to the log.
+    pub fn execute(&mut self, txn: TxnId, seq: u64, call: OpCall) -> OpResult {
+        let result = match self.strategy {
+            RecoveryStrategy::IntentionsList => {
+                // Result computed against the committed state plus this
+                // transaction's own earlier operations on this object.
+                let mut probe = self.committed.boxed_clone();
+                for entry in self.log.iter().filter(|e| e.txn == txn) {
+                    let _ = probe.apply(&entry.call);
+                }
+                probe.apply(&call)
+            }
+            RecoveryStrategy::UndoReplay => {
+                let materialized = self
+                    .materialized
+                    .as_mut()
+                    .expect("undo-replay keeps a materialized state");
+                materialized.apply(&call)
+            }
+        };
+        self.log.push(LogEntry {
+            txn,
+            seq,
+            call,
+            result: result.clone(),
+        });
+        result
+    }
+
+    /// Fold all of `txn`'s logged operations into the committed state (in
+    /// execution order) and drop them from the log. Called at *actual*
+    /// commit, which the commit protocol guarantees happens in
+    /// commit-dependency order.
+    pub fn commit_txn(&mut self, txn: TxnId) {
+        let mut remaining = Vec::with_capacity(self.log.len());
+        for entry in self.log.drain(..) {
+            if entry.txn == txn {
+                let folded = self.committed.apply(&entry.call);
+                debug_assert_eq!(
+                    folded, entry.result,
+                    "soundness violation: folding {} for {} produced a different result",
+                    entry.call, entry.txn
+                );
+            } else {
+                remaining.push(entry);
+            }
+        }
+        self.log = remaining;
+        // The materialized state already contains the committed operations;
+        // nothing to do for undo-replay.
+    }
+
+    /// Remove all of `txn`'s logged operations (abort). Under undo-replay
+    /// the materialized state is rebuilt by replaying the surviving log over
+    /// the committed state — a semantic undo that never clobbers the effects
+    /// of later, recoverable operations.
+    pub fn abort_txn(&mut self, txn: TxnId) {
+        let had_ops = self.log.iter().any(|e| e.txn == txn);
+        self.log.retain(|e| e.txn != txn);
+        if !had_ops {
+            return;
+        }
+        if self.strategy == RecoveryStrategy::UndoReplay {
+            let mut rebuilt = self.committed.boxed_clone();
+            for entry in &self.log {
+                let replayed = rebuilt.apply(&entry.call);
+                debug_assert_eq!(
+                    replayed, entry.result,
+                    "soundness violation: replaying {} for {} after an abort changed its result",
+                    entry.call, entry.txn
+                );
+            }
+            self.materialized = Some(rebuilt);
+        }
+    }
+
+    /// Append a blocked request to the FIFO queue.
+    pub fn push_blocked(&mut self, txn: TxnId, call: OpCall) {
+        self.blocked.push_back(BlockedRequest { txn, call });
+    }
+
+    /// Remove the blocked request belonging to `txn`, if any.
+    pub fn remove_blocked(&mut self, txn: TxnId) -> Option<BlockedRequest> {
+        let idx = self.blocked.iter().position(|r| r.txn == txn)?;
+        self.blocked.remove(idx)
+    }
+
+    /// Drain the blocked queue (used by the kernel's retry loop).
+    pub fn take_blocked(&mut self) -> Vec<BlockedRequest> {
+        self.blocked.drain(..).collect()
+    }
+
+    /// The `(transaction, call)` pairs of the current blocked queue, used as
+    /// the fairness set for new incoming requests.
+    pub fn blocked_pairs(&self) -> Vec<(TxnId, OpCall)> {
+        self.blocked
+            .iter()
+            .map(|r| (r.txn, r.call.clone()))
+            .collect()
+    }
+
+    /// Transactions that currently hold at least one operation in the log.
+    pub fn holders(&self) -> Vec<TxnId> {
+        let mut out: Vec<TxnId> = Vec::new();
+        for e in &self.log {
+            if !out.contains(&e.txn) {
+                out.push(e.txn);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbcc_adt::{AdtObject, AdtOp, Stack, StackOp, Value};
+
+    fn stack_object(strategy: RecoveryStrategy) -> ManagedObject {
+        ManagedObject::new(
+            ObjectId(0),
+            "s",
+            Box::new(AdtObject::new(Stack::new())),
+            strategy,
+        )
+    }
+
+    fn push(v: i64) -> OpCall {
+        StackOp::Push(Value::Int(v)).to_call()
+    }
+
+    fn pop() -> OpCall {
+        StackOp::Pop.to_call()
+    }
+
+    fn top() -> OpCall {
+        StackOp::Top.to_call()
+    }
+
+    #[test]
+    fn object_id_display() {
+        assert_eq!(ObjectId(3).to_string(), "O3");
+    }
+
+    #[test]
+    fn classification_distinguishes_conflicts_and_commit_deps() {
+        let mut obj = stack_object(RecoveryStrategy::IntentionsList);
+        obj.execute(TxnId(1), 1, push(4));
+        // Requested by T2: another push is recoverable -> commit dep on T1.
+        let c = obj.classify(ConflictPolicy::Recoverability, TxnId(2), &push(2), &[]);
+        assert_eq!(c.conflicts, vec![]);
+        assert_eq!(c.commit_deps, vec![TxnId(1)]);
+        assert!(!c.is_free());
+        // A pop requested by T2 conflicts with T1's uncommitted push.
+        let c = obj.classify(ConflictPolicy::Recoverability, TxnId(2), &pop(), &[]);
+        assert_eq!(c.conflicts, vec![TxnId(1)]);
+        assert!(c.commit_deps.is_empty());
+        // T1's own operations never conflict with its next request.
+        let c = obj.classify(ConflictPolicy::Recoverability, TxnId(1), &pop(), &[]);
+        assert!(c.is_free());
+    }
+
+    #[test]
+    fn commutativity_only_policy_demotes_recoverable_to_conflict() {
+        let mut obj = stack_object(RecoveryStrategy::IntentionsList);
+        obj.execute(TxnId(1), 1, push(4));
+        let c = obj.classify(ConflictPolicy::CommutativityOnly, TxnId(2), &push(2), &[]);
+        assert_eq!(c.conflicts, vec![TxnId(1)]);
+        assert!(c.commit_deps.is_empty());
+    }
+
+    #[test]
+    fn conflicting_holder_is_not_also_a_commit_dependency() {
+        let mut obj = stack_object(RecoveryStrategy::IntentionsList);
+        // T1 executes a top (recoverable target for pushes) and a push.
+        obj.execute(TxnId(1), 1, top());
+        obj.execute(TxnId(1), 2, push(1));
+        // A pop by T2 conflicts with T1's push and is recoverable relative
+        // to T1's top; T1 must appear only in `conflicts`.
+        let c = obj.classify(ConflictPolicy::Recoverability, TxnId(2), &pop(), &[]);
+        assert_eq!(c.conflicts, vec![TxnId(1)]);
+        assert!(c.commit_deps.is_empty());
+    }
+
+    #[test]
+    fn fairness_extra_requests_can_block() {
+        let obj = stack_object(RecoveryStrategy::IntentionsList);
+        // Empty log, but a blocked pop by T1 is ahead; an incoming pop by T2
+        // conflicts with it.
+        let fairness = vec![(TxnId(1), pop())];
+        let c = obj.classify(ConflictPolicy::Recoverability, TxnId(2), &pop(), &fairness);
+        assert_eq!(c.conflicts, vec![TxnId(1)]);
+        // An incoming push also waits: executing it would further delay the
+        // blocked pop (the fairness test is symmetric).
+        let c = obj.classify(ConflictPolicy::Recoverability, TxnId(2), &push(5), &fairness);
+        assert_eq!(c.conflicts, vec![TxnId(1)]);
+        // ... while a blocked top does not hold up an incoming top.
+        let c = obj.classify(
+            ConflictPolicy::Recoverability,
+            TxnId(2),
+            &top(),
+            &[(TxnId(1), top())],
+        );
+        assert!(c.conflicts.is_empty());
+        // a transaction is never blocked behind its own queued request
+        let c = obj.classify(ConflictPolicy::Recoverability, TxnId(1), &pop(), &fairness);
+        assert!(c.conflicts.is_empty());
+    }
+
+    #[test]
+    fn intentions_list_results_ignore_other_transactions() {
+        let mut obj = stack_object(RecoveryStrategy::IntentionsList);
+        // T1 pushes 4; T2 pushes 2; both see "ok", and the committed state
+        // stays empty until commit.
+        assert_eq!(obj.execute(TxnId(1), 1, push(4)), OpResult::Ok);
+        assert_eq!(obj.execute(TxnId(2), 2, push(2)), OpResult::Ok);
+        assert_eq!(obj.log_len(), 2);
+        // T1's own pop (intentions view) sees its own push only.
+        assert_eq!(
+            obj.execute(TxnId(1), 3, pop()),
+            OpResult::Value(Value::Int(4))
+        );
+        // committed state still empty
+        assert!(obj
+            .committed_state()
+            .state_eq(obj.initial_state()));
+    }
+
+    #[test]
+    fn undo_replay_results_see_the_materialized_state() {
+        let mut obj = stack_object(RecoveryStrategy::UndoReplay);
+        assert_eq!(obj.execute(TxnId(1), 1, push(4)), OpResult::Ok);
+        assert_eq!(obj.execute(TxnId(2), 2, push(2)), OpResult::Ok);
+        // Commit both in dependency order and check the committed state.
+        obj.commit_txn(TxnId(1));
+        obj.commit_txn(TxnId(2));
+        assert_eq!(obj.log_len(), 0);
+        let committed = obj
+            .committed_state()
+            .as_any()
+            .downcast_ref::<AdtObject<Stack>>()
+            .expect("stack object");
+        assert_eq!(
+            committed.inner().items(),
+            &[Value::Int(4), Value::Int(2)],
+            "commit order reproduces execution order"
+        );
+    }
+
+    #[test]
+    fn abort_discards_only_the_aborting_transactions_effects() {
+        for strategy in [RecoveryStrategy::IntentionsList, RecoveryStrategy::UndoReplay] {
+            let mut obj = stack_object(strategy);
+            obj.execute(TxnId(1), 1, push(4));
+            obj.execute(TxnId(2), 2, push(2));
+            obj.abort_txn(TxnId(1));
+            assert_eq!(obj.log_len(), 1);
+            obj.commit_txn(TxnId(2));
+            let committed = obj
+                .committed_state()
+                .as_any()
+                .downcast_ref::<AdtObject<Stack>>()
+                .expect("stack object");
+            assert_eq!(
+                committed.inner().items(),
+                &[Value::Int(2)],
+                "strategy {strategy:?}: only T2's push survives"
+            );
+            // aborting a transaction with no operations is a no-op
+            obj.abort_txn(TxnId(9));
+        }
+    }
+
+    #[test]
+    fn blocked_queue_operations() {
+        let mut obj = stack_object(RecoveryStrategy::IntentionsList);
+        assert_eq!(obj.blocked_len(), 0);
+        obj.push_blocked(TxnId(1), pop());
+        obj.push_blocked(TxnId(2), top());
+        assert_eq!(obj.blocked_len(), 2);
+        assert_eq!(obj.blocked_pairs().len(), 2);
+        assert_eq!(obj.blocked_queue().len(), 2);
+        let removed = obj.remove_blocked(TxnId(1)).expect("present");
+        assert_eq!(removed.txn, TxnId(1));
+        assert_eq!(obj.remove_blocked(TxnId(1)), None);
+        let drained = obj.take_blocked();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].txn, TxnId(2));
+        assert_eq!(obj.blocked_len(), 0);
+    }
+
+    #[test]
+    fn holders_lists_each_transaction_once() {
+        let mut obj = stack_object(RecoveryStrategy::IntentionsList);
+        obj.execute(TxnId(1), 1, push(1));
+        obj.execute(TxnId(1), 2, push(2));
+        obj.execute(TxnId(2), 3, push(3));
+        assert_eq!(obj.holders(), vec![TxnId(1), TxnId(2)]);
+        assert_eq!(obj.log().len(), 3);
+        assert!(format!("{obj:?}").contains("log_len"));
+        assert_eq!(obj.name(), "s");
+        assert_eq!(obj.id(), ObjectId(0));
+    }
+}

@@ -1,0 +1,128 @@
+//! Kernel-level counters.
+//!
+//! These are the raw counts the simulation study turns into its performance
+//! metrics (blocking ratio, restart ratio, cycle-check ratio, …); they are
+//! also handy for applications that want visibility into how much extra
+//! concurrency recoverability is buying them.
+
+/// Monotonically increasing counters maintained by the kernel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Transactions begun.
+    pub transactions_begun: u64,
+    /// Operation requests received (excluding internal retries of blocked
+    /// requests).
+    pub requests: u64,
+    /// Operations actually executed (including executions that happen when a
+    /// blocked request is finally admitted).
+    pub operations_executed: u64,
+    /// Times a transaction transitioned to the blocked state because a new
+    /// request conflicted (retries that remain blocked are not re-counted).
+    pub blocks: u64,
+    /// Times a blocked transaction's pending request was admitted.
+    pub unblocks: u64,
+    /// Commit-dependency edges created (one per (requester, holder) pair per
+    /// admitted recoverable request).
+    pub commit_dependencies: u64,
+    /// Actual commits.
+    pub commits: u64,
+    /// Pseudo-commits (every pseudo-committed transaction later also counts
+    /// one actual commit).
+    pub pseudo_commits: u64,
+    /// Aborts because blocking would have closed a (deadlock) cycle.
+    pub aborts_deadlock: u64,
+    /// Aborts because a recoverable execution would have closed a
+    /// commit-dependency cycle.
+    pub aborts_commit_cycle: u64,
+    /// Aborts of transactions chosen as victims on behalf of another
+    /// requester (only under `VictimPolicy::Youngest`).
+    pub aborts_victim: u64,
+    /// Explicit, application-requested aborts.
+    pub aborts_explicit: u64,
+}
+
+impl KernelStats {
+    /// Total aborts of every kind.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts_deadlock + self.aborts_commit_cycle + self.aborts_victim + self.aborts_explicit
+    }
+
+    /// Aborts caused by the scheduler (everything except explicit aborts).
+    pub fn scheduler_aborts(&self) -> u64 {
+        self.aborts_deadlock + self.aborts_commit_cycle + self.aborts_victim
+    }
+
+    /// Blocks per commit (the paper's *blocking ratio*); zero when nothing
+    /// has committed yet.
+    pub fn blocking_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.blocks as f64 / self.commits as f64
+        }
+    }
+
+    /// Scheduler aborts per commit.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.scheduler_aborts() as f64 / self.commits as f64
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "txns={} requests={} executed={} blocks={} unblocks={} commit-deps={} commits={} pseudo={} aborts(deadlock={}, cycle={}, victim={}, explicit={})",
+            self.transactions_begun,
+            self.requests,
+            self.operations_executed,
+            self.blocks,
+            self.unblocks,
+            self.commit_dependencies,
+            self.commits,
+            self.pseudo_commits,
+            self.aborts_deadlock,
+            self.aborts_commit_cycle,
+            self.aborts_victim,
+            self.aborts_explicit,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratios() {
+        let mut s = KernelStats::default();
+        assert_eq!(s.total_aborts(), 0);
+        assert_eq!(s.blocking_ratio(), 0.0);
+        assert_eq!(s.abort_ratio(), 0.0);
+
+        s.blocks = 10;
+        s.commits = 4;
+        s.aborts_deadlock = 1;
+        s.aborts_commit_cycle = 2;
+        s.aborts_victim = 1;
+        s.aborts_explicit = 5;
+        assert_eq!(s.total_aborts(), 9);
+        assert_eq!(s.scheduler_aborts(), 4);
+        assert!((s.blocking_ratio() - 2.5).abs() < 1e-9);
+        assert!((s.abort_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_mentions_key_counters() {
+        let s = KernelStats {
+            commits: 3,
+            pseudo_commits: 2,
+            ..KernelStats::default()
+        };
+        let text = s.summary();
+        assert!(text.contains("commits=3"));
+        assert!(text.contains("pseudo=2"));
+    }
+}

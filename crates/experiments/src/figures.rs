@@ -1,0 +1,429 @@
+//! Figures 4–18: the simulation sweeps behind every figure of the paper's
+//! evaluation section, reproduced as numeric series.
+
+use crate::output::SeriesTable;
+use sbcc_core::ConflictPolicy;
+use sbcc_sim::{run_averaged, AggregatedResult, DataModel, ResourceMode, SimParams};
+use std::collections::HashMap;
+
+/// Which metric a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Completed transactions per second.
+    Throughput,
+    /// Mean response time in seconds.
+    ResponseTime,
+    /// Blocking events per completed transaction.
+    BlockingRatio,
+    /// Restarts per completed transaction.
+    RestartRatio,
+    /// Cycle-detection invocations per completed transaction.
+    CycleCheckRatio,
+    /// Mean operations executed at abort time.
+    AbortLength,
+}
+
+impl Metric {
+    /// Column suffix for this metric.
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            Metric::Throughput => "tput",
+            Metric::ResponseTime => "resp",
+            Metric::BlockingRatio => "BR",
+            Metric::RestartRatio => "RR",
+            Metric::CycleCheckRatio => "CCR",
+            Metric::AbortLength => "AL",
+        }
+    }
+
+    /// Extract the metric's mean from an aggregated result.
+    pub fn extract(&self, result: &AggregatedResult) -> f64 {
+        match self {
+            Metric::Throughput => result.throughput.mean,
+            Metric::ResponseTime => result.response_time.mean,
+            Metric::BlockingRatio => result.blocking_ratio.mean,
+            Metric::RestartRatio => result.restart_ratio.mean,
+            Metric::CycleCheckRatio => result.cycle_check_ratio.mean,
+            Metric::AbortLength => result.abort_length.mean,
+        }
+    }
+}
+
+/// One curve of a figure: a label and the parameters that stay fixed while
+/// the multiprogramming level sweeps.
+#[derive(Debug, Clone)]
+pub struct SeriesSpec {
+    /// Curve label (e.g. `"recoverability"` or `"Pc=4, Pr=8"`).
+    pub label: String,
+    /// Base parameters for the curve.
+    pub params: SimParams,
+}
+
+/// Sweep scale: how many completions and runs per point, and which
+/// multiprogramming levels.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Completed transactions per run.
+    pub completions: u64,
+    /// Independent runs per point.
+    pub runs: usize,
+    /// Multiprogramming levels to sweep.
+    pub mpl_levels: Vec<usize>,
+}
+
+impl Scale {
+    /// The paper's full scale: 50 000 completions, 10 runs per point.
+    pub fn full() -> Self {
+        Scale {
+            completions: 50_000,
+            runs: 10,
+            mpl_levels: crate::tables::PAPER_MPL_LEVELS.to_vec(),
+        }
+    }
+
+    /// The default reproduction scale: 50 000 completions, 3 runs per point.
+    pub fn default_scale() -> Self {
+        Scale {
+            completions: 50_000,
+            runs: 3,
+            mpl_levels: crate::tables::PAPER_MPL_LEVELS.to_vec(),
+        }
+    }
+
+    /// A quick smoke-test scale for CI and benchmarks.
+    pub fn quick() -> Self {
+        Scale {
+            completions: 2_000,
+            runs: 1,
+            mpl_levels: vec![10, 25, 50, 100],
+        }
+    }
+}
+
+/// Runs sweeps with memoisation so figures sharing a sweep (e.g. Figures
+/// 4–7) only pay for it once.
+#[derive(Debug)]
+pub struct FigureRunner {
+    scale: Scale,
+    cache: HashMap<String, AggregatedResult>,
+}
+
+impl FigureRunner {
+    /// Create a runner at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        FigureRunner {
+            scale,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The runner's scale.
+    pub fn scale(&self) -> &Scale {
+        &self.scale
+    }
+
+    /// Aggregated result for one parameter point (memoised).
+    pub fn point(&mut self, params: &SimParams) -> AggregatedResult {
+        let mut p = params.clone();
+        p.target_completions = self.scale.completions;
+        let key = format!("{p:?}|runs={}", self.scale.runs);
+        if let Some(cached) = self.cache.get(&key) {
+            return cached.clone();
+        }
+        let result = run_averaged(&p, self.scale.runs);
+        self.cache.insert(key, result.clone());
+        result
+    }
+
+    /// Build the result table for a set of series and metrics.
+    pub fn sweep(&mut self, series: &[SeriesSpec], metrics: &[Metric]) -> SeriesTable {
+        let mut columns = Vec::new();
+        for s in series {
+            for m in metrics {
+                if metrics.len() == 1 {
+                    columns.push(s.label.clone());
+                } else {
+                    columns.push(format!("{} {}", s.label, m.suffix()));
+                }
+            }
+        }
+        let mut table = SeriesTable::new("mpl", columns);
+        let levels = self.scale.mpl_levels.clone();
+        for mpl in levels {
+            let mut row = Vec::new();
+            for s in series {
+                let mut p = s.params.clone();
+                p.mpl_level = mpl;
+                let agg = self.point(&p);
+                for m in metrics {
+                    row.push(m.extract(&agg));
+                }
+            }
+            table.push_row(mpl.to_string(), row);
+        }
+        table
+    }
+}
+
+/// Identifier of one of the paper's figures (4–18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FigureId(pub usize);
+
+impl FigureId {
+    /// All figure numbers in the paper's evaluation.
+    pub fn all() -> Vec<FigureId> {
+        (4..=18).map(FigureId).collect()
+    }
+
+    /// Parse a figure number; returns `None` when out of range.
+    pub fn from_number(n: usize) -> Option<FigureId> {
+        if (4..=18).contains(&n) {
+            Some(FigureId(n))
+        } else {
+            None
+        }
+    }
+
+    /// The figure's caption in the paper.
+    pub fn title(&self) -> &'static str {
+        match self.0 {
+            4 => "Figure 4 — Throughput (infinite resources), read/write model",
+            5 => "Figure 5 — Response time (infinite resources), read/write model",
+            6 => "Figure 6 — Conflict ratios (infinite resources), read/write model",
+            7 => "Figure 7 — Cycle check ratio and abort length (infinite resources), read/write model",
+            8 => "Figure 8 — Throughput (infinite resources), read/write model, no fair scheduling",
+            9 => "Figure 9 — Conflict ratios (infinite resources), read/write model, no fair scheduling",
+            10 => "Figure 10 — Throughput (5 resource units), read/write model",
+            11 => "Figure 11 — Throughput (1 resource unit), read/write model",
+            12 => "Figure 12 — Conflict ratios (5 resource units), read/write model",
+            13 => "Figure 13 — Cycle check ratio and abort length (5 resource units), read/write model",
+            14 => "Figure 14 — Throughput (infinite resources), ADT model, Pc=4",
+            15 => "Figure 15 — Throughput (infinite resources), ADT model, Pc=2",
+            16 => "Figure 16 — Conflict ratios (infinite resources), ADT model, Pc=4",
+            17 => "Figure 17 — Throughput (5 resource units), ADT model, Pc=4",
+            18 => "Figure 18 — Throughput (1 resource unit), ADT model, Pc=4",
+            _ => "unknown figure",
+        }
+    }
+
+    /// The metrics this figure plots.
+    pub fn metrics(&self) -> Vec<Metric> {
+        match self.0 {
+            4 | 8 | 10 | 11 | 14 | 15 | 17 | 18 => vec![Metric::Throughput],
+            5 => vec![Metric::ResponseTime],
+            6 | 9 | 12 | 16 => vec![Metric::BlockingRatio, Metric::RestartRatio],
+            7 | 13 => vec![Metric::CycleCheckRatio, Metric::AbortLength],
+            _ => vec![Metric::Throughput],
+        }
+    }
+
+    /// The series (curves) this figure plots.
+    pub fn series(&self) -> Vec<SeriesSpec> {
+        match self.0 {
+            // Read/write model, fair scheduling, infinite resources.
+            4..=7 => rw_policy_series(ResourceMode::Infinite, true),
+            // No fair scheduling.
+            8 | 9 => rw_policy_series(ResourceMode::Infinite, false),
+            // Finite resources.
+            10 | 12 | 13 => rw_policy_series(ResourceMode::Finite { resource_units: 5 }, true),
+            11 => rw_policy_series(ResourceMode::Finite { resource_units: 1 }, true),
+            // ADT model.
+            14 | 16 => adt_series(4, ResourceMode::Infinite),
+            15 => adt_series(2, ResourceMode::Infinite),
+            17 => adt_series(4, ResourceMode::Finite { resource_units: 5 }),
+            18 => adt_series(4, ResourceMode::Finite { resource_units: 1 }),
+            _ => vec![],
+        }
+    }
+
+    /// Run the figure at the runner's scale.
+    pub fn build(&self, runner: &mut FigureRunner) -> Figure {
+        let table = runner.sweep(&self.series(), &self.metrics());
+        Figure {
+            id: self.0,
+            title: self.title().to_owned(),
+            table,
+        }
+    }
+}
+
+fn rw_policy_series(resources: ResourceMode, fair: bool) -> Vec<SeriesSpec> {
+    [
+        ConflictPolicy::CommutativityOnly,
+        ConflictPolicy::Recoverability,
+    ]
+    .into_iter()
+    .map(|policy| SeriesSpec {
+        label: policy.label().to_owned(),
+        params: SimParams {
+            policy,
+            data_model: DataModel::read_write(),
+            resource_mode: resources,
+            fair_scheduling: fair,
+            ..SimParams::default()
+        },
+    })
+    .collect()
+}
+
+fn adt_series(p_c: usize, resources: ResourceMode) -> Vec<SeriesSpec> {
+    [0usize, 4, 8]
+        .into_iter()
+        .map(|p_r| SeriesSpec {
+            label: format!("Pc={p_c}, Pr={p_r}"),
+            params: SimParams {
+                policy: ConflictPolicy::Recoverability,
+                data_model: DataModel::abstract_adt(p_c, p_r),
+                resource_mode: resources,
+                fair_scheduling: true,
+                ..SimParams::default()
+            },
+        })
+        .collect()
+}
+
+/// A reproduced figure: its number, title and numeric series.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure number in the paper.
+    pub id: usize,
+    /// Caption.
+    pub title: String,
+    /// The numeric series (rows = multiprogramming levels).
+    pub table: SeriesTable,
+}
+
+impl Figure {
+    /// Render as plain text.
+    pub fn render_text(&self) -> String {
+        format!("{}\n{}", self.title, self.table.render_text())
+    }
+
+    /// Render as CSV (with a comment line carrying the title).
+    pub fn render_csv(&self) -> String {
+        format!("# {}\n{}", self.title, self.table.render_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_ids_cover_4_to_18() {
+        assert_eq!(FigureId::all().len(), 15);
+        assert!(FigureId::from_number(3).is_none());
+        assert!(FigureId::from_number(19).is_none());
+        for id in FigureId::all() {
+            assert!(!id.title().is_empty());
+            assert!(!id.metrics().is_empty());
+            assert!(!id.series().is_empty());
+        }
+    }
+
+    #[test]
+    fn series_specs_match_the_papers_setups() {
+        let f4 = FigureId(4).series();
+        assert_eq!(f4.len(), 2);
+        assert_eq!(f4[0].params.policy, ConflictPolicy::CommutativityOnly);
+        assert_eq!(f4[1].params.policy, ConflictPolicy::Recoverability);
+        assert!(f4.iter().all(|s| s.params.fair_scheduling));
+        assert!(f4
+            .iter()
+            .all(|s| s.params.resource_mode == ResourceMode::Infinite));
+
+        let f8 = FigureId(8).series();
+        assert!(f8.iter().all(|s| !s.params.fair_scheduling));
+
+        let f10 = FigureId(10).series();
+        assert!(f10
+            .iter()
+            .all(|s| s.params.resource_mode == ResourceMode::Finite { resource_units: 5 }));
+
+        let f15 = FigureId(15).series();
+        assert_eq!(f15.len(), 3);
+        assert!(f15[2].label.contains("Pr=8"));
+        match f15[2].params.data_model {
+            DataModel::AbstractAdt { p_c, p_r, .. } => {
+                assert_eq!(p_c, 2);
+                assert_eq!(p_r, 8);
+            }
+            _ => panic!("ADT model expected"),
+        }
+
+        let f18 = FigureId(18).series();
+        assert!(f18
+            .iter()
+            .all(|s| s.params.resource_mode == ResourceMode::Finite { resource_units: 1 }));
+    }
+
+    #[test]
+    fn metric_extraction_and_suffixes() {
+        use sbcc_sim::SimulationResult;
+        let runs = vec![SimulationResult {
+            completed: 10,
+            full_commit_completions: 10,
+            pseudo_commit_completions: 0,
+            sim_time: 1.0,
+            throughput: 10.0,
+            response_time: 0.5,
+            blocking_ratio: 0.1,
+            restart_ratio: 0.2,
+            cycle_check_ratio: 0.3,
+            abort_length: 4.0,
+            blocks: 1,
+            restarts: 2,
+            cycle_checks: 3,
+            commit_dependencies: 4,
+        }];
+        let agg = AggregatedResult::from_runs(&runs);
+        assert_eq!(Metric::Throughput.extract(&agg), 10.0);
+        assert_eq!(Metric::ResponseTime.extract(&agg), 0.5);
+        assert_eq!(Metric::BlockingRatio.extract(&agg), 0.1);
+        assert_eq!(Metric::RestartRatio.extract(&agg), 0.2);
+        assert_eq!(Metric::CycleCheckRatio.extract(&agg), 0.3);
+        assert_eq!(Metric::AbortLength.extract(&agg), 4.0);
+        for m in [
+            Metric::Throughput,
+            Metric::ResponseTime,
+            Metric::BlockingRatio,
+            Metric::RestartRatio,
+            Metric::CycleCheckRatio,
+            Metric::AbortLength,
+        ] {
+            assert!(!m.suffix().is_empty());
+        }
+    }
+
+    #[test]
+    fn tiny_figure_build_produces_rows_and_caches() {
+        // A miniature scale so the test stays fast.
+        let scale = Scale {
+            completions: 150,
+            runs: 1,
+            mpl_levels: vec![5, 10],
+        };
+        let mut runner = FigureRunner::new(scale);
+        // shrink the database/terminal count for speed
+        let mut series = FigureId(4).series();
+        for s in &mut series {
+            s.params.db_size = 60;
+            s.params.num_terminals = 20;
+        }
+        let table = runner.sweep(&series, &[Metric::Throughput]);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.columns.len(), 2);
+        // second sweep over the same params hits the cache (same values)
+        let table2 = runner.sweep(&series, &[Metric::Throughput]);
+        assert_eq!(table, table2);
+        assert_eq!(runner.scale().runs, 1);
+    }
+
+    #[test]
+    fn scales() {
+        assert_eq!(Scale::full().completions, 50_000);
+        assert_eq!(Scale::full().runs, 10);
+        assert_eq!(Scale::default_scale().runs, 3);
+        assert!(Scale::quick().completions < Scale::default_scale().completions);
+    }
+}

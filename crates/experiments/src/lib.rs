@@ -1,0 +1,25 @@
+//! # sbcc-experiments — reproducing the paper's tables and figures
+//!
+//! The `repro` binary regenerates every table (I–X) and figure (4–18) of
+//! *Semantics-Based Concurrency Control: Beyond Commutativity*. This library
+//! part holds the machinery so it can be unit-tested and reused by the
+//! benchmark crate:
+//!
+//! * [`tables`] — renders the compatibility tables (Tables I–VIII) straight
+//!   from the data-type definitions and the parameter tables (IX and X) from
+//!   [`sbcc_sim::SimParams`];
+//! * [`figures`] — runs the simulation sweeps behind Figures 4–18 and
+//!   formats them as the series the paper plots;
+//! * [`summary`] — recomputes the Section 5.6 headline claims (peak
+//!   throughput improvements, thrashing onset, ratio orderings).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod output;
+pub mod summary;
+pub mod tables;
+
+pub use figures::{Figure, FigureId, Scale, SeriesSpec};
+pub use output::{format_table, SeriesTable};

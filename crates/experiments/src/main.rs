@@ -1,0 +1,212 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --table N            print Table N (1–10)
+//! repro --figure N           reproduce Figure N (4–18)
+//! repro --figures            reproduce every figure
+//! repro --summary            recompute the Section 5.6 headline claims
+//! repro --all                tables + figures + summary
+//!
+//! scale options:
+//!   --quick                  2 000 completions, 1 run, mpl ∈ {10,25,50,100}
+//!   --full                   50 000 completions, 10 runs (the paper's scale)
+//!   --runs R                 override the number of runs per point
+//!   --completions C          override the completions per run
+//!   --mpl a,b,c              override the multiprogramming levels
+//!   --csv                    emit CSV instead of aligned text
+//! ```
+
+use sbcc_experiments::figures::{FigureId, FigureRunner, Scale};
+use sbcc_experiments::summary::compute_summary;
+use sbcc_experiments::tables::render_table;
+use std::process::ExitCode;
+
+#[derive(Debug, Default)]
+struct Args {
+    tables: Vec<usize>,
+    figures: Vec<usize>,
+    all_figures: bool,
+    summary: bool,
+    all: bool,
+    quick: bool,
+    full: bool,
+    runs: Option<usize>,
+    completions: Option<u64>,
+    mpl: Option<Vec<usize>>,
+    csv: bool,
+    help: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].as_str();
+        let take_value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {arg}"))
+        };
+        match arg {
+            "--table" | "-t" => {
+                let v = take_value(&mut i)?;
+                args.tables
+                    .push(v.parse().map_err(|_| format!("invalid table number {v:?}"))?);
+            }
+            "--figure" | "-f" => {
+                let v = take_value(&mut i)?;
+                args.figures
+                    .push(v.parse().map_err(|_| format!("invalid figure number {v:?}"))?);
+            }
+            "--figures" => args.all_figures = true,
+            "--summary" => args.summary = true,
+            "--all" => args.all = true,
+            "--quick" => args.quick = true,
+            "--full" => args.full = true,
+            "--csv" => args.csv = true,
+            "--runs" => {
+                let v = take_value(&mut i)?;
+                args.runs = Some(v.parse().map_err(|_| format!("invalid run count {v:?}"))?);
+            }
+            "--completions" => {
+                let v = take_value(&mut i)?;
+                args.completions =
+                    Some(v.parse().map_err(|_| format!("invalid completion count {v:?}"))?);
+            }
+            "--mpl" => {
+                let v = take_value(&mut i)?;
+                let levels: Result<Vec<usize>, _> = v.split(',').map(|s| s.trim().parse()).collect();
+                args.mpl = Some(levels.map_err(|_| format!("invalid mpl list {v:?}"))?);
+            }
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn usage() -> &'static str {
+    "repro — reproduce the tables and figures of \"Semantics-Based Concurrency Control: Beyond Commutativity\"\n\
+     \n\
+     usage:\n\
+       repro --table N [--table M ...]      print Table N (1-10)\n\
+       repro --figure N [--figure M ...]    reproduce Figure N (4-18)\n\
+       repro --figures                      reproduce every figure\n\
+       repro --summary                      recompute the Section 5.6 claims\n\
+       repro --all                          tables + figures + summary\n\
+     \n\
+     scale options:\n\
+       --quick             2000 completions, 1 run, mpl in {10,25,50,100}\n\
+       --full              50000 completions, 10 runs per point (paper scale)\n\
+       --runs R            override runs per point\n\
+       --completions C     override completions per run\n\
+       --mpl a,b,c         override the multiprogramming levels\n\
+       --csv               emit CSV instead of aligned text\n"
+}
+
+fn scale_from(args: &Args) -> Scale {
+    let mut scale = if args.quick {
+        Scale::quick()
+    } else if args.full {
+        Scale::full()
+    } else {
+        Scale::default_scale()
+    };
+    if let Some(runs) = args.runs {
+        scale.runs = runs.max(1);
+    }
+    if let Some(completions) = args.completions {
+        scale.completions = completions.max(1);
+    }
+    if let Some(mpl) = &args.mpl {
+        if !mpl.is_empty() {
+            scale.mpl_levels = mpl.clone();
+        }
+    }
+    scale
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help
+        || (args.tables.is_empty()
+            && args.figures.is_empty()
+            && !args.all_figures
+            && !args.summary
+            && !args.all)
+    {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
+    // Tables.
+    let mut tables = args.tables.clone();
+    if args.all {
+        tables = (1..=10).collect();
+    }
+    for n in tables {
+        match render_table(n) {
+            Some(text) => println!("{text}"),
+            None => {
+                eprintln!("error: no such table {n} (valid: 1-10)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Figures and summary share a memoising runner.
+    let wants_figures = args.all || args.all_figures || !args.figures.is_empty();
+    let wants_summary = args.all || args.summary;
+    if !wants_figures && !wants_summary {
+        return ExitCode::SUCCESS;
+    }
+    let scale = scale_from(&args);
+    eprintln!(
+        "# scale: {} completions x {} run(s) per point, mpl levels {:?}",
+        scale.completions, scale.runs, scale.mpl_levels
+    );
+    let mut runner = FigureRunner::new(scale);
+
+    let figure_ids: Vec<FigureId> = if args.all || args.all_figures {
+        FigureId::all()
+    } else {
+        let mut ids = Vec::new();
+        for n in &args.figures {
+            match FigureId::from_number(*n) {
+                Some(id) => ids.push(id),
+                None => {
+                    eprintln!("error: no such figure {n} (valid: 4-18)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        ids
+    };
+
+    for id in figure_ids {
+        eprintln!("# running {}", id.title());
+        let figure = id.build(&mut runner);
+        if args.csv {
+            println!("{}", figure.render_csv());
+        } else {
+            println!("{}\n", figure.render_text());
+        }
+    }
+
+    if wants_summary {
+        eprintln!("# computing the Section 5.6 summary claims");
+        let summary = compute_summary(&mut runner);
+        println!("{}", summary.render_text());
+    }
+
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,158 @@
+//! Plain-text and CSV rendering of experiment results.
+
+/// A rectangular result table: one row per multiprogramming level (or other
+/// x value), one column per series/metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesTable {
+    /// Name of the x column (usually `mpl`).
+    pub x_name: String,
+    /// Column headers (one per series/metric).
+    pub columns: Vec<String>,
+    /// Rows: the x value and one cell per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl SeriesTable {
+    /// Create an empty table with the given column layout.
+    pub fn new(x_name: impl Into<String>, columns: Vec<String>) -> Self {
+        SeriesTable {
+            x_name: x_name.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the number of columns.
+    pub fn push_row(&mut self, x: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match the column count"
+        );
+        self.rows.push((x.into(), values));
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render_text(&self) -> String {
+        format_table(&self.x_name, &self.columns, &self.rows)
+    }
+
+    /// Render as CSV.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_name);
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (x, values) in &self.rows {
+            out.push_str(x);
+            for v in values {
+                out.push(',');
+                out.push_str(&format!("{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The value at a given row (by x value) and column (by header).
+    pub fn value(&self, x: &str, column: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        let row = self.rows.iter().find(|(rx, _)| rx == x)?;
+        row.1.get(col).copied()
+    }
+}
+
+/// Format an aligned text table.
+pub fn format_table(x_name: &str, columns: &[String], rows: &[(String, Vec<f64>)]) -> String {
+    let mut widths: Vec<usize> = Vec::with_capacity(columns.len() + 1);
+    widths.push(
+        rows.iter()
+            .map(|(x, _)| x.len())
+            .chain(std::iter::once(x_name.len()))
+            .max()
+            .unwrap_or(4)
+            + 2,
+    );
+    for (i, c) in columns.iter().enumerate() {
+        let data_width = rows
+            .iter()
+            .map(|(_, vals)| format!("{:.3}", vals[i]).len())
+            .max()
+            .unwrap_or(6);
+        widths.push(c.len().max(data_width) + 2);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{:<width$}", x_name, width = widths[0]));
+    for (i, c) in columns.iter().enumerate() {
+        out.push_str(&format!("{:>width$}", c, width = widths[i + 1]));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>()));
+    out.push('\n');
+    for (x, values) in rows {
+        out.push_str(&format!("{:<width$}", x, width = widths[0]));
+        for (i, v) in values.iter().enumerate() {
+            out.push_str(&format!("{:>width$.3}", v, width = widths[i + 1]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SeriesTable {
+        let mut t = SeriesTable::new(
+            "mpl",
+            vec!["commutativity".to_owned(), "recoverability".to_owned()],
+        );
+        t.push_row("10", vec![20.0, 25.5]);
+        t.push_row("50", vec![48.25, 80.125]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_is_aligned_and_complete() {
+        let text = sample().render_text();
+        assert!(text.contains("mpl"));
+        assert!(text.contains("commutativity"));
+        assert!(text.contains("recoverability"));
+        assert!(text.contains("80.125") || text.contains("80.12"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "mpl,commutativity,recoverability");
+        assert!(lines[1].starts_with("10,20.0000,25.5000"));
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn value_lookup() {
+        let t = sample();
+        assert_eq!(t.value("10", "recoverability"), Some(25.5));
+        assert_eq!(t.value("50", "commutativity"), Some(48.25));
+        assert_eq!(t.value("99", "commutativity"), None);
+        assert_eq!(t.value("10", "bogus"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_rows_are_rejected() {
+        let mut t = SeriesTable::new("x", vec!["a".to_owned()]);
+        t.push_row("1", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,727 @@
+//! The [`DependencyGraph`]: transactions as nodes, typed directed edges.
+//!
+//! Edges always point **from the dependent transaction to the transaction it
+//! depends on**: a blocked transaction points at the holders it waits for,
+//! and a transaction that executed a recoverable operation points at the
+//! transactions that must commit before it. With that orientation the
+//! commit protocol of Section 4.3 becomes: "when a node's commit-dependency
+//! out-degree (to live nodes) drops to zero, a pseudo-committed transaction
+//! may actually commit".
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+/// Trait bound bundle for node identifiers.
+pub trait NodeId: Copy + Eq + Hash + Ord + fmt::Debug {}
+impl<T: Copy + Eq + Hash + Ord + fmt::Debug> NodeId for T {}
+
+/// The two kinds of dependency edges the protocol maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// The source transaction is blocked waiting for the target to
+    /// terminate (classic wait-for edge).
+    WaitFor,
+    /// The source transaction executed an operation that is recoverable
+    /// relative to an uncommitted operation of the target; if both commit,
+    /// the target must commit first.
+    CommitDep,
+}
+
+impl fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeKind::WaitFor => write!(f, "wait-for"),
+            EdgeKind::CommitDep => write!(f, "commit-dep"),
+        }
+    }
+}
+
+/// Per-target edge bookkeeping: how many wait-for and commit-dependency
+/// edges currently point from a source to this target.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct EdgeCounts {
+    wait_for: u32,
+    commit_dep: u32,
+}
+
+impl EdgeCounts {
+    fn get(&self, kind: EdgeKind) -> u32 {
+        match kind {
+            EdgeKind::WaitFor => self.wait_for,
+            EdgeKind::CommitDep => self.commit_dep,
+        }
+    }
+
+    fn get_mut(&mut self, kind: EdgeKind) -> &mut u32 {
+        match kind {
+            EdgeKind::WaitFor => &mut self.wait_for,
+            EdgeKind::CommitDep => &mut self.commit_dep,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.wait_for == 0 && self.commit_dep == 0
+    }
+}
+
+/// A node's adjacency: outgoing and incoming edge multisets.
+#[derive(Debug, Clone)]
+struct Adjacency<N: NodeId> {
+    out: HashMap<N, EdgeCounts>,
+    incoming: HashSet<N>,
+}
+
+impl<N: NodeId> Default for Adjacency<N> {
+    fn default() -> Self {
+        Adjacency {
+            out: HashMap::new(),
+            incoming: HashSet::new(),
+        }
+    }
+}
+
+/// The combined wait-for / commit-dependency graph.
+///
+/// Multiple logical edges between the same ordered pair (e.g. several
+/// recoverable operations against the same holder) are reference counted,
+/// so removing one logical edge does not prematurely drop the dependency.
+#[derive(Debug, Clone)]
+pub struct DependencyGraph<N: NodeId> {
+    nodes: HashMap<N, Adjacency<N>>,
+    cycle_checks: u64,
+}
+
+impl<N: NodeId> Default for DependencyGraph<N> {
+    fn default() -> Self {
+        DependencyGraph::new()
+    }
+}
+
+impl<N: NodeId> DependencyGraph<N> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        DependencyGraph {
+            nodes: HashMap::new(),
+            cycle_checks: 0,
+        }
+    }
+
+    /// Number of nodes currently in the graph.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of distinct directed `(from, to)` pairs with at least one edge.
+    pub fn edge_pair_count(&self) -> usize {
+        self.nodes.values().map(|a| a.out.len()).sum()
+    }
+
+    /// Total number of logical edges (counting multiplicity) of a kind.
+    pub fn edge_count(&self, kind: EdgeKind) -> usize {
+        self.nodes
+            .values()
+            .flat_map(|a| a.out.values())
+            .map(|c| c.get(kind) as usize)
+            .sum()
+    }
+
+    /// `true` if the node is present.
+    pub fn contains_node(&self, n: N) -> bool {
+        self.nodes.contains_key(&n)
+    }
+
+    /// Iterate over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = N> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Insert a node with no edges; a no-op if already present.
+    pub fn add_node(&mut self, n: N) {
+        self.nodes.entry(n).or_default();
+    }
+
+    /// Remove a node together with all incident edges (both directions).
+    ///
+    /// This is what happens when a transaction terminates: "the node that
+    /// corresponds to the terminating transaction together with the edges
+    /// associated with the node is removed from the dependency graph".
+    ///
+    /// Returns `true` if the node was present.
+    pub fn remove_node(&mut self, n: N) -> bool {
+        let Some(adj) = self.nodes.remove(&n) else {
+            return false;
+        };
+        for target in adj.out.keys() {
+            if let Some(t) = self.nodes.get_mut(target) {
+                t.incoming.remove(&n);
+            }
+        }
+        for source in adj.incoming {
+            if let Some(s) = self.nodes.get_mut(&source) {
+                s.out.remove(&n);
+            }
+        }
+        true
+    }
+
+    /// Add one logical edge `from -> to` of the given kind. Both endpoints
+    /// are created if missing. Self-loops are ignored (a transaction never
+    /// depends on itself) and return `false`.
+    pub fn add_edge(&mut self, from: N, to: N, kind: EdgeKind) -> bool {
+        if from == to {
+            return false;
+        }
+        self.add_node(from);
+        self.add_node(to);
+        let from_adj = self.nodes.get_mut(&from).expect("just inserted");
+        *from_adj.out.entry(to).or_default().get_mut(kind) += 1;
+        let to_adj = self.nodes.get_mut(&to).expect("just inserted");
+        to_adj.incoming.insert(from);
+        true
+    }
+
+    /// Remove one logical edge `from -> to` of the given kind (decrement the
+    /// multiplicity). Returns `true` if such an edge existed.
+    pub fn remove_edge(&mut self, from: N, to: N, kind: EdgeKind) -> bool {
+        let Some(from_adj) = self.nodes.get_mut(&from) else {
+            return false;
+        };
+        let Some(counts) = from_adj.out.get_mut(&to) else {
+            return false;
+        };
+        let slot = counts.get_mut(kind);
+        if *slot == 0 {
+            return false;
+        }
+        *slot -= 1;
+        if counts.is_empty() {
+            from_adj.out.remove(&to);
+            if let Some(to_adj) = self.nodes.get_mut(&to) {
+                to_adj.incoming.remove(&from);
+            }
+        }
+        true
+    }
+
+    /// Remove **all** outgoing edges of the given kind from a node
+    /// (regardless of multiplicity). Used when a blocked transaction's
+    /// pending request is retried: its old wait-for edges are dropped before
+    /// the request is re-classified.
+    pub fn clear_out_edges(&mut self, from: N, kind: EdgeKind) {
+        let Some(from_adj) = self.nodes.get_mut(&from) else {
+            return;
+        };
+        let mut emptied = Vec::new();
+        for (to, counts) in from_adj.out.iter_mut() {
+            *counts.get_mut(kind) = 0;
+            if counts.is_empty() {
+                emptied.push(*to);
+            }
+        }
+        for to in &emptied {
+            from_adj.out.remove(to);
+        }
+        for to in emptied {
+            if let Some(to_adj) = self.nodes.get_mut(&to) {
+                to_adj.incoming.remove(&from);
+            }
+        }
+    }
+
+    /// Multiplicity of `from -> to` edges of the given kind.
+    pub fn edge_multiplicity(&self, from: N, to: N, kind: EdgeKind) -> u32 {
+        self.nodes
+            .get(&from)
+            .and_then(|a| a.out.get(&to))
+            .map(|c| c.get(kind))
+            .unwrap_or(0)
+    }
+
+    /// `true` if there is at least one `from -> to` edge of the given kind.
+    pub fn has_edge(&self, from: N, to: N, kind: EdgeKind) -> bool {
+        self.edge_multiplicity(from, to, kind) > 0
+    }
+
+    /// `true` if there is at least one `from -> to` edge of any kind.
+    pub fn has_any_edge(&self, from: N, to: N) -> bool {
+        self.nodes
+            .get(&from)
+            .and_then(|a| a.out.get(&to))
+            .map(|c| !c.is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Outgoing neighbours of a node (any edge kind).
+    pub fn out_neighbors(&self, n: N) -> Vec<N> {
+        self.nodes
+            .get(&n)
+            .map(|a| a.out.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Outgoing neighbours connected by at least one edge of the given kind.
+    pub fn out_neighbors_kind(&self, n: N, kind: EdgeKind) -> Vec<N> {
+        self.nodes
+            .get(&n)
+            .map(|a| {
+                a.out
+                    .iter()
+                    .filter(|(_, c)| c.get(kind) > 0)
+                    .map(|(t, _)| *t)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Incoming neighbours of a node (any edge kind).
+    pub fn in_neighbors(&self, n: N) -> Vec<N> {
+        self.nodes
+            .get(&n)
+            .map(|a| a.incoming.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct targets this node points at (any edge kind).
+    pub fn out_degree(&self, n: N) -> usize {
+        self.nodes.get(&n).map(|a| a.out.len()).unwrap_or(0)
+    }
+
+    /// Number of distinct targets this node points at with the given kind.
+    pub fn out_degree_kind(&self, n: N, kind: EdgeKind) -> usize {
+        self.nodes
+            .get(&n)
+            .map(|a| a.out.values().filter(|c| c.get(kind) > 0).count())
+            .unwrap_or(0)
+    }
+
+    /// Nodes whose out-degree (any kind) is zero. The commit protocol
+    /// commits pseudo-committed transactions exactly when they appear here.
+    pub fn zero_out_degree_nodes(&self) -> Vec<N> {
+        self.nodes
+            .iter()
+            .filter(|(_, a)| a.out.is_empty())
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// How many times a cycle check (`would_close_cycle`, `has_cycle`,
+    /// `find_cycle_through`) has been invoked on this graph. The simulation
+    /// study reports this as the *cycle check ratio*.
+    pub fn cycle_checks(&self) -> u64 {
+        self.cycle_checks
+    }
+
+    /// Reset the cycle-check counter.
+    pub fn reset_cycle_checks(&mut self) {
+        self.cycle_checks = 0;
+    }
+
+    /// Would adding edges `from -> t` (for every `t` in `targets`) close a
+    /// cycle? Equivalently: is `from` reachable from any target using edges
+    /// that satisfy `filter`?
+    ///
+    /// The check is performed **without** mutating the graph, so the caller
+    /// can decide to abort the requester instead of inserting the edges.
+    pub fn would_close_cycle_filtered(
+        &mut self,
+        from: N,
+        targets: &[N],
+        filter: impl Fn(EdgeKind) -> bool,
+    ) -> bool {
+        self.cycle_checks += 1;
+        // Note: a target equal to `from` would be a self-edge, which is
+        // never inserted and therefore cannot close a cycle; it is filtered
+        // out of the search frontier below.
+        let mut stack: Vec<N> = targets.iter().copied().filter(|t| *t != from).collect();
+        let mut visited: HashSet<N> = stack.iter().copied().collect();
+        while let Some(n) = stack.pop() {
+            if n == from {
+                return true;
+            }
+            let Some(adj) = self.nodes.get(&n) else {
+                continue;
+            };
+            for (next, counts) in &adj.out {
+                let passes = (filter(EdgeKind::WaitFor) && counts.wait_for > 0)
+                    || (filter(EdgeKind::CommitDep) && counts.commit_dep > 0);
+                if passes {
+                    if *next == from {
+                        return true;
+                    }
+                    if visited.insert(*next) {
+                        stack.push(*next);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// [`Self::would_close_cycle_filtered`] over both edge kinds.
+    pub fn would_close_cycle(&mut self, from: N, targets: &[N]) -> bool {
+        self.would_close_cycle_filtered(from, targets, |_| true)
+    }
+
+    /// Find a path (over both edge kinds) from any of `starts` to `goal`,
+    /// if one exists. Combined with the edges a requester is about to add,
+    /// the returned path is exactly the set of transactions participating in
+    /// the cycle the request would close — which is what victim-selection
+    /// policies other than "abort the requester" need to inspect.
+    pub fn path_from_any(&self, starts: &[N], goal: N) -> Option<Vec<N>> {
+        let mut parent: HashMap<N, N> = HashMap::new();
+        let mut visited: HashSet<N> = HashSet::new();
+        let mut stack: Vec<N> = Vec::new();
+        for s in starts {
+            if visited.insert(*s) {
+                stack.push(*s);
+            }
+        }
+        while let Some(n) = stack.pop() {
+            if n == goal {
+                let mut path = vec![goal];
+                let mut cur = goal;
+                while let Some(p) = parent.get(&cur) {
+                    cur = *p;
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            let Some(adj) = self.nodes.get(&n) else {
+                continue;
+            };
+            for (next, counts) in &adj.out {
+                if counts.is_empty() {
+                    continue;
+                }
+                if visited.insert(*next) {
+                    parent.insert(*next, n);
+                    stack.push(*next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Full-graph acyclicity check over both edge kinds (used by tests and
+    /// invariant assertions rather than the hot path).
+    pub fn has_cycle(&mut self) -> bool {
+        self.cycle_checks += 1;
+        self.find_cycle_internal(|_| true).is_some()
+    }
+
+    /// Find some cycle (as a node sequence) if one exists, considering only
+    /// edges that satisfy `filter`.
+    pub fn find_cycle(&mut self, filter: impl Fn(EdgeKind) -> bool) -> Option<Vec<N>> {
+        self.cycle_checks += 1;
+        self.find_cycle_internal(filter)
+    }
+
+    fn find_cycle_internal(&self, filter: impl Fn(EdgeKind) -> bool) -> Option<Vec<N>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: HashMap<N, Color> = self.nodes.keys().map(|n| (*n, Color::White)).collect();
+        let mut parent: HashMap<N, N> = HashMap::new();
+
+        // Iterative DFS with explicit stack to avoid recursion depth limits.
+        let node_list: Vec<N> = self.nodes.keys().copied().collect();
+        for root in node_list {
+            if color[&root] != Color::White {
+                continue;
+            }
+            let mut stack = vec![(root, false)];
+            while let Some((n, processed)) = stack.pop() {
+                if processed {
+                    color.insert(n, Color::Black);
+                    continue;
+                }
+                if color[&n] == Color::Black {
+                    continue;
+                }
+                color.insert(n, Color::Gray);
+                stack.push((n, true));
+                let Some(adj) = self.nodes.get(&n) else {
+                    continue;
+                };
+                for (next, counts) in &adj.out {
+                    let passes = (filter(EdgeKind::WaitFor) && counts.wait_for > 0)
+                        || (filter(EdgeKind::CommitDep) && counts.commit_dep > 0);
+                    if !passes {
+                        continue;
+                    }
+                    match color[next] {
+                        Color::White => {
+                            parent.insert(*next, n);
+                            stack.push((*next, false));
+                        }
+                        Color::Gray => {
+                            // Found a back edge n -> next: reconstruct cycle.
+                            let mut cycle = vec![*next, n];
+                            let mut cur = n;
+                            while cur != *next {
+                                match parent.get(&cur) {
+                                    Some(p) => {
+                                        cur = *p;
+                                        if cur != *next {
+                                            cycle.push(cur);
+                                        }
+                                    }
+                                    None => break,
+                                }
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Render the graph (diagnostics only).
+    pub fn render(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        let mut nodes: Vec<N> = self.nodes.keys().copied().collect();
+        nodes.sort();
+        for n in nodes {
+            let adj = &self.nodes[&n];
+            let mut targets: Vec<N> = adj.out.keys().copied().collect();
+            targets.sort();
+            for t in targets {
+                let c = adj.out[&t];
+                if c.wait_for > 0 {
+                    lines.push(format!("{n:?} -[wait-for x{}]-> {t:?}", c.wait_for));
+                }
+                if c.commit_dep > 0 {
+                    lines.push(format!("{n:?} -[commit-dep x{}]-> {t:?}", c.commit_dep));
+                }
+            }
+        }
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type G = DependencyGraph<u64>;
+
+    #[test]
+    fn add_and_remove_nodes() {
+        let mut g = G::new();
+        assert_eq!(g.node_count(), 0);
+        g.add_node(1);
+        g.add_node(1);
+        g.add_node(2);
+        assert_eq!(g.node_count(), 2);
+        assert!(g.contains_node(1));
+        assert!(g.remove_node(1));
+        assert!(!g.remove_node(1));
+        assert_eq!(g.node_count(), 1);
+        let nodes: Vec<u64> = g.nodes().collect();
+        assert_eq!(nodes, vec![2]);
+    }
+
+    #[test]
+    fn edges_are_reference_counted() {
+        let mut g = G::new();
+        assert!(g.add_edge(1, 2, EdgeKind::CommitDep));
+        assert!(g.add_edge(1, 2, EdgeKind::CommitDep));
+        assert!(g.add_edge(1, 2, EdgeKind::WaitFor));
+        assert_eq!(g.edge_multiplicity(1, 2, EdgeKind::CommitDep), 2);
+        assert_eq!(g.edge_multiplicity(1, 2, EdgeKind::WaitFor), 1);
+        assert_eq!(g.edge_count(EdgeKind::CommitDep), 2);
+        assert_eq!(g.edge_count(EdgeKind::WaitFor), 1);
+        assert_eq!(g.edge_pair_count(), 1);
+
+        assert!(g.remove_edge(1, 2, EdgeKind::CommitDep));
+        assert!(g.has_edge(1, 2, EdgeKind::CommitDep), "one edge remains");
+        assert!(g.remove_edge(1, 2, EdgeKind::CommitDep));
+        assert!(!g.has_edge(1, 2, EdgeKind::CommitDep));
+        assert!(!g.remove_edge(1, 2, EdgeKind::CommitDep));
+        assert!(g.has_any_edge(1, 2), "wait-for edge still present");
+        assert!(g.remove_edge(1, 2, EdgeKind::WaitFor));
+        assert!(!g.has_any_edge(1, 2));
+        assert_eq!(g.out_degree(1), 0);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut g = G::new();
+        assert!(!g.add_edge(5, 5, EdgeKind::WaitFor));
+        assert_eq!(g.edge_pair_count(), 0);
+        assert!(!g.contains_node(5) || g.out_degree(5) == 0);
+    }
+
+    #[test]
+    fn removing_a_node_removes_incident_edges() {
+        let mut g = G::new();
+        g.add_edge(1, 2, EdgeKind::WaitFor);
+        g.add_edge(2, 3, EdgeKind::CommitDep);
+        g.add_edge(3, 1, EdgeKind::CommitDep);
+        assert!(g.remove_node(2));
+        assert!(!g.has_any_edge(1, 2));
+        assert!(!g.contains_node(2));
+        assert!(g.has_edge(3, 1, EdgeKind::CommitDep));
+        assert_eq!(g.out_degree(1), 0);
+        assert_eq!(g.in_neighbors(1), vec![3]);
+    }
+
+    #[test]
+    fn clear_out_edges_only_clears_one_kind() {
+        let mut g = G::new();
+        g.add_edge(1, 2, EdgeKind::WaitFor);
+        g.add_edge(1, 2, EdgeKind::CommitDep);
+        g.add_edge(1, 3, EdgeKind::WaitFor);
+        g.clear_out_edges(1, EdgeKind::WaitFor);
+        assert!(!g.has_edge(1, 2, EdgeKind::WaitFor));
+        assert!(g.has_edge(1, 2, EdgeKind::CommitDep));
+        assert!(!g.has_any_edge(1, 3));
+        assert_eq!(g.out_degree_kind(1, EdgeKind::WaitFor), 0);
+        assert_eq!(g.out_degree_kind(1, EdgeKind::CommitDep), 1);
+        // no-op on a missing node
+        g.clear_out_edges(42, EdgeKind::WaitFor);
+    }
+
+    #[test]
+    fn out_and_in_neighbors() {
+        let mut g = G::new();
+        g.add_edge(1, 2, EdgeKind::WaitFor);
+        g.add_edge(1, 3, EdgeKind::CommitDep);
+        g.add_edge(4, 1, EdgeKind::CommitDep);
+        let mut out = g.out_neighbors(1);
+        out.sort_unstable();
+        assert_eq!(out, vec![2, 3]);
+        assert_eq!(g.out_neighbors_kind(1, EdgeKind::WaitFor), vec![2]);
+        assert_eq!(g.out_neighbors_kind(1, EdgeKind::CommitDep), vec![3]);
+        assert_eq!(g.in_neighbors(1), vec![4]);
+        assert!(g.out_neighbors(99).is_empty());
+        assert!(g.out_neighbors_kind(99, EdgeKind::WaitFor).is_empty());
+        assert!(g.in_neighbors(99).is_empty());
+    }
+
+    #[test]
+    fn zero_out_degree_nodes_reflects_commit_candidates() {
+        let mut g = G::new();
+        g.add_edge(2, 1, EdgeKind::CommitDep);
+        g.add_edge(3, 1, EdgeKind::CommitDep);
+        g.add_edge(3, 2, EdgeKind::CommitDep);
+        let mut zeros = g.zero_out_degree_nodes();
+        zeros.sort_unstable();
+        assert_eq!(zeros, vec![1]);
+        g.remove_node(1);
+        let mut zeros = g.zero_out_degree_nodes();
+        zeros.sort_unstable();
+        assert_eq!(zeros, vec![2]);
+    }
+
+    #[test]
+    fn would_close_cycle_detects_exactly_the_cycles() {
+        let mut g = G::new();
+        g.add_edge(2, 1, EdgeKind::CommitDep); // T2 depends on T1
+        assert!(
+            !g.would_close_cycle(3, &[1]),
+            "3 -> 1 creates no cycle"
+        );
+        assert!(
+            g.would_close_cycle(1, &[2]),
+            "1 -> 2 plus existing 2 -> 1 closes a cycle"
+        );
+        g.add_edge(3, 2, EdgeKind::WaitFor);
+        assert!(
+            g.would_close_cycle(1, &[3]),
+            "mixed-kind cycles (wait-for + commit-dep) are detected"
+        );
+        assert!(!g.would_close_cycle(1, &[]), "no targets, no cycle");
+        assert!(g.cycle_checks() >= 4);
+    }
+
+    #[test]
+    fn would_close_cycle_filtered_restricts_edge_kinds() {
+        let mut g = G::new();
+        g.add_edge(2, 1, EdgeKind::CommitDep);
+        // Considering only wait-for edges, 1 -> 2 closes no cycle.
+        assert!(!g.would_close_cycle_filtered(1, &[2], |k| k == EdgeKind::WaitFor));
+        // Considering only commit-dep edges, it does.
+        assert!(g.would_close_cycle_filtered(1, &[2], |k| k == EdgeKind::CommitDep));
+    }
+
+    #[test]
+    fn has_cycle_and_find_cycle() {
+        let mut g = G::new();
+        g.add_edge(1, 2, EdgeKind::WaitFor);
+        g.add_edge(2, 3, EdgeKind::CommitDep);
+        assert!(!g.has_cycle());
+        g.add_edge(3, 1, EdgeKind::WaitFor);
+        assert!(g.has_cycle());
+        let cycle = g.find_cycle(|_| true).expect("cycle exists");
+        assert!(cycle.len() >= 2);
+        // every consecutive pair in the cycle must be an edge
+        for w in cycle.windows(2) {
+            assert!(g.has_any_edge(w[0], w[1]), "cycle edge {:?}", w);
+        }
+        assert!(g.has_any_edge(*cycle.last().unwrap(), cycle[0]));
+        // filtered search that excludes commit-dep edges finds no cycle
+        assert!(g.find_cycle(|k| k == EdgeKind::WaitFor).is_none());
+    }
+
+    #[test]
+    fn path_from_any_reports_cycle_participants() {
+        let mut g = G::new();
+        g.add_edge(2, 1, EdgeKind::CommitDep);
+        g.add_edge(3, 2, EdgeKind::WaitFor);
+        // If 1 were to add an edge to 3, the cycle would be 1 -> 3 -> 2 -> 1;
+        // the existing path from 3 to 1 is [3, 2, 1].
+        let path = g.path_from_any(&[3], 1).expect("path exists");
+        assert_eq!(path, vec![3, 2, 1]);
+        assert_eq!(g.path_from_any(&[1], 3), None);
+        assert_eq!(g.path_from_any(&[], 1), None);
+        assert_eq!(g.path_from_any(&[1], 1), Some(vec![1]));
+    }
+
+    #[test]
+    fn cycle_check_counter_resets() {
+        let mut g = G::new();
+        g.add_edge(1, 2, EdgeKind::WaitFor);
+        let _ = g.has_cycle();
+        let _ = g.would_close_cycle(2, &[1]);
+        assert_eq!(g.cycle_checks(), 2);
+        g.reset_cycle_checks();
+        assert_eq!(g.cycle_checks(), 0);
+    }
+
+    #[test]
+    fn render_mentions_both_edge_kinds() {
+        let mut g = G::new();
+        g.add_edge(1, 2, EdgeKind::WaitFor);
+        g.add_edge(2, 3, EdgeKind::CommitDep);
+        let r = g.render();
+        assert!(r.contains("wait-for"));
+        assert!(r.contains("commit-dep"));
+        assert_eq!(EdgeKind::WaitFor.to_string(), "wait-for");
+        assert_eq!(EdgeKind::CommitDep.to_string(), "commit-dep");
+    }
+
+    #[test]
+    fn long_chains_do_not_overflow_the_stack() {
+        // The DFS is iterative; a 100k-node chain plus a closing edge must
+        // be handled without recursion issues.
+        let mut g = G::new();
+        let n = 100_000u64;
+        for i in 0..n {
+            g.add_edge(i, i + 1, EdgeKind::CommitDep);
+        }
+        assert!(!g.has_cycle());
+        g.add_edge(n, 0, EdgeKind::WaitFor);
+        assert!(g.has_cycle());
+        assert!(g.would_close_cycle(0, &[n]));
+    }
+}

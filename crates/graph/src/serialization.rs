@@ -1,0 +1,208 @@
+//! The serialization graph used by the off-line correctness checker.
+//!
+//! Definition 6 of the paper builds a serialization graph whose edges
+//! connect transactions with *non-recoverable* conflicting operations; the
+//! combined graph `DG = G ∪ SG` (commit dependencies plus serialization
+//! edges) must be acyclic for the execution log to be serializable
+//! (Lemma 4). The kernel enforces this on-line; [`SerializationGraph`] is
+//! used by tests and the history checker to validate executions after the
+//! fact and to extract a serial order (topological sort).
+
+use crate::cycle::{has_cycle_scc, strongly_connected_components};
+use crate::graph::NodeId;
+use std::collections::{HashMap, HashSet};
+
+/// An explicit serialization graph over committed transactions.
+#[derive(Debug, Clone, Default)]
+pub struct SerializationGraph<N: NodeId> {
+    adj: HashMap<N, HashSet<N>>,
+}
+
+impl<N: NodeId> SerializationGraph<N> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        SerializationGraph {
+            adj: HashMap::new(),
+        }
+    }
+
+    /// Add a node with no edges.
+    pub fn add_node(&mut self, n: N) {
+        self.adj.entry(n).or_default();
+    }
+
+    /// Add an edge `before -> after` meaning `before` must precede `after`
+    /// in every equivalent serial order. Self-edges are ignored.
+    pub fn add_order(&mut self, before: N, after: N) {
+        if before == after {
+            return;
+        }
+        self.adj.entry(before).or_default().insert(after);
+        self.adj.entry(after).or_default();
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(|s| s.len()).sum()
+    }
+
+    /// `true` if the graph contains an ordering cycle (the execution is not
+    /// serializable with respect to the recorded constraints).
+    pub fn has_cycle(&self) -> bool {
+        let adj: HashMap<N, Vec<N>> = self
+            .adj
+            .iter()
+            .map(|(k, v)| (*k, v.iter().copied().collect()))
+            .collect();
+        has_cycle_scc(&adj)
+    }
+
+    /// A topological order of the nodes (a valid serial order), if the graph
+    /// is acyclic. Ties are broken by the node's `Ord` to keep the result
+    /// deterministic.
+    pub fn topological_order(&self) -> Option<Vec<N>> {
+        let mut in_degree: HashMap<N, usize> = self.adj.keys().map(|n| (*n, 0)).collect();
+        for targets in self.adj.values() {
+            for t in targets {
+                *in_degree.entry(*t).or_insert(0) += 1;
+            }
+        }
+        // Min-heap on Reverse(N) for determinism.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut ready: BinaryHeap<Reverse<N>> = in_degree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(n, _)| Reverse(*n))
+            .collect();
+        let mut order = Vec::with_capacity(self.adj.len());
+        while let Some(Reverse(n)) = ready.pop() {
+            order.push(n);
+            if let Some(targets) = self.adj.get(&n) {
+                for t in targets {
+                    let d = in_degree.get_mut(t).expect("in-degree exists");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(Reverse(*t));
+                    }
+                }
+            }
+        }
+        if order.len() == self.adj.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// The strongly connected components (useful in diagnostics when a
+    /// serializability violation is detected).
+    pub fn components(&self) -> Vec<Vec<N>> {
+        let adj: HashMap<N, Vec<N>> = self
+            .adj
+            .iter()
+            .map(|(k, v)| (*k, v.iter().copied().collect()))
+            .collect();
+        strongly_connected_components(&adj)
+    }
+
+    /// Check whether the supplied order respects every edge in the graph.
+    pub fn order_is_consistent(&self, order: &[N]) -> bool {
+        let pos: HashMap<N, usize> = order.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        if pos.len() != self.adj.len() {
+            return false;
+        }
+        self.adj.iter().all(|(from, targets)| {
+            targets.iter().all(|to| match (pos.get(from), pos.get(to)) {
+                (Some(a), Some(b)) => a < b,
+                _ => false,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_graph_is_acyclic_with_empty_order() {
+        let g: SerializationGraph<u32> = SerializationGraph::new();
+        assert!(!g.has_cycle());
+        assert_eq!(g.topological_order(), Some(vec![]));
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn simple_chain_orders_correctly() {
+        let mut g = SerializationGraph::new();
+        g.add_order(1u32, 2);
+        g.add_order(2, 3);
+        g.add_node(9);
+        assert!(!g.has_cycle());
+        let order = g.topological_order().expect("acyclic");
+        assert!(g.order_is_consistent(&order));
+        let pos = |n: u32| order.iter().position(|x| *x == n).unwrap();
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn cycle_is_detected_and_order_is_none() {
+        let mut g = SerializationGraph::new();
+        g.add_order(1u32, 2);
+        g.add_order(2, 3);
+        g.add_order(3, 1);
+        assert!(g.has_cycle());
+        assert_eq!(g.topological_order(), None);
+        let comps = g.components();
+        assert!(comps.iter().any(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_are_harmless() {
+        let mut g = SerializationGraph::new();
+        g.add_order(1u32, 2);
+        g.add_order(1, 2);
+        g.add_order(1, 1);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn order_is_consistent_rejects_wrong_orders() {
+        let mut g = SerializationGraph::new();
+        g.add_order(1u32, 2);
+        assert!(g.order_is_consistent(&[1, 2]));
+        assert!(!g.order_is_consistent(&[2, 1]));
+        assert!(!g.order_is_consistent(&[1]), "missing nodes are rejected");
+        assert!(!g.order_is_consistent(&[1, 2, 3]), "extra nodes are rejected");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_topological_order_respects_all_edges(
+            edges in proptest::collection::vec((0u32..15, 0u32..15), 0..40)
+        ) {
+            let mut g = SerializationGraph::new();
+            for (a, b) in &edges {
+                g.add_order(*a, *b);
+            }
+            match g.topological_order() {
+                Some(order) => {
+                    prop_assert!(!g.has_cycle());
+                    prop_assert!(g.order_is_consistent(&order));
+                }
+                None => prop_assert!(g.has_cycle()),
+            }
+        }
+    }
+}

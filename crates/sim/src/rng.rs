@@ -1,0 +1,112 @@
+//! Deterministic random-number helpers for the simulation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source wrapping [`StdRng`] with the distributions the
+//  simulation needs.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    rng: StdRng,
+}
+
+impl SimRng {
+    /// Create a source from a seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform integer in `[low, high]` (inclusive).
+    pub fn uniform_inclusive(&mut self, low: usize, high: usize) -> usize {
+        debug_assert!(low <= high);
+        self.rng.gen_range(low..=high)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Exponentially distributed sample with the given mean (used for think
+    /// times). A zero mean always returns zero.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Access to the underlying RNG (e.g. for compatibility-table
+    /// generation).
+    pub fn inner(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_inclusive(1, 10), b.uniform_inclusive(1, 10));
+            assert_eq!(a.index(5), b.index(5));
+            assert_eq!(a.chance(0.3), b.chance(0.3));
+            assert!((a.exponential(1.0) - b.exponential(1.0)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_inclusive_covers_the_range() {
+        let mut rng = SimRng::new(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.uniform_inclusive(4, 8);
+            assert!((4..=8).contains(&v));
+            seen[v - 4] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all values in range appear");
+    }
+
+    #[test]
+    fn exponential_has_roughly_the_right_mean() {
+        let mut rng = SimRng::new(2);
+        let n = 20_000;
+        let mean = 1.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let avg = sum / n as f64;
+        assert!(
+            (avg - mean).abs() < 0.05,
+            "sample mean {avg} too far from {mean}"
+        );
+        assert_eq!(rng.exponential(0.0), 0.0);
+        assert_eq!(rng.exponential(-1.0), 0.0);
+    }
+
+    #[test]
+    fn chance_respects_probability_extremes() {
+        let mut rng = SimRng::new(3);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+        let hits = (0..10_000).filter(|_| rng.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits} hits");
+    }
+
+    #[test]
+    fn inner_exposes_the_std_rng() {
+        let mut rng = SimRng::new(4);
+        let _: u32 = rng.inner().gen();
+    }
+}

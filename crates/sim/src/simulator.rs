@@ -1,0 +1,567 @@
+//! The closed-queuing-network simulator (Figure 3 of the paper).
+//!
+//! Terminals submit transactions after exponential think times; at most
+//! `mpl_level` transactions are active; each operation is admitted by the
+//! concurrency-control kernel and then consumes resources (`step_time`, or
+//! CPU + disk under finite resources); blocked transactions wait inside the
+//! kernel; aborted transactions restart immediately at the end of the ready
+//! queue with the identical script; a transaction completes when it
+//! pseudo-commits or commits, at which point its terminal starts thinking
+//! about the next one.
+
+use crate::config::{ResourceMode, SimParams};
+use crate::event::{Event, EventQueue, ServiceStage, SimTxnKey};
+use crate::metrics::SimulationResult;
+use crate::resources::{Grant, ResourcePool};
+use crate::rng::SimRng;
+use crate::workload::WorkloadGenerator;
+use sbcc_adt::OpCall;
+use sbcc_core::{
+    KernelEvent, KernelStats, ObjectId, RequestOutcome, SchedulerConfig, SchedulerKernel, TxnId,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Phase of a simulated transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Waiting in the ready queue (either new or restarting).
+    Ready,
+    /// Admitted; currently requesting or serving operations.
+    Running,
+    /// Blocked inside the kernel, waiting for a conflicting transaction.
+    BlockedInKernel,
+    /// Completed (pseudo-committed or committed).
+    Completed,
+}
+
+/// One simulated transaction (stable across restarts).
+#[derive(Debug, Clone)]
+struct SimTxn {
+    terminal: usize,
+    script: Vec<(ObjectId, OpCall)>,
+    next_op: usize,
+    submit_time: f64,
+    kernel_txn: Option<TxnId>,
+    restarts: u64,
+    phase: Phase,
+    holds_slot: bool,
+    completed: bool,
+}
+
+/// The simulator. Build it from [`SimParams`] and call [`Simulator::run`].
+pub struct Simulator {
+    params: SimParams,
+    kernel: SchedulerKernel,
+    objects: Vec<ObjectId>,
+    workload: WorkloadGenerator,
+    rng: SimRng,
+    queue: EventQueue,
+    pool: Option<ResourcePool>,
+    txns: Vec<SimTxn>,
+    kernel_to_sim: HashMap<TxnId, SimTxnKey>,
+    ready_queue: VecDeque<SimTxnKey>,
+    active_count: usize,
+    // accumulators
+    completed: u64,
+    full_commit_completions: u64,
+    pseudo_commit_completions: u64,
+    total_response_time: f64,
+    restarts: u64,
+    total_abort_length: u64,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("params", &self.params.describe())
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Build a simulator for the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`SimParams::validate`].
+    pub fn new(params: SimParams) -> Self {
+        params.validate().expect("invalid simulation parameters");
+        let mut rng = SimRng::new(params.seed);
+        let config = SchedulerConfig::default()
+            .with_policy(params.policy)
+            .with_fair_scheduling(params.fair_scheduling)
+            .with_recovery(params.recovery)
+            .with_victim(params.victim)
+            .with_history(false);
+        let mut kernel = SchedulerKernel::new(config);
+        let workload = WorkloadGenerator::new(&params);
+        let objects = workload.populate(&mut kernel, &mut rng);
+        let pool = match params.resource_mode {
+            ResourceMode::Infinite => None,
+            ResourceMode::Finite { resource_units } => Some(ResourcePool::new(resource_units)),
+        };
+        Simulator {
+            params,
+            kernel,
+            objects,
+            workload,
+            rng,
+            queue: EventQueue::new(),
+            pool,
+            txns: Vec::new(),
+            kernel_to_sim: HashMap::new(),
+            ready_queue: VecDeque::new(),
+            active_count: 0,
+            completed: 0,
+            full_commit_completions: 0,
+            pseudo_commit_completions: 0,
+            total_response_time: 0.0,
+            restarts: 0,
+            total_abort_length: 0,
+        }
+    }
+
+    /// The parameters this simulator was built with.
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// Snapshot of the kernel counters (useful mid-run in tests).
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel.stats().clone()
+    }
+
+    /// Run the simulation until `target_completions` transactions have
+    /// completed and return the collected metrics.
+    pub fn run(&mut self) -> SimulationResult {
+        // Every terminal starts thinking at time zero and submits its first
+        // transaction after a think time.
+        for terminal in 0..self.params.num_terminals {
+            let delay = self.rng.exponential(self.params.ext_think_time);
+            self.queue
+                .schedule_in(delay, Event::TerminalSubmit { terminal });
+        }
+
+        while self.completed < self.params.target_completions {
+            let Some((_, event)) = self.queue.pop() else {
+                // Should be impossible in a closed network, but guard anyway.
+                break;
+            };
+            match event {
+                Event::TerminalSubmit { terminal } => self.submit_transaction(terminal),
+                Event::ServiceDone { txn, stage } => self.service_done(txn, stage),
+            }
+        }
+        self.result()
+    }
+
+    /// Metrics collected so far.
+    pub fn result(&self) -> SimulationResult {
+        let sim_time = self.queue.now().max(f64::EPSILON);
+        let completed = self.completed.max(1);
+        let stats = self.kernel.stats();
+        SimulationResult {
+            completed: self.completed,
+            full_commit_completions: self.full_commit_completions,
+            pseudo_commit_completions: self.pseudo_commit_completions,
+            sim_time: self.queue.now(),
+            throughput: self.completed as f64 / sim_time,
+            response_time: if self.completed == 0 {
+                0.0
+            } else {
+                self.total_response_time / self.completed as f64
+            },
+            blocking_ratio: stats.blocks as f64 / completed as f64,
+            restart_ratio: self.restarts as f64 / completed as f64,
+            cycle_check_ratio: self.kernel.cycle_checks() as f64 / completed as f64,
+            abort_length: if self.restarts == 0 {
+                0.0
+            } else {
+                self.total_abort_length as f64 / self.restarts as f64
+            },
+            blocks: stats.blocks,
+            restarts: self.restarts,
+            cycle_checks: self.kernel.cycle_checks(),
+            commit_dependencies: stats.commit_dependencies,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn submit_transaction(&mut self, terminal: usize) {
+        let script = self.workload.generate_script(&self.objects, &mut self.rng);
+        let key = self.txns.len();
+        self.txns.push(SimTxn {
+            terminal,
+            script,
+            next_op: 0,
+            submit_time: self.queue.now(),
+            kernel_txn: None,
+            restarts: 0,
+            phase: Phase::Ready,
+            holds_slot: false,
+            completed: false,
+        });
+        self.ready_queue.push_back(key);
+        self.try_admit();
+    }
+
+    fn try_admit(&mut self) {
+        while self.active_count < self.params.mpl_level {
+            let Some(key) = self.ready_queue.pop_front() else {
+                break;
+            };
+            self.admit(key);
+        }
+    }
+
+    fn admit(&mut self, key: SimTxnKey) {
+        self.active_count += 1;
+        let kernel_txn = self.kernel.begin();
+        {
+            let txn = &mut self.txns[key];
+            debug_assert_eq!(txn.phase, Phase::Ready);
+            txn.kernel_txn = Some(kernel_txn);
+            txn.phase = Phase::Running;
+            txn.holds_slot = true;
+            txn.next_op = 0;
+        }
+        self.kernel_to_sim.insert(kernel_txn, key);
+        self.issue_next_op(key);
+    }
+
+    fn issue_next_op(&mut self, key: SimTxnKey) {
+        let (done, kernel_txn, object, call) = {
+            let txn = &self.txns[key];
+            if txn.next_op >= txn.script.len() {
+                (true, txn.kernel_txn.expect("admitted"), ObjectId(0), OpCall::nullary(0))
+            } else {
+                let (object, call) = txn.script[txn.next_op].clone();
+                (false, txn.kernel_txn.expect("admitted"), object, call)
+            }
+        };
+        if done {
+            self.finish_transaction(key);
+            return;
+        }
+        let outcome = self
+            .kernel
+            .request(kernel_txn, object, call)
+            .expect("valid request");
+        self.process_kernel_events();
+        match outcome {
+            RequestOutcome::Executed { .. } => self.start_service(key),
+            RequestOutcome::Blocked { .. } => {
+                self.txns[key].phase = Phase::BlockedInKernel;
+            }
+            RequestOutcome::Aborted { .. } => self.handle_abort(key),
+        }
+    }
+
+    fn start_service(&mut self, key: SimTxnKey) {
+        self.txns[key].phase = Phase::Running;
+        match self.params.resource_mode {
+            ResourceMode::Infinite => {
+                self.queue.schedule_in(
+                    self.params.step_time,
+                    Event::ServiceDone {
+                        txn: key,
+                        stage: ServiceStage::Step,
+                    },
+                );
+            }
+            ResourceMode::Finite { .. } => {
+                let pool = self.pool.as_mut().expect("finite resources have a pool");
+                match pool.acquire_cpu(key) {
+                    Grant::Acquired => {
+                        self.queue.schedule_in(
+                            self.params.cpu_time,
+                            Event::ServiceDone {
+                                txn: key,
+                                stage: ServiceStage::Cpu,
+                            },
+                        );
+                    }
+                    Grant::Queued => {
+                        // Waiting in the CPU queue; service starts when a CPU
+                        // frees up (handled in `service_done`).
+                    }
+                }
+            }
+        }
+    }
+
+    fn service_done(&mut self, key: SimTxnKey, stage: ServiceStage) {
+        match stage {
+            ServiceStage::Step => self.operation_complete(key),
+            ServiceStage::Cpu => {
+                // Hand the CPU to the next waiter, if any.
+                let next = self
+                    .pool
+                    .as_mut()
+                    .expect("finite resources have a pool")
+                    .release_cpu();
+                if let Some(next_key) = next {
+                    self.queue.schedule_in(
+                        self.params.cpu_time,
+                        Event::ServiceDone {
+                            txn: next_key,
+                            stage: ServiceStage::Cpu,
+                        },
+                    );
+                }
+                // This transaction now needs a randomly chosen disk.
+                let pool = self.pool.as_mut().expect("finite resources have a pool");
+                let disk = self.rng.index(pool.disk_count());
+                match pool.acquire_disk(disk, key) {
+                    Grant::Acquired => {
+                        self.queue.schedule_in(
+                            self.params.io_time,
+                            Event::ServiceDone {
+                                txn: key,
+                                stage: ServiceStage::Disk { disk },
+                            },
+                        );
+                    }
+                    Grant::Queued => {}
+                }
+            }
+            ServiceStage::Disk { disk } => {
+                let next = self
+                    .pool
+                    .as_mut()
+                    .expect("finite resources have a pool")
+                    .release_disk(disk);
+                if let Some(next_key) = next {
+                    self.queue.schedule_in(
+                        self.params.io_time,
+                        Event::ServiceDone {
+                            txn: next_key,
+                            stage: ServiceStage::Disk { disk },
+                        },
+                    );
+                }
+                self.operation_complete(key);
+            }
+        }
+    }
+
+    fn operation_complete(&mut self, key: SimTxnKey) {
+        self.txns[key].next_op += 1;
+        self.issue_next_op(key);
+    }
+
+    fn finish_transaction(&mut self, key: SimTxnKey) {
+        let kernel_txn = self.txns[key].kernel_txn.expect("admitted");
+        let outcome = self.kernel.commit(kernel_txn).expect("commit of active txn");
+        self.process_kernel_events();
+
+        let now = self.queue.now();
+        let is_pseudo = outcome.is_pseudo_commit();
+        {
+            let txn = &mut self.txns[key];
+            txn.phase = Phase::Completed;
+            txn.completed = true;
+            self.total_response_time += now - txn.submit_time;
+        }
+        self.completed += 1;
+        if is_pseudo {
+            self.pseudo_commit_completions += 1;
+        } else {
+            self.full_commit_completions += 1;
+            self.kernel_to_sim.remove(&kernel_txn);
+        }
+
+        // Multiprogramming slot accounting.
+        let release_now = !(is_pseudo && self.params.pseudo_commit_holds_slot);
+        if release_now {
+            let txn = &mut self.txns[key];
+            if txn.holds_slot {
+                txn.holds_slot = false;
+                self.active_count -= 1;
+            }
+        }
+
+        // The terminal starts thinking about its next transaction.
+        let terminal = self.txns[key].terminal;
+        let think = self.rng.exponential(self.params.ext_think_time);
+        self.queue
+            .schedule_in(think, Event::TerminalSubmit { terminal });
+
+        if release_now {
+            self.try_admit();
+        }
+    }
+
+    fn handle_abort(&mut self, key: SimTxnKey) {
+        let old_kernel_txn = {
+            let txn = &mut self.txns[key];
+            self.restarts += 1;
+            self.total_abort_length += txn.next_op as u64;
+            txn.restarts += 1;
+            let old = txn.kernel_txn.take();
+            txn.next_op = 0;
+            txn.phase = Phase::Ready;
+            if txn.holds_slot {
+                txn.holds_slot = false;
+                self.active_count -= 1;
+            }
+            old
+        };
+        if let Some(k) = old_kernel_txn {
+            self.kernel_to_sim.remove(&k);
+        }
+        // "An aborted transaction is restarted immediately, i.e., placed at
+        // the end of the ready queue."
+        self.ready_queue.push_back(key);
+        self.try_admit();
+    }
+
+    fn process_kernel_events(&mut self) {
+        let events = self.kernel.drain_events();
+        for event in events {
+            match event {
+                KernelEvent::Unblocked { txn, outcome } => {
+                    let Some(&key) = self.kernel_to_sim.get(&txn) else {
+                        continue;
+                    };
+                    match outcome {
+                        RequestOutcome::Executed { .. } => {
+                            self.start_service(key);
+                        }
+                        RequestOutcome::Aborted { .. } => self.handle_abort(key),
+                        RequestOutcome::Blocked { .. } => {
+                            unreachable!("the kernel never reports re-blocking")
+                        }
+                    }
+                }
+                KernelEvent::Aborted { txn, .. } => {
+                    if let Some(&key) = self.kernel_to_sim.get(&txn) {
+                        self.handle_abort(key);
+                    }
+                }
+                KernelEvent::Committed { txn } => {
+                    // A pseudo-committed transaction actually committed.
+                    let Some(key) = self.kernel_to_sim.remove(&txn) else {
+                        continue;
+                    };
+                    if self.params.pseudo_commit_holds_slot {
+                        let txn_rec = &mut self.txns[key];
+                        if txn_rec.holds_slot && txn_rec.completed {
+                            txn_rec.holds_slot = false;
+                            self.active_count -= 1;
+                            self.try_admit();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DataModel;
+    use sbcc_core::ConflictPolicy;
+
+    fn small_params(policy: ConflictPolicy) -> SimParams {
+        SimParams {
+            db_size: 100,
+            num_terminals: 40,
+            mpl_level: 20,
+            target_completions: 400,
+            seed: 11,
+            policy,
+            ..SimParams::default()
+        }
+    }
+
+    #[test]
+    fn runs_to_completion_and_reports_metrics() {
+        let mut sim = Simulator::new(small_params(ConflictPolicy::Recoverability));
+        let result = sim.run();
+        assert!(result.completed >= 400);
+        assert!(result.sim_time > 0.0);
+        assert!(result.throughput > 0.0);
+        assert!(result.response_time > 0.0);
+        assert!(result.cycle_checks > 0);
+        assert!(result.blocking_ratio >= 0.0);
+        assert!(!format!("{sim:?}").is_empty());
+        assert_eq!(sim.params().mpl_level, 20);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let a = Simulator::new(small_params(ConflictPolicy::Recoverability)).run();
+        let b = Simulator::new(small_params(ConflictPolicy::Recoverability)).run();
+        assert_eq!(a, b);
+        let c = Simulator::new(small_params(ConflictPolicy::Recoverability).with_seed(12)).run();
+        assert_ne!(a, c, "different seeds should give different runs");
+    }
+
+    #[test]
+    fn recoverability_blocks_less_than_commutativity() {
+        let rec = Simulator::new(small_params(ConflictPolicy::Recoverability)).run();
+        let base = Simulator::new(small_params(ConflictPolicy::CommutativityOnly)).run();
+        assert!(
+            rec.blocking_ratio <= base.blocking_ratio,
+            "recoverability BR {} should not exceed commutativity BR {}",
+            rec.blocking_ratio,
+            base.blocking_ratio
+        );
+        assert!(
+            rec.throughput >= base.throughput * 0.95,
+            "recoverability throughput {} should be at least as high as commutativity {}",
+            rec.throughput,
+            base.throughput
+        );
+        assert!(rec.pseudo_commit_completions > 0);
+    }
+
+    #[test]
+    fn finite_resources_reduce_throughput() {
+        let infinite = Simulator::new(small_params(ConflictPolicy::Recoverability)).run();
+        let finite = Simulator::new(
+            small_params(ConflictPolicy::Recoverability)
+                .with_resources(ResourceMode::Finite { resource_units: 1 }),
+        )
+        .run();
+        assert!(
+            finite.throughput < infinite.throughput,
+            "1 resource unit ({}) must be slower than infinite resources ({})",
+            finite.throughput,
+            infinite.throughput
+        );
+    }
+
+    #[test]
+    fn adt_model_with_more_recoverability_blocks_less() {
+        let mk = |p_r: usize| {
+            let mut p = small_params(ConflictPolicy::Recoverability);
+            p.data_model = DataModel::abstract_adt(4, p_r);
+            Simulator::new(p).run()
+        };
+        let none = mk(0);
+        let lots = mk(8);
+        assert!(
+            lots.blocking_ratio <= none.blocking_ratio,
+            "Pr=8 BR {} should not exceed Pr=0 BR {}",
+            lots.blocking_ratio,
+            none.blocking_ratio
+        );
+    }
+
+    #[test]
+    fn mpl_slot_accounting_choice_is_respected() {
+        let mut hold = small_params(ConflictPolicy::Recoverability);
+        hold.pseudo_commit_holds_slot = true;
+        let held = Simulator::new(hold).run();
+        let released = Simulator::new(small_params(ConflictPolicy::Recoverability)).run();
+        // Holding the slot can only reduce (or leave unchanged) concurrency.
+        assert!(held.throughput <= released.throughput * 1.05);
+    }
+}

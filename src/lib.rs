@@ -1,0 +1,63 @@
+//! # SBCC — Semantics-Based Concurrency Control: Beyond Commutativity
+//!
+//! A production-quality reproduction of Badrinath & Ramamritham's
+//! recoverability-based concurrency control (ICDE 1987 / ACM TODS 1992).
+//!
+//! This facade crate re-exports the workspace crates so applications can use
+//! a single dependency:
+//!
+//! * [`adt`] — abstract data types, operation semantics, commutativity and
+//!   recoverability compatibility tables (paper Tables I–VIII).
+//! * [`graph`] — the dependency-graph substrate (wait-for + commit-dependency
+//!   edges, cycle and deadlock detection).
+//! * [`core`] — the concurrency-control kernel: object managers, the
+//!   Figure-2 scheduling algorithm, pseudo-commit / commit protocol,
+//!   recovery strategies, and a thread-safe [`core::Database`] front-end.
+//! * [`sim`] — the closed-queuing-network simulator and workload generators
+//!   used to reproduce the paper's evaluation (Figures 4–18).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sbcc::core::{Database, SchedulerConfig, ConflictPolicy};
+//! use sbcc::adt::{Stack, StackOp, Value};
+//!
+//! let db = Database::new(SchedulerConfig::default().with_policy(ConflictPolicy::Recoverability));
+//! let s = db.register("jobs", Stack::new());
+//!
+//! let t1 = db.begin();
+//! let t2 = db.begin();
+//! // Two pushes do not commute, but push is recoverable relative to push:
+//! // both execute immediately; t2 merely acquires a commit dependency on t1.
+//! db.invoke(t1, &s, StackOp::Push(Value::Int(4))).unwrap();
+//! db.invoke(t2, &s, StackOp::Push(Value::Int(2))).unwrap();
+//! let o2 = db.commit(t2).unwrap();
+//! assert!(o2.is_pseudo_commit()); // t2 must wait for t1 to terminate
+//! let o1 = db.commit(t1).unwrap();
+//! assert!(o1.is_full_commit());
+//! assert!(db.outcome_of(t2).unwrap().is_full_commit()); // cascaded
+//! ```
+
+pub use sbcc_adt as adt;
+pub use sbcc_core as core;
+pub use sbcc_graph as graph;
+pub use sbcc_sim as sim;
+
+/// Version of the SBCC workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Convenience prelude bringing the most commonly used items into scope.
+pub mod prelude {
+    pub use crate::adt::{
+        AbstractObject, AdtObject, AdtOp, AdtSpec, Compatibility, CompatibilityTable,
+        ConflictTable, Counter, CounterOp, FifoQueue, OpCall, OpResult, Page, PageOp, QueueOp,
+        Set, SetOp, Stack, StackOp, TableEntry, TableObject, TableOp, Value,
+    };
+    pub use crate::core::{
+        AbortReason, CommitOutcome, ConflictPolicy, CoreError, Database, KernelEvent, KernelStats,
+        ObjectHandle, ObjectId, RecoveryStrategy, RequestOutcome, SchedulerConfig, SchedulerKernel,
+        TxnId, TxnState, VictimPolicy,
+    };
+    pub use crate::graph::{DependencyGraph, EdgeKind};
+    pub use crate::sim::{DataModel, ResourceMode, SimParams, SimulationResult, Simulator};
+}
