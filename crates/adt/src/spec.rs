@@ -58,6 +58,20 @@ pub trait AdtSpec: Clone + fmt::Debug + PartialEq + Send + Sync + 'static {
 /// concurrency-control kernel and the simulator.
 pub trait SemanticObject: Send + fmt::Debug {
     /// Classify a requested operation against an executed, uncommitted one.
+    ///
+    /// # Contract
+    ///
+    /// The verdict must be **state-independent** (it may not read the
+    /// object's current state) and **parameter-relational**: it may depend
+    /// only on the two operation kinds and on whether the distinguishing
+    /// parameters are equal, different, or not comparable (one side
+    /// lacking a parameter). This mirrors the paper's restriction to
+    /// "state-independent, but parameter-dependent" notions (the
+    /// `Yes` / `Yes-SP` / `Yes-DP` / `No` table entries) and is what allows
+    /// the kernel to memoise verdicts per `(kind, kind, relation)` cell
+    /// instead of re-classifying every log entry. Every implementation in
+    /// this workspace (table-driven ADTs and [`crate::AbstractObject`])
+    /// satisfies it by construction.
     fn classify(&self, requested: &OpCall, executed: &OpCall) -> Compatibility;
 
     /// Apply an operation to the object state and return its result.

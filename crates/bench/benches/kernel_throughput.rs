@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sbcc_adt::{Counter, CounterOp, Stack, StackOp, TableObject, TableOp, Value};
-use sbcc_core::{ConflictPolicy, RecoveryStrategy, SchedulerConfig, SchedulerKernel};
+use sbcc_core::{ConflictPolicy, CycleDetector, RecoveryStrategy, SchedulerConfig, SchedulerKernel};
 use std::time::Duration;
 
 fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
@@ -16,10 +16,19 @@ fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::W
 /// 64 transactions of 8 operations each over a small hot object set — a
 /// dense, conflict-heavy workload.
 fn run_workload(policy: ConflictPolicy, recovery: RecoveryStrategy) -> u64 {
+    run_workload_with(policy, recovery, CycleDetector::Incremental)
+}
+
+fn run_workload_with(
+    policy: ConflictPolicy,
+    recovery: RecoveryStrategy,
+    detector: CycleDetector,
+) -> u64 {
     let mut kernel = SchedulerKernel::new(
         SchedulerConfig::default()
             .with_policy(policy)
             .with_recovery(recovery)
+            .with_cycle_detector(detector)
             .with_history(false),
     );
     let stack = kernel.register("stack", Stack::new()).unwrap();
@@ -81,6 +90,67 @@ fn bench_kernel_policies(c: &mut Criterion) {
     group.finish();
 }
 
+/// The old-vs-new comparison at the kernel level: the same conflict-heavy
+/// workload scheduled with the incremental detector vs the from-scratch
+/// SCC oracle per check. The two are behaviourally identical (differential
+/// tests prove it), so the gap is pure cycle-check cost.
+fn bench_cycle_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_cycle_detector");
+    configure(&mut group);
+    for detector in [CycleDetector::Incremental, CycleDetector::SccOracle] {
+        group.bench_function(format!("detector_{detector}"), |b| {
+            b.iter(|| {
+                run_workload_with(
+                    ConflictPolicy::Recoverability,
+                    RecoveryStrategy::IntentionsList,
+                    black_box(detector),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Dense dependency workload: `n` concurrent transactions all pushing onto
+/// one stack. Every push is recoverable relative to every earlier
+/// uncommitted push, so request `k` runs a cycle check against `k - 1`
+/// targets over a `k`-node commit-dependency graph — the quadratic shape
+/// where per-check cost decides throughput. Committing in reverse order
+/// then cascades the whole pseudo-commit chain.
+fn run_dense_chain(n: u64, detector: CycleDetector) -> u64 {
+    let mut kernel = SchedulerKernel::new(
+        SchedulerConfig::default()
+            .with_cycle_detector(detector)
+            .with_history(false),
+    );
+    let stack = kernel.register("stack", Stack::new()).unwrap();
+    let txns: Vec<_> = (0..n).map(|_| kernel.begin()).collect();
+    for (i, t) in txns.iter().enumerate() {
+        let r = kernel
+            .request_op(*t, stack, &StackOp::Push(Value::Int(i as i64)))
+            .unwrap();
+        assert!(r.is_executed());
+    }
+    for t in txns.iter().rev() {
+        let _ = kernel.commit(*t);
+    }
+    let _ = kernel.drain_events();
+    kernel.stats().commits
+}
+
+fn bench_dense_chain_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_dense_chain");
+    configure(&mut group);
+    for n in [64u64, 256, 512] {
+        for detector in [CycleDetector::Incremental, CycleDetector::SccOracle] {
+            group.bench_function(format!("{n}_txns_detector_{detector}"), |b| {
+                b.iter(|| run_dense_chain(black_box(n), black_box(detector)))
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_hotspot_counter(c: &mut Criterion) {
     let mut group = c.benchmark_group("hotspot_counter");
     configure(&mut group);
@@ -103,5 +173,11 @@ fn bench_hotspot_counter(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernel_policies, bench_hotspot_counter);
+criterion_group!(
+    benches,
+    bench_kernel_policies,
+    bench_cycle_detectors,
+    bench_dense_chain_detectors,
+    bench_hotspot_counter
+);
 criterion_main!(benches);

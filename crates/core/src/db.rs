@@ -5,7 +5,15 @@
 //! conflicting transaction terminates. [`Database`] turns that into the
 //! interface applications expect — [`Database::invoke`] simply *blocks the
 //! calling thread* until the operation executes (or the transaction is
-//! aborted), using a condition variable fed by the kernel's event stream.
+//! aborted).
+//!
+//! Wakeups are **per transaction**: each parked invocation registers a
+//! private [`WakeupSlot`] (its own mutex + condvar), and the kernel's event
+//! stream delivers an outcome directly into the slot of exactly the
+//! transaction it concerns. A commit therefore wakes only the threads whose
+//! transactions it actually unblocked — there is no global broadcast that
+//! stampedes every parked thread on every termination, which is what a
+//! single shared condition variable would do under contention.
 //!
 //! The handle is cheaply cloneable and can be shared across threads.
 
@@ -40,16 +48,46 @@ impl ObjectHandle {
     }
 }
 
+/// One parked invocation's private rendezvous: the delivering thread stores
+/// the outcome and signals; only the owning thread waits on it.
+#[derive(Default)]
+struct WakeupSlot {
+    outcome: Mutex<Option<RequestOutcome>>,
+    cond: Condvar,
+}
+
+impl WakeupSlot {
+    /// Deliver an outcome and wake the (single) owning waiter.
+    fn fill(&self, outcome: RequestOutcome) {
+        *self.outcome.lock() = Some(outcome);
+        self.cond.notify_one();
+    }
+
+    /// Park until an outcome is delivered.
+    fn await_outcome(&self) -> RequestOutcome {
+        let mut slot = self.outcome.lock();
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            self.cond.wait(&mut slot);
+        }
+    }
+}
+
 struct DbState {
     kernel: SchedulerKernel,
     /// Outcomes delivered to transactions whose pending request completed
-    /// while they were blocked.
+    /// while no thread was parked waiting for it (e.g. observers using
+    /// [`Database::try_invoke_call`]).
     delivered: HashMap<TxnId, RequestOutcome>,
+    /// The wakeup slot of every currently parked invocation, by
+    /// transaction.
+    waiters: HashMap<TxnId, Arc<WakeupSlot>>,
 }
 
 struct Shared {
     state: Mutex<DbState>,
-    cond: Condvar,
 }
 
 /// A thread-safe transactional object store implementing the paper's
@@ -73,8 +111,8 @@ impl Database {
                 state: Mutex::new(DbState {
                     kernel: SchedulerKernel::new(config),
                     delivered: HashMap::new(),
+                    waiters: HashMap::new(),
                 }),
-                cond: Condvar::new(),
             }),
         }
     }
@@ -145,20 +183,30 @@ impl Database {
         match outcome {
             RequestOutcome::Executed { result, .. } => Ok(result),
             RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn, reason }),
-            RequestOutcome::Blocked { .. } => loop {
-                if let Some(delivered) = state.delivered.remove(&txn) {
-                    return match delivered {
-                        RequestOutcome::Executed { result, .. } => Ok(result),
-                        RequestOutcome::Aborted { reason } => {
-                            Err(CoreError::Aborted { txn, reason })
-                        }
-                        RequestOutcome::Blocked { .. } => {
-                            unreachable!("blocked outcomes are never delivered")
-                        }
-                    };
+            RequestOutcome::Blocked { .. } => {
+                // The request may already have been settled by side effects
+                // of the call itself (the kernel retries blocked requests to
+                // fixpoint before returning).
+                let delivered = match state.delivered.remove(&txn) {
+                    Some(outcome) => outcome,
+                    None => {
+                        // Park on a private slot: whichever thread later
+                        // drains the kernel event that settles this
+                        // transaction fills the slot and wakes only us.
+                        let slot = Arc::new(WakeupSlot::default());
+                        state.waiters.insert(txn, slot.clone());
+                        drop(state);
+                        slot.await_outcome()
+                    }
+                };
+                match delivered {
+                    RequestOutcome::Executed { result, .. } => Ok(result),
+                    RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn, reason }),
+                    RequestOutcome::Blocked { .. } => {
+                        unreachable!("blocked outcomes are never delivered")
+                    }
                 }
-                self.shared.cond.wait(&mut state);
-            },
+            }
         }
     }
 
@@ -252,31 +300,27 @@ impl Database {
 
     fn deliver_events(&self, state: &mut DbState) {
         let events = state.kernel.drain_events();
-        if events.is_empty() {
-            return;
-        }
-        let mut notify = false;
         for event in events {
-            match event {
-                KernelEvent::Unblocked { txn, outcome } => {
-                    state.delivered.insert(txn, outcome);
-                    notify = true;
-                }
+            let (txn, outcome) = match event {
+                KernelEvent::Unblocked { txn, outcome } => (txn, outcome),
+                // The transaction may be parked in `invoke_call`; deliver
+                // the abort so it can return an error.
                 KernelEvent::Aborted { txn, reason } => {
-                    // The transaction may be parked in `invoke_call`; deliver
-                    // the abort so it can return an error.
-                    state
-                        .delivered
-                        .insert(txn, RequestOutcome::Aborted { reason });
-                    notify = true;
+                    (txn, RequestOutcome::Aborted { reason })
                 }
                 KernelEvent::Committed { .. } => {
                     // Cascaded commits are observable through `outcome_of`.
+                    continue;
+                }
+            };
+            match state.waiters.remove(&txn) {
+                // Exactly the thread blocked on this transaction wakes;
+                // every other parked invocation stays asleep.
+                Some(slot) => slot.fill(outcome),
+                None => {
+                    state.delivered.insert(txn, outcome);
                 }
             }
-        }
-        if notify {
-            self.shared.cond.notify_all();
         }
     }
 }

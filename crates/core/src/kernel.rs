@@ -23,7 +23,7 @@ use crate::errors::CoreError;
 use crate::events::{AbortReason, CommitOutcome, KernelEvent, RequestOutcome};
 use crate::history::HistoryRecorder;
 use crate::object::{Classification, ManagedObject, ObjectId};
-use crate::policy::{SchedulerConfig, VictimPolicy};
+use crate::policy::{CycleDetector, SchedulerConfig, VictimPolicy};
 use crate::stats::KernelStats;
 use crate::txn::{ExecutedOp, PendingRequest, TxnId, TxnRecord, TxnState};
 use sbcc_adt::{AdtObject, AdtSpec, OpCall, OpResult, SemanticObject};
@@ -448,7 +448,7 @@ impl SchedulerKernel {
             if !conflicts.is_empty() {
                 // Step 1: the request conflicts; it must wait unless waiting
                 // would close a cycle.
-                if self.graph.would_close_cycle(txn, &conflicts) {
+                if self.cycle_would_close(txn, &conflicts) {
                     match self.select_victim(txn, &conflicts) {
                         victim if victim == txn => {
                             self.abort_internal(txn, AbortReason::DeadlockCycle);
@@ -500,7 +500,7 @@ impl SchedulerKernel {
 
             // Step 3: recoverable — check the commit-dependency relation
             // stays acyclic, then execute with commit-dependency edges.
-            if self.graph.would_close_cycle(txn, &commit_deps) {
+            if self.cycle_would_close(txn, &commit_deps) {
                 match self.select_victim(txn, &commit_deps) {
                     victim if victim == txn => {
                         self.abort_internal(txn, AbortReason::CommitDependencyCycle);
@@ -519,8 +519,15 @@ impl SchedulerKernel {
                 }
             }
             for holder in &commit_deps {
-                self.graph.add_edge(txn, *holder, EdgeKind::CommitDep);
+                // The stat counts one dependency per (requester, holder)
+                // pair per admitted recoverable request, but the edge is
+                // deduplicated: repeated recoverable operations against the
+                // same holder would otherwise pile up edge multiplicity the
+                // graph has to carry until termination.
                 self.stats.commit_dependencies += 1;
+                if !self.graph.has_edge(txn, *holder, EdgeKind::CommitDep) {
+                    self.graph.add_edge(txn, *holder, EdgeKind::CommitDep);
+                }
             }
             let result = self.execute_op(txn, object, call);
             if is_retry {
@@ -530,6 +537,16 @@ impl SchedulerKernel {
                 result,
                 commit_deps,
             };
+        }
+    }
+
+    /// Dispatch the per-request cycle check to the configured detector.
+    /// Both paths count towards [`Self::cycle_checks`] and are proven
+    /// behaviourally identical by differential tests.
+    fn cycle_would_close(&mut self, from: TxnId, targets: &[TxnId]) -> bool {
+        match self.config.cycle_detector {
+            CycleDetector::Incremental => self.graph.would_close_cycle(from, targets),
+            CycleDetector::SccOracle => self.graph.would_close_cycle_oracle(from, targets),
         }
     }
 

@@ -73,6 +73,6 @@ pub use history::{
 };
 pub use kernel::SchedulerKernel;
 pub use object::{BlockedRequest, Classification, LogEntry, ManagedObject, ObjectId};
-pub use policy::{ConflictPolicy, RecoveryStrategy, SchedulerConfig, VictimPolicy};
+pub use policy::{ConflictPolicy, CycleDetector, RecoveryStrategy, SchedulerConfig, VictimPolicy};
 pub use stats::KernelStats;
 pub use txn::{ExecutedOp, PendingRequest, TxnId, TxnRecord, TxnState};

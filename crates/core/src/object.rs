@@ -6,11 +6,38 @@
 //! tables (through the erased [`SemanticObject`] interface), and the chosen
 //! [`RecoveryStrategy`] decides how operation results are computed and how
 //! commits/aborts update the object state.
+//!
+//! # Indexed classification
+//!
+//! The paper's Figure-2 algorithm classifies every incoming operation
+//! against *every* uncommitted operation in the log. The naive
+//! implementation (retained as [`ManagedObject::classify_naive`], the
+//! reference for differential tests) walks the whole log per request. The
+//! production path instead maintains:
+//!
+//! * a **log index** keyed by `(transaction, operation kind)`, holding for
+//!   each bucket the count of parameterless entries and the multiset of
+//!   distinct distinguishing parameters — so a request touches each
+//!   distinct `(transaction, kind, parameter-relation)` class once instead
+//!   of each log entry; and
+//! * a **classification memo**: a dense `[kind × kind × relation]` matrix
+//!   caching the [`SemanticObject::classify`] verdicts, filled lazily. The
+//!   memo is sound because classification is state-independent and
+//!   *parameter-relational* (the `Yes-SP` / `Yes-DP` refinement only
+//!   inspects whether the distinguishing parameters are equal, different,
+//!   or not comparable — exactly the paper's "state-independent, but
+//!   parameter-dependent" restriction; see [`SemanticObject::classify`]).
+//!
+//! With `T` live transactions on the object, `K` operation kinds and `L`
+//! log entries, a classification costs `O(T·K)` table lookups instead of
+//! `O(L)` full semantic classifications — and `L` grows with transaction
+//! length and contention while `T·K` stays small and bounded.
 
 use crate::policy::{ConflictPolicy, RecoveryStrategy};
 use crate::txn::TxnId;
-use sbcc_adt::{Compatibility, OpCall, OpResult, SemanticObject};
-use std::collections::VecDeque;
+use sbcc_adt::{Compatibility, OpCall, OpResult, SemanticObject, Value};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 /// Identifier of a registered object.
@@ -47,6 +74,8 @@ pub struct BlockedRequest {
 
 /// Summary of classifying a requested operation against an object's log
 /// (and, under fair scheduling, its blocked queue).
+///
+/// Both lists are sorted by transaction id and free of duplicates.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Classification {
     /// Transactions holding at least one uncommitted operation the request
@@ -67,6 +96,95 @@ impl Classification {
     }
 }
 
+/// How the distinguishing parameters of a requested and an executed call
+/// relate — the only parameter information a (parameter-relational)
+/// classification may depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ParamRelation {
+    /// At least one side has no distinguishing parameter.
+    Incomparable = 0,
+    /// Both present and equal.
+    Equal = 1,
+    /// Both present and different.
+    Different = 2,
+}
+
+fn param_relation(requested: &OpCall, executed: &OpCall) -> ParamRelation {
+    match (
+        requested.distinguishing_param(),
+        executed.distinguishing_param(),
+    ) {
+        (Some(a), Some(b)) if a == b => ParamRelation::Equal,
+        (Some(_), Some(_)) => ParamRelation::Different,
+        _ => ParamRelation::Incomparable,
+    }
+}
+
+/// Lazily filled `[kind × kind × relation]` cache of raw
+/// [`SemanticObject::classify`] verdicts.
+#[derive(Debug, Clone)]
+struct ClassifyMemo {
+    arity: usize,
+    cells: Vec<[Option<Compatibility>; 3]>,
+}
+
+impl ClassifyMemo {
+    fn new(arity: usize) -> Self {
+        ClassifyMemo {
+            arity,
+            cells: vec![[None; 3]; arity * arity],
+        }
+    }
+
+    fn classify(
+        &mut self,
+        object: &dyn SemanticObject,
+        requested: &OpCall,
+        executed: &OpCall,
+    ) -> Compatibility {
+        let rel = param_relation(requested, executed);
+        debug_assert!(
+            requested.kind < self.arity && executed.kind < self.arity,
+            "operation kind out of range for {} ({} kinds)",
+            object.type_name(),
+            self.arity
+        );
+        let idx = requested.kind * self.arity + executed.kind;
+        let slot = &mut self.cells[idx][rel as usize];
+        if let Some(c) = *slot {
+            return c;
+        }
+        let c = object.classify(requested, executed);
+        *slot = Some(c);
+        c
+    }
+}
+
+/// Per-`(transaction, kind)` summary of the uncommitted log: how many
+/// entries lack a distinguishing parameter, and the distinct parameters
+/// (with multiplicities) of those that have one.
+#[derive(Debug, Clone, Default)]
+struct KindBucket {
+    nullary: u32,
+    params: HashMap<Value, u32>,
+}
+
+impl KindBucket {
+    fn is_empty(&self) -> bool {
+        self.nullary == 0 && self.params.is_empty()
+    }
+
+    /// Any parameter different from `p`, if one exists.
+    fn param_other_than(&self, p: &Value) -> Option<&Value> {
+        self.params.keys().find(|q| *q != p)
+    }
+
+    /// Any parameter at all, if one exists.
+    fn any_param(&self) -> Option<&Value> {
+        self.params.keys().next()
+    }
+}
+
 /// The per-object state maintained by the kernel.
 pub struct ManagedObject {
     id: ObjectId,
@@ -81,6 +199,11 @@ pub struct ManagedObject {
     materialized: Option<Box<dyn SemanticObject>>,
     /// Uncommitted operations, in execution order.
     log: Vec<LogEntry>,
+    /// The log indexed by `(transaction, operation kind)`.
+    index: HashMap<TxnId, HashMap<usize, KindBucket>>,
+    /// Memoised classification verdicts (interior mutability: filling the
+    /// cache is logically a read).
+    memo: RefCell<ClassifyMemo>,
     /// Blocked requests, FIFO.
     blocked: VecDeque<BlockedRequest>,
     strategy: RecoveryStrategy,
@@ -110,6 +233,7 @@ impl ManagedObject {
             RecoveryStrategy::IntentionsList => None,
             RecoveryStrategy::UndoReplay => Some(object.boxed_clone()),
         };
+        let arity = object.op_names().len();
         ManagedObject {
             id,
             name: name.into(),
@@ -117,6 +241,8 @@ impl ManagedObject {
             committed: object,
             materialized,
             log: Vec::new(),
+            index: HashMap::new(),
+            memo: RefCell::new(ClassifyMemo::new(arity)),
             blocked: VecDeque::new(),
             strategy,
         }
@@ -162,6 +288,73 @@ impl ManagedObject {
         &self.blocked
     }
 
+    /// Raw memoised classification of `requested` against `executed`,
+    /// before any policy demotion.
+    fn raw_classify(&self, requested: &OpCall, executed: &OpCall) -> Compatibility {
+        self.memo
+            .borrow_mut()
+            .classify(self.committed.as_ref(), requested, executed)
+    }
+
+    fn demote(policy: ConflictPolicy, c: Compatibility) -> Compatibility {
+        match (policy, c) {
+            (ConflictPolicy::CommutativityOnly, Compatibility::Recoverable) => {
+                Compatibility::NonRecoverable
+            }
+            (_, c) => c,
+        }
+    }
+
+    fn effective(
+        &self,
+        policy: ConflictPolicy,
+        requested: &OpCall,
+        executed: &OpCall,
+    ) -> Compatibility {
+        Self::demote(policy, self.raw_classify(requested, executed))
+    }
+
+    /// Worst-case (most restrictive) classification of `call` against one
+    /// `(transaction, kind)` bucket, touching each parameter-relation class
+    /// at most once.
+    fn bucket_severity(
+        &self,
+        policy: ConflictPolicy,
+        call: &OpCall,
+        kind: usize,
+        bucket: &KindBucket,
+    ) -> Compatibility {
+        let mut severity = Compatibility::Commutative;
+        let consider = |rep: &OpCall, severity: &mut Compatibility| {
+            *severity = (*severity).max(self.effective(policy, call, rep));
+        };
+        match call.distinguishing_param() {
+            None => {
+                // Every entry of the bucket is in the Incomparable class
+                // (SP/DP can never hold without a parameter on both sides).
+                if bucket.nullary > 0 {
+                    consider(&OpCall::nullary(kind), &mut severity);
+                } else if let Some(p) = bucket.any_param() {
+                    consider(&OpCall::unary(kind, p.clone()), &mut severity);
+                }
+            }
+            Some(p) => {
+                if bucket.nullary > 0 {
+                    consider(&OpCall::nullary(kind), &mut severity);
+                }
+                if severity < Compatibility::NonRecoverable && bucket.params.contains_key(p) {
+                    consider(&OpCall::unary(kind, p.clone()), &mut severity);
+                }
+                if severity < Compatibility::NonRecoverable {
+                    if let Some(q) = bucket.param_other_than(p) {
+                        consider(&OpCall::unary(kind, q.clone()), &mut severity);
+                    }
+                }
+            }
+        }
+        severity
+    }
+
     /// Classify `call`, requested by `txn`, against the uncommitted
     /// operations of **other** transactions in the log.
     ///
@@ -173,6 +366,9 @@ impl ManagedObject {
     /// (typically the object's blocked queue) are also checked: a conflict
     /// with any of them blocks the request even though they have not
     /// executed (the fair-scheduling rule of Section 5.2).
+    ///
+    /// This is the indexed hot path; it is differentially tested against
+    /// [`Self::classify_naive`].
     pub fn classify(
         &self,
         policy: ConflictPolicy,
@@ -183,22 +379,24 @@ impl ManagedObject {
         let mut conflicts: Vec<TxnId> = Vec::new();
         let mut commit_deps: Vec<TxnId> = Vec::new();
 
-        for entry in &self.log {
-            if entry.txn == txn {
+        for (other, kinds) in &self.index {
+            if *other == txn {
                 continue;
             }
-            match self.effective(policy, call, &entry.call) {
+            let mut severity = Compatibility::Commutative;
+            for (kind, bucket) in kinds {
+                if bucket.is_empty() {
+                    continue;
+                }
+                severity = severity.max(self.bucket_severity(policy, call, *kind, bucket));
+                if severity == Compatibility::NonRecoverable {
+                    break;
+                }
+            }
+            match severity {
+                Compatibility::NonRecoverable => conflicts.push(*other),
+                Compatibility::Recoverable => commit_deps.push(*other),
                 Compatibility::Commutative => {}
-                Compatibility::Recoverable => {
-                    if !commit_deps.contains(&entry.txn) {
-                        commit_deps.push(entry.txn);
-                    }
-                }
-                Compatibility::NonRecoverable => {
-                    if !conflicts.contains(&entry.txn) {
-                        conflicts.push(entry.txn);
-                    }
-                }
             }
         }
         for (other, other_call) in fairness_extra {
@@ -221,27 +419,89 @@ impl ManagedObject {
                 conflicts.push(*other);
             }
         }
+        conflicts.sort_unstable();
         // A transaction that must be waited on anyway is not listed as a
         // commit dependency.
-        commit_deps.retain(|t| !conflicts.contains(t));
+        commit_deps.retain(|t| conflicts.binary_search(t).is_err());
+        commit_deps.sort_unstable();
         Classification {
             conflicts,
             commit_deps,
         }
     }
 
-    fn effective(&self, policy: ConflictPolicy, requested: &OpCall, executed: &OpCall) -> Compatibility {
-        let c = self.committed.classify(requested, executed);
-        match (policy, c) {
-            (ConflictPolicy::CommutativityOnly, Compatibility::Recoverable) => {
-                Compatibility::NonRecoverable
+    /// The pre-index reference implementation of [`Self::classify`]: a
+    /// linear walk of the whole log, calling the semantic classification
+    /// for every entry. Retained (and kept behaviourally identical) as the
+    /// oracle for differential tests; not used on the hot path.
+    pub fn classify_naive(
+        &self,
+        policy: ConflictPolicy,
+        txn: TxnId,
+        call: &OpCall,
+        fairness_extra: &[(TxnId, OpCall)],
+    ) -> Classification {
+        let mut conflicts: Vec<TxnId> = Vec::new();
+        let mut commit_deps: Vec<TxnId> = Vec::new();
+
+        for entry in &self.log {
+            if entry.txn == txn {
+                continue;
             }
-            (_, c) => c,
+            match Self::demote(policy, self.committed.classify(call, &entry.call)) {
+                Compatibility::Commutative => {}
+                Compatibility::Recoverable => {
+                    if !commit_deps.contains(&entry.txn) {
+                        commit_deps.push(entry.txn);
+                    }
+                }
+                Compatibility::NonRecoverable => {
+                    if !conflicts.contains(&entry.txn) {
+                        conflicts.push(entry.txn);
+                    }
+                }
+            }
+        }
+        for (other, other_call) in fairness_extra {
+            if *other == txn {
+                continue;
+            }
+            let incoming_after_blocked =
+                Self::demote(policy, self.committed.classify(call, other_call));
+            let blocked_after_incoming =
+                Self::demote(policy, self.committed.classify(other_call, call));
+            if (incoming_after_blocked == Compatibility::NonRecoverable
+                || blocked_after_incoming == Compatibility::NonRecoverable)
+                && !conflicts.contains(other)
+            {
+                conflicts.push(*other);
+            }
+        }
+        conflicts.sort_unstable();
+        commit_deps.retain(|t| conflicts.binary_search(t).is_err());
+        commit_deps.sort_unstable();
+        Classification {
+            conflicts,
+            commit_deps,
+        }
+    }
+
+    fn index_insert(&mut self, txn: TxnId, call: &OpCall) {
+        let bucket = self
+            .index
+            .entry(txn)
+            .or_default()
+            .entry(call.kind)
+            .or_default();
+        match call.distinguishing_param() {
+            Some(p) => *bucket.params.entry(p.clone()).or_insert(0) += 1,
+            None => bucket.nullary += 1,
         }
     }
 
     /// Execute an admitted operation for `txn`, computing its result
-    /// according to the recovery strategy and appending it to the log.
+    /// according to the recovery strategy and appending it to the log (and
+    /// the log index).
     pub fn execute(&mut self, txn: TxnId, seq: u64, call: OpCall) -> OpResult {
         let result = match self.strategy {
             RecoveryStrategy::IntentionsList => {
@@ -261,6 +521,7 @@ impl ManagedObject {
                 materialized.apply(&call)
             }
         };
+        self.index_insert(txn, &call);
         self.log.push(LogEntry {
             txn,
             seq,
@@ -289,8 +550,10 @@ impl ManagedObject {
             }
         }
         self.log = remaining;
+        self.index.remove(&txn);
         // The materialized state already contains the committed operations;
-        // nothing to do for undo-replay.
+        // nothing to do for undo-replay. The classification memo stays
+        // valid: classification is state-independent by contract.
     }
 
     /// Remove all of `txn`'s logged operations (abort). Under undo-replay
@@ -298,11 +561,11 @@ impl ManagedObject {
     /// the committed state — a semantic undo that never clobbers the effects
     /// of later, recoverable operations.
     pub fn abort_txn(&mut self, txn: TxnId) {
-        let had_ops = self.log.iter().any(|e| e.txn == txn);
-        self.log.retain(|e| e.txn != txn);
+        let had_ops = self.index.remove(&txn).is_some();
         if !had_ops {
             return;
         }
+        self.log.retain(|e| e.txn != txn);
         if self.strategy == RecoveryStrategy::UndoReplay {
             let mut rebuilt = self.committed.boxed_clone();
             for entry in &self.log {
@@ -342,14 +605,11 @@ impl ManagedObject {
             .collect()
     }
 
-    /// Transactions that currently hold at least one operation in the log.
+    /// Transactions that currently hold at least one operation in the log,
+    /// sorted by id.
     pub fn holders(&self) -> Vec<TxnId> {
-        let mut out: Vec<TxnId> = Vec::new();
-        for e in &self.log {
-            if !out.contains(&e.txn) {
-                out.push(e.txn);
-            }
-        }
+        let mut out: Vec<TxnId> = self.index.keys().copied().collect();
+        out.sort_unstable();
         out
     }
 }
@@ -451,6 +711,29 @@ mod tests {
     }
 
     #[test]
+    fn indexed_and_naive_classification_agree_on_scripted_logs() {
+        for policy in [
+            ConflictPolicy::Recoverability,
+            ConflictPolicy::CommutativityOnly,
+        ] {
+            let mut obj = stack_object(RecoveryStrategy::IntentionsList);
+            obj.execute(TxnId(1), 1, push(1));
+            obj.execute(TxnId(1), 2, top());
+            obj.execute(TxnId(2), 3, push(2));
+            obj.execute(TxnId(3), 4, pop());
+            obj.execute(TxnId(3), 5, push(3));
+            let fairness = vec![(TxnId(4), pop()), (TxnId(5), top())];
+            for call in [push(1), push(9), pop(), top()] {
+                for requester in [TxnId(1), TxnId(2), TxnId(6)] {
+                    let fast = obj.classify(policy, requester, &call, &fairness);
+                    let slow = obj.classify_naive(policy, requester, &call, &fairness);
+                    assert_eq!(fast, slow, "policy {policy:?} call {call} by {requester}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn intentions_list_results_ignore_other_transactions() {
         let mut obj = stack_object(RecoveryStrategy::IntentionsList);
         // T1 pushes 4; T2 pushes 2; both see "ok", and the committed state
@@ -543,5 +826,21 @@ mod tests {
         assert!(format!("{obj:?}").contains("log_len"));
         assert_eq!(obj.name(), "s");
         assert_eq!(obj.id(), ObjectId(0));
+    }
+
+    #[test]
+    fn index_tracks_commits_and_aborts() {
+        let mut obj = stack_object(RecoveryStrategy::IntentionsList);
+        obj.execute(TxnId(1), 1, push(1));
+        obj.execute(TxnId(2), 2, push(2));
+        obj.commit_txn(TxnId(1));
+        assert_eq!(obj.holders(), vec![TxnId(2)]);
+        // After T1 committed, a pop by T3 depends only on T2.
+        let c = obj.classify(ConflictPolicy::Recoverability, TxnId(3), &pop(), &[]);
+        assert_eq!(c.conflicts, vec![TxnId(2)]);
+        obj.abort_txn(TxnId(2));
+        assert!(obj.holders().is_empty());
+        let c = obj.classify(ConflictPolicy::Recoverability, TxnId(3), &pop(), &[]);
+        assert!(c.is_free());
     }
 }

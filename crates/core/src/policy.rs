@@ -68,6 +68,29 @@ impl fmt::Display for RecoveryStrategy {
     }
 }
 
+/// Which algorithm answers the per-request "would this close a cycle?"
+/// question on the dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleDetector {
+    /// The incremental detector: a topological order is maintained across
+    /// edge inserts (Pearce–Kelly) and each check is pruned by it —
+    /// amortised near-constant on the scheduler's workload. The default.
+    Incremental,
+    /// The pre-incremental path: a from-scratch Tarjan SCC pass over a
+    /// snapshot of the graph per check. Retained for benchmarks and
+    /// differential tests; behaviourally identical, asymptotically slower.
+    SccOracle,
+}
+
+impl fmt::Display for CycleDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CycleDetector::Incremental => write!(f, "incremental"),
+            CycleDetector::SccOracle => write!(f, "scc-oracle"),
+        }
+    }
+}
+
 /// Which transaction is aborted when a request would close a cycle in the
 /// dependency graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,6 +125,8 @@ pub struct SchedulerConfig {
     pub recovery: RecoveryStrategy,
     /// Victim selection when a cycle is detected.
     pub victim: VictimPolicy,
+    /// Cycle-detection algorithm for the per-request checks.
+    pub cycle_detector: CycleDetector,
     /// Record the full execution history (needed by the serializability
     /// checker; adds memory proportional to the number of operations).
     pub record_history: bool,
@@ -114,6 +139,7 @@ impl Default for SchedulerConfig {
             fair_scheduling: true,
             recovery: RecoveryStrategy::IntentionsList,
             victim: VictimPolicy::Requester,
+            cycle_detector: CycleDetector::Incremental,
             record_history: true,
         }
     }
@@ -152,6 +178,12 @@ impl SchedulerConfig {
         self
     }
 
+    /// Builder-style: set the cycle-detection algorithm.
+    pub fn with_cycle_detector(mut self, detector: CycleDetector) -> Self {
+        self.cycle_detector = detector;
+        self
+    }
+
     /// Builder-style: enable or disable history recording.
     pub fn with_history(mut self, record: bool) -> Self {
         self.record_history = record;
@@ -170,6 +202,7 @@ mod tests {
         assert!(c.fair_scheduling);
         assert_eq!(c.recovery, RecoveryStrategy::IntentionsList);
         assert_eq!(c.victim, VictimPolicy::Requester);
+        assert_eq!(c.cycle_detector, CycleDetector::Incremental);
         assert!(c.record_history);
     }
 
@@ -193,11 +226,13 @@ mod tests {
             .with_fair_scheduling(false)
             .with_recovery(RecoveryStrategy::UndoReplay)
             .with_victim(VictimPolicy::Youngest)
+            .with_cycle_detector(CycleDetector::SccOracle)
             .with_history(false);
         assert_eq!(c.policy, ConflictPolicy::CommutativityOnly);
         assert!(!c.fair_scheduling);
         assert_eq!(c.recovery, RecoveryStrategy::UndoReplay);
         assert_eq!(c.victim, VictimPolicy::Youngest);
+        assert_eq!(c.cycle_detector, CycleDetector::SccOracle);
         assert!(!c.record_history);
     }
 
@@ -209,5 +244,7 @@ mod tests {
         assert_eq!(RecoveryStrategy::UndoReplay.to_string(), "undo-replay");
         assert_eq!(VictimPolicy::Requester.to_string(), "requester");
         assert_eq!(VictimPolicy::Youngest.to_string(), "youngest");
+        assert_eq!(CycleDetector::Incremental.to_string(), "incremental");
+        assert_eq!(CycleDetector::SccOracle.to_string(), "scc-oracle");
     }
 }

@@ -1,0 +1,251 @@
+//! Kernel-throughput baseline: deterministic workloads timed with wall
+//! clocks and dumped as JSON (`BENCH_kernel.json`), so successive PRs have
+//! a recorded perf trajectory without needing the full criterion suite.
+//!
+//! The workloads mirror the `kernel_throughput` criterion bench:
+//!
+//! * `mixed_<policy>` — 64 transactions × 8 operations over a hot
+//!   stack/counter/table set;
+//! * `dense_chain_<n>_<detector>` — `n` concurrent recoverable pushes on
+//!   one stack (a quadratic cycle-check workload) committed in reverse;
+//! * `hotspot_counter_200` — 200 concurrent commuting increments;
+//! * `graph_checks_<detector>` — raw would-close-cycle checks on a dense
+//!   1000-node dependency graph.
+
+use sbcc_adt::{Counter, CounterOp, Stack, StackOp, TableObject, TableOp, Value};
+use sbcc_core::{ConflictPolicy, CycleDetector, SchedulerConfig, SchedulerKernel};
+use sbcc_graph::{DependencyGraph, EdgeKind};
+use std::time::{Duration, Instant};
+
+/// One measured workload.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Workload identifier.
+    pub name: String,
+    /// Total work items (operations / checks) across all repetitions.
+    pub ops: u64,
+    /// Wall-clock seconds spent.
+    pub elapsed_secs: f64,
+    /// Work items per second.
+    pub ops_per_sec: f64,
+}
+
+/// Repeat `workload` until `budget` wall time has elapsed (at least twice)
+/// and record its throughput. The closure returns the number of work items
+/// it performed.
+fn measure(name: &str, budget: Duration, mut workload: impl FnMut() -> u64) -> BenchResult {
+    // Warm-up round (not counted).
+    let _ = workload();
+    let start = Instant::now();
+    let mut ops = 0u64;
+    let mut reps = 0u32;
+    while reps < 2 || start.elapsed() < budget {
+        ops += workload();
+        reps += 1;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    BenchResult {
+        name: name.to_owned(),
+        ops,
+        elapsed_secs: elapsed,
+        ops_per_sec: ops as f64 / elapsed.max(f64::EPSILON),
+    }
+}
+
+fn mixed_workload(policy: ConflictPolicy) -> u64 {
+    let mut kernel = SchedulerKernel::new(
+        SchedulerConfig::default()
+            .with_policy(policy)
+            .with_history(false),
+    );
+    let stack = kernel.register("stack", Stack::new()).unwrap();
+    let counter = kernel.register("counter", Counter::new()).unwrap();
+    let table = kernel.register("table", TableObject::new()).unwrap();
+    for round in 0..64i64 {
+        let t = kernel.begin();
+        let mut aborted = false;
+        for step in 0..8i64 {
+            let outcome = match step % 4 {
+                0 => kernel.request_op(t, stack, &StackOp::Push(Value::Int(round))),
+                1 => kernel.request_op(t, counter, &CounterOp::Increment(1)),
+                2 => kernel.request_op(
+                    t,
+                    table,
+                    &TableOp::Insert(Value::Int(round * 8 + step), Value::Int(step)),
+                ),
+                _ => kernel.request_op(t, counter, &CounterOp::Decrement(1)),
+            }
+            .unwrap();
+            if !outcome.is_executed() {
+                aborted = true;
+                break;
+            }
+        }
+        if !aborted {
+            let _ = kernel.commit(t);
+        }
+        let _ = kernel.drain_events();
+    }
+    kernel.stats().operations_executed
+}
+
+fn dense_chain(n: u64, detector: CycleDetector) -> u64 {
+    let mut kernel = SchedulerKernel::new(
+        SchedulerConfig::default()
+            .with_cycle_detector(detector)
+            .with_history(false),
+    );
+    let stack = kernel.register("stack", Stack::new()).unwrap();
+    let txns: Vec<_> = (0..n).map(|_| kernel.begin()).collect();
+    for (i, t) in txns.iter().enumerate() {
+        let r = kernel
+            .request_op(*t, stack, &StackOp::Push(Value::Int(i as i64)))
+            .unwrap();
+        assert!(r.is_executed());
+    }
+    for t in txns.iter().rev() {
+        let _ = kernel.commit(*t);
+    }
+    let _ = kernel.drain_events();
+    kernel.stats().operations_executed + kernel.stats().commits
+}
+
+fn hotspot_counter() -> u64 {
+    let mut kernel = SchedulerKernel::new(SchedulerConfig::default().with_history(false));
+    let counter = kernel.register("hits", Counter::new()).unwrap();
+    let txns: Vec<_> = (0..200).map(|_| kernel.begin()).collect();
+    for t in &txns {
+        let _ = kernel.request_op(*t, counter, &CounterOp::Increment(1));
+    }
+    for t in &txns {
+        let _ = kernel.commit(*t);
+    }
+    kernel.stats().operations_executed + kernel.stats().commits
+}
+
+fn graph_checks(detector: CycleDetector) -> u64 {
+    let n = 1000u64;
+    let mut g: DependencyGraph<u64> = DependencyGraph::new();
+    for i in 1..n {
+        g.add_edge(i, i - 1, EdgeKind::CommitDep);
+        if i % 7 == 0 {
+            g.add_edge(i, i / 2, EdgeKind::WaitFor);
+        }
+    }
+    let queries: Vec<(u64, Vec<u64>)> = vec![
+        (n - 1, vec![0, n / 2]),
+        (n / 2 + 1, vec![n / 2, 1]),
+        (n / 2, vec![n / 2 + 2]),
+        (n - 2, vec![n - 1]),
+    ];
+    // The oracle pass is orders of magnitude slower; keep the rep count
+    // proportionate so a run stays fast.
+    let reps = match detector {
+        CycleDetector::Incremental => 500,
+        CycleDetector::SccOracle => 5,
+    };
+    let mut checks = 0u64;
+    for _ in 0..reps {
+        for (from, targets) in &queries {
+            let _ = match detector {
+                CycleDetector::Incremental => g.would_close_cycle(*from, targets),
+                CycleDetector::SccOracle => g.would_close_cycle_oracle(*from, targets),
+            };
+            checks += 1;
+        }
+    }
+    checks
+}
+
+/// Run every baseline workload. `quick` shrinks time budgets and the dense
+/// chain size (used by CI smoke runs).
+pub fn run_all(quick: bool) -> Vec<BenchResult> {
+    let budget = if quick {
+        Duration::from_millis(80)
+    } else {
+        Duration::from_millis(400)
+    };
+    let chain_n = if quick { 128 } else { 384 };
+    let mut results = Vec::new();
+    for policy in [
+        ConflictPolicy::CommutativityOnly,
+        ConflictPolicy::Recoverability,
+    ] {
+        results.push(measure(&format!("mixed_{policy}"), budget, || {
+            mixed_workload(policy)
+        }));
+    }
+    for detector in [CycleDetector::Incremental, CycleDetector::SccOracle] {
+        results.push(measure(
+            &format!("dense_chain_{chain_n}_{detector}"),
+            budget,
+            || dense_chain(chain_n, detector),
+        ));
+    }
+    results.push(measure("hotspot_counter_200", budget, hotspot_counter));
+    for detector in [CycleDetector::Incremental, CycleDetector::SccOracle] {
+        results.push(measure(&format!("graph_checks_{detector}"), budget, || {
+            graph_checks(detector)
+        }));
+    }
+    results
+}
+
+/// Render results as the `BENCH_kernel.json` document (hand-rolled JSON —
+/// the offline build has no serde).
+pub fn to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"suite\": \"kernel_throughput\",\n");
+    out.push_str("  \"note\": \"ops/sec are machine-dependent; compare ratios across entries and trends across commits\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ops\": {}, \"elapsed_secs\": {:.4}, \"ops_per_sec\": {:.1}}}{}\n",
+            r.name,
+            r.ops,
+            r.elapsed_secs,
+            r.ops_per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_all_entries_and_valid_json() {
+        let results = run_all(true);
+        assert_eq!(results.len(), 7);
+        for r in &results {
+            assert!(r.ops > 0, "{} did work", r.name);
+            assert!(r.ops_per_sec > 0.0);
+        }
+        let json = to_json(&results);
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("dense_chain"));
+        assert!(json.contains("graph_checks_incremental"));
+        // Crude JSON sanity: balanced braces/brackets, one object per line.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn incremental_detector_beats_the_oracle_on_the_graph_microbench() {
+        let results = run_all(true);
+        let rate = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| r.ops_per_sec)
+                .expect("entry present")
+        };
+        let speedup = rate("graph_checks_incremental") / rate("graph_checks_scc-oracle");
+        assert!(
+            speedup >= 2.0,
+            "incremental checks should be at least 2x the oracle (got {speedup:.1}x)"
+        );
+    }
+}

@@ -11,15 +11,19 @@
 //! * [`figures`] — runs the simulation sweeps behind Figures 4–18 and
 //!   formats them as the series the paper plots;
 //! * [`summary`] — recomputes the Section 5.6 headline claims (peak
-//!   throughput improvements, thrashing onset, ratio orderings).
+//!   throughput improvements, thrashing onset, ratio orderings);
+//! * [`bench_kernel`] — deterministic kernel-throughput workloads dumped to
+//!   `BENCH_kernel.json` so successive PRs have a perf trajectory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_kernel;
 pub mod figures;
 pub mod output;
 pub mod summary;
 pub mod tables;
 
+pub use bench_kernel::{run_all as run_kernel_bench, BenchResult};
 pub use figures::{Figure, FigureId, Scale, SeriesSpec};
 pub use output::{format_table, SeriesTable};

@@ -6,6 +6,7 @@
 //! repro --figures            reproduce every figure
 //! repro --summary            recompute the Section 5.6 headline claims
 //! repro --all                tables + figures + summary
+//! repro --bench-kernel       measure kernel throughput, write BENCH_kernel.json
 //!
 //! scale options:
 //!   --quick                  2 000 completions, 1 run, mpl ∈ {10,25,50,100}
@@ -16,6 +17,7 @@
 //!   --csv                    emit CSV instead of aligned text
 //! ```
 
+use sbcc_experiments::bench_kernel;
 use sbcc_experiments::figures::{FigureId, FigureRunner, Scale};
 use sbcc_experiments::summary::compute_summary;
 use sbcc_experiments::tables::render_table;
@@ -34,6 +36,8 @@ struct Args {
     completions: Option<u64>,
     mpl: Option<Vec<usize>>,
     csv: bool,
+    bench_kernel: bool,
+    bench_out: Option<String>,
     help: bool,
 }
 
@@ -62,6 +66,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--figures" => args.all_figures = true,
             "--summary" => args.summary = true,
             "--all" => args.all = true,
+            "--bench-kernel" => args.bench_kernel = true,
+            "--bench-out" => {
+                args.bench_out = Some(take_value(&mut i)?);
+            }
             "--quick" => args.quick = true,
             "--full" => args.full = true,
             "--csv" => args.csv = true,
@@ -96,6 +104,8 @@ fn usage() -> &'static str {
        repro --figures                      reproduce every figure\n\
        repro --summary                      recompute the Section 5.6 claims\n\
        repro --all                          tables + figures + summary\n\
+       repro --bench-kernel                 measure kernel throughput, write BENCH_kernel.json\n\
+         [--bench-out PATH]                 override the output path\n\
      \n\
      scale options:\n\
        --quick             2000 completions, 1 run, mpl in {10,25,50,100}\n\
@@ -142,10 +152,29 @@ fn main() -> ExitCode {
             && args.figures.is_empty()
             && !args.all_figures
             && !args.summary
+            && !args.bench_kernel
             && !args.all)
     {
         println!("{}", usage());
         return ExitCode::SUCCESS;
+    }
+
+    if args.bench_kernel {
+        let out_path = args.bench_out.clone().unwrap_or_else(|| "BENCH_kernel.json".to_owned());
+        eprintln!(
+            "# measuring kernel throughput ({} mode)",
+            if args.quick { "quick" } else { "standard" }
+        );
+        let results = bench_kernel::run_all(args.quick);
+        for r in &results {
+            println!("{:<44} {:>14.1} ops/s  ({} ops in {:.2}s)", r.name, r.ops_per_sec, r.ops, r.elapsed_secs);
+        }
+        let json = bench_kernel::to_json(&results);
+        if let Err(e) = std::fs::write(&out_path, json) {
+            eprintln!("error: cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# wrote {out_path}");
     }
 
     // Tables.

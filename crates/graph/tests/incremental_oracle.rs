@@ -1,0 +1,123 @@
+//! Property tests proving the incremental cycle detector behaviourally
+//! equivalent to the from-scratch SCC oracle (`has_cycle_scc`) across
+//! random edge-insert/remove sequences, and that the cycle-check counter's
+//! semantics stay monotone.
+
+use proptest::prelude::*;
+use sbcc_graph::cycle::has_cycle_scc;
+use sbcc_graph::{DependencyGraph, EdgeKind};
+
+#[derive(Debug, Clone)]
+enum Op {
+    AddEdge(u32, u32, EdgeKind),
+    RemoveEdge(u32, u32, EdgeKind),
+    RemoveNode(u32),
+    ClearOut(u32, EdgeKind),
+    Query(u32, Vec<u32>),
+}
+
+fn arb_kind() -> impl Strategy<Value = EdgeKind> {
+    prop_oneof![Just(EdgeKind::WaitFor), Just(EdgeKind::CommitDep)]
+}
+
+fn arb_op(n_nodes: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..n_nodes, 0..n_nodes, arb_kind()).prop_map(|(a, b, k)| Op::AddEdge(a, b, k)),
+        (0..n_nodes, 0..n_nodes, arb_kind()).prop_map(|(a, b, k)| Op::RemoveEdge(a, b, k)),
+        (0..n_nodes).prop_map(Op::RemoveNode),
+        (0..n_nodes, arb_kind()).prop_map(|(a, k)| Op::ClearOut(a, k)),
+        (0..n_nodes, proptest::collection::vec(0..n_nodes, 0..4))
+            .prop_map(|(from, targets)| Op::Query(from, targets)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn incremental_detector_agrees_with_scc_oracle(
+        ops in proptest::collection::vec(arb_op(10), 1..60)
+    ) {
+        let mut g: DependencyGraph<u32> = DependencyGraph::new();
+        for op in &ops {
+            match op {
+                Op::AddEdge(a, b, k) => {
+                    g.add_edge(*a, *b, *k);
+                }
+                Op::RemoveEdge(a, b, k) => {
+                    g.remove_edge(*a, *b, *k);
+                }
+                Op::RemoveNode(n) => {
+                    g.remove_node(*n);
+                }
+                Op::ClearOut(n, k) => {
+                    g.clear_out_edges(*n, *k);
+                }
+                Op::Query(from, targets) => {
+                    let incremental = g.would_close_cycle(*from, targets);
+                    let oracle = g.would_close_cycle_oracle(*from, targets);
+                    prop_assert_eq!(
+                        incremental, oracle,
+                        "would_close_cycle({:?}, {:?}) diverged after {:?}",
+                        from, targets, ops
+                    );
+                }
+            }
+            // After every mutation: the maintained order must be internally
+            // consistent, and the O(1)/fallback acyclicity answer must match
+            // the from-scratch Tarjan SCC pass over the exported adjacency.
+            prop_assert!(g.debug_check_order().is_ok(), "{:?}", g.debug_check_order());
+            let oracle_cyclic = has_cycle_scc(&g.to_adjacency());
+            prop_assert_eq!(g.has_cycle(), oracle_cyclic);
+            if g.order_is_valid() {
+                prop_assert!(!oracle_cyclic, "valid order implies acyclic");
+            } else {
+                prop_assert!(oracle_cyclic, "order is only invalidated by real cycles");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_check_counter_is_monotone_and_counts_every_check(
+        ops in proptest::collection::vec(arb_op(8), 1..40)
+    ) {
+        let mut g: DependencyGraph<u32> = DependencyGraph::new();
+        let mut last = g.cycle_checks();
+        prop_assert_eq!(last, 0);
+        for op in &ops {
+            let before = g.cycle_checks();
+            prop_assert!(before >= last, "counter never decreases");
+            last = before;
+            match op {
+                Op::AddEdge(a, b, k) => {
+                    g.add_edge(*a, *b, *k);
+                    // Maintenance never counts as a scheduler cycle check.
+                    prop_assert_eq!(g.cycle_checks(), before);
+                }
+                Op::RemoveEdge(a, b, k) => {
+                    g.remove_edge(*a, *b, *k);
+                    prop_assert_eq!(g.cycle_checks(), before);
+                }
+                Op::RemoveNode(n) => {
+                    g.remove_node(*n);
+                    prop_assert_eq!(g.cycle_checks(), before);
+                }
+                Op::ClearOut(n, k) => {
+                    g.clear_out_edges(*n, *k);
+                    prop_assert_eq!(g.cycle_checks(), before);
+                }
+                Op::Query(from, targets) => {
+                    let _ = g.would_close_cycle(*from, targets);
+                    prop_assert_eq!(g.cycle_checks(), before + 1, "each check counts once");
+                    let _ = g.would_close_cycle_oracle(*from, targets);
+                    prop_assert_eq!(g.cycle_checks(), before + 2, "oracle checks count too");
+                }
+            }
+            let checks_before_has_cycle = g.cycle_checks();
+            let _ = g.has_cycle();
+            prop_assert_eq!(g.cycle_checks(), checks_before_has_cycle + 1);
+        }
+        g.reset_cycle_checks();
+        prop_assert_eq!(g.cycle_checks(), 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface this workspace's benches use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `warm_up_time` /
+//! `measurement_time` / `bench_function` / `finish`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: after a wall-clock warm-up, the harness picks an
+//! iteration count per sample so one sample costs roughly
+//! `measurement_time / sample_size`, times `sample_size` samples, and
+//! reports the mean and best time per iteration. Passing `--test` (as
+//! `cargo bench -- --test` does) runs every benchmark once for a smoke
+//! check instead of measuring.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmark
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement markers (only wall time is supported).
+pub mod measurement {
+    /// Wall-clock measurement.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run the routine `iterations` times, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Harness entry point, normally constructed by [`criterion_main!`].
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filters: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply command-line arguments (`--test`, name filters; other flags are
+    /// accepted and ignored for CLI compatibility).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags (with possible values) we accept and ignore.
+                "--warm-up-time" | "--measurement-time" | "--sample-size" | "--save-baseline"
+                | "--baseline" | "--load-baseline" | "--output-format" | "--color" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {}
+                filter => self.filters.push(filter.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock warm-up budget before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Wall-clock measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Define and (unless filtered out) immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        if !self.criterion.matches(&id) {
+            return self;
+        }
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                iterations: 1,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            println!("test {id} ... ok");
+            return self;
+        }
+
+        // Warm up and estimate the per-iteration cost.
+        let mut per_iter = Duration::from_nanos(1);
+        let warm_up_start = Instant::now();
+        let mut warm_iters = 1u64;
+        while warm_up_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher {
+                iterations: warm_iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            if b.elapsed > Duration::ZERO {
+                per_iter = b.elapsed / warm_iters as u32;
+            }
+            warm_iters = (warm_iters * 2).min(1 << 20);
+        }
+
+        // Pick iterations per sample so a sample costs roughly
+        // measurement_time / sample_size.
+        let sample_budget = self.measurement_time / self.sample_size as u32;
+        let iters = (sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iterations: iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are never NaN"));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let best = samples[0];
+        let median = samples[samples.len() / 2];
+        println!(
+            "{id:<60} mean {:>12}  median {:>12}  best {:>12}  ({} samples x {} iters)",
+            format_ns(mean),
+            format_ns(median),
+            format_ns(best),
+            samples.len(),
+            iters
+        );
+        self
+    }
+
+    /// End the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iterations: 5,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn groups_run_benchmarks_in_test_mode() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: Vec::new(),
+        };
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(2));
+            g.bench_function("fast", |b| b.iter(|| ran = true));
+            g.finish();
+        }
+        assert!(ran);
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benchmarks() {
+        let mut c = Criterion {
+            test_mode: true,
+            filters: vec!["only_this".to_owned()],
+        };
+        let mut ran_other = false;
+        let mut ran_match = false;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("other", |b| b.iter(|| ran_other = true));
+            g.bench_function("only_this_one", |b| b.iter(|| ran_match = true));
+        }
+        assert!(!ran_other);
+        assert!(ran_match);
+    }
+
+    #[test]
+    fn measurement_mode_produces_samples_quickly() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert!(format_ns(12.3).contains("ns"));
+        assert!(format_ns(12_300.0).contains("us"));
+        assert!(format_ns(12_300_000.0).contains("ms"));
+        assert!(format_ns(2_000_000_000.0).contains('s'));
+    }
+}

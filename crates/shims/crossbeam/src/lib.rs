@@ -1,0 +1,68 @@
+//! Offline stand-in for `crossbeam::scope`, backed by `std::thread::scope`.
+//!
+//! Only the scoped-thread API the workspace's stress tests use is provided:
+//! `crossbeam::scope(|s| { s.spawn(|_| ...); })` with the closure receiving
+//! the scope (so spawned threads could spawn further threads).
+
+use std::thread::{Scope as StdScope, ScopedJoinHandle};
+
+/// A scope handle passed to [`scope`]'s closure and to every spawned thread.
+#[derive(Debug, Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope StdScope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives the scope, mirroring
+    /// crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let this = *self;
+        self.inner.spawn(move || f(&this))
+    }
+}
+
+/// Run a closure with a thread scope; all spawned threads are joined before
+/// this returns. Panics from spawned threads propagate after the join (the
+/// `Err` arm therefore never materialises here; it exists for crossbeam API
+/// compatibility).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        let r = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Provides the `parking_lot` calling conventions the workspace relies on:
+//! `Mutex::lock` returns a guard directly (poisoning is swallowed — a
+//! panicking holder does not poison the lock, matching parking_lot), and
+//! `Condvar::wait` takes `&mut MutexGuard`.
+
+use std::ops::{Deref, DerefMut};
+
+/// A mutex with parking_lot's panic-free locking interface.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner: Some(guard) }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+///
+/// Internally holds an `Option` so [`Condvar::wait`] can temporarily take
+/// the underlying std guard by value; it is always `Some` outside `wait`.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable with parking_lot's `wait(&mut guard)` interface.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically release the guarded lock and block until notified;
+    /// re-acquires the lock before returning. Spurious wakeups are possible,
+    /// exactly as with the real crate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard present outside wait");
+        let reacquired = match self.inner.wait(std_guard) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(reacquired);
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn wait_and_notify_round_trip() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared2 = shared.clone();
+        let waiter = std::thread::spawn(move || {
+            let (m, cv) = &*shared2;
+            let mut guard = m.lock();
+            while !*guard {
+                cv.wait(&mut guard);
+            }
+            true
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        {
+            let (m, cv) = &*shared;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn poisoned_locks_recover() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the std mutex underneath");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "parking_lot semantics: no poisoning");
+    }
+}
