@@ -151,6 +151,24 @@ fn bench_dense_chain_detectors(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched vs per-call submission on the contended submission workload
+/// (96 live transactions, 8 operations each, everything admissible): the
+/// two modes make identical scheduling decisions — the differential suite
+/// proves it — so the gap is pure per-call overhead: one classification
+/// index walk per operation vs one per group.
+fn bench_submission_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_submission");
+    configure(&mut group);
+    for (name, batched) in [("percall", false), ("batched", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                sbcc_experiments::bench_kernel::submission_workload(black_box(batched), 96, 8)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_hotspot_counter(c: &mut Criterion) {
     let mut group = c.benchmark_group("hotspot_counter");
     configure(&mut group);
@@ -178,6 +196,7 @@ criterion_group!(
     bench_kernel_policies,
     bench_cycle_detectors,
     bench_dense_chain_detectors,
+    bench_submission_modes,
     bench_hotspot_counter
 );
 criterion_main!(benches);

@@ -1,39 +1,114 @@
-//! A thread-safe, blocking front-end over the [`SchedulerKernel`].
+//! The session-based, thread-safe front-end over the [`SchedulerKernel`]:
+//! typed [`Handle`]s, [`Transaction`] guards, grouped submission through
+//! [`Batch`], and the [`Database::run`] retry runner.
 //!
-//! The kernel itself is a synchronous state machine: a blocked request
-//! returns [`RequestOutcome::Blocked`] and is retried internally when a
-//! conflicting transaction terminates. [`Database`] turns that into the
-//! interface applications expect — [`Database::invoke`] simply *blocks the
-//! calling thread* until the operation executes (or the transaction is
-//! aborted).
+//! # Sessions, not bare transaction ids
 //!
-//! Wakeups are **per transaction**: each parked invocation registers a
-//! private [`WakeupSlot`] (its own mutex + condvar), and the kernel's event
-//! stream delivers an outcome directly into the slot of exactly the
-//! transaction it concerns. A commit therefore wakes only the threads whose
-//! transactions it actually unblocked — there is no global broadcast that
-//! stampedes every parked thread on every termination, which is what a
-//! single shared condition variable would do under contention.
+//! The kernel itself is transaction-centric but *identifier*-based: every
+//! call names a raw [`TxnId`]. Applications instead program against a
+//! first-class session object: [`Database::begin`] returns a
+//! [`Transaction`] guard that
 //!
-//! The handle is cheaply cloneable and can be shared across threads.
+//! * executes typed operations ([`Transaction::exec`]) against typed
+//!   [`Handle<A>`]s — `txn.exec(&stack, StackOp::Push(..))` is statically
+//!   checked to be a stack operation — while [`Transaction::exec_call`]
+//!   remains for erased callers;
+//! * submits *groups* of operations in one kernel pass under one lock
+//!   acquisition ([`Transaction::batch`]);
+//! * consumes itself on [`Transaction::commit`] / [`Transaction::abort`],
+//!   so a terminated session cannot be used again by construction; and
+//! * **auto-aborts on drop** when neither was called — early returns and
+//!   panics can no longer leak a live transaction that would block others
+//!   forever.
+//!
+//! [`Database::run`] wraps the begin/exec/commit cycle in a closure and
+//! transparently restarts it when the scheduler aborts the transaction
+//! (deadlock or commit-dependency cycle), which is what most applications
+//! want.
+//!
+//! # Migration from the PR-1 free-function API
+//!
+//! | old call                           | session call                          |
+//! |------------------------------------|---------------------------------------|
+//! | `db.begin() -> TxnId`              | `db.begin() -> Transaction`           |
+//! | `db.invoke(txn, &h, op)`           | `txn.exec(&h, op)`                    |
+//! | `db.invoke_call(txn, &h, call)`    | `txn.exec_call(&h, call)`             |
+//! | `db.try_invoke_call(txn, &h, call)`| `txn.try_exec_call(&h, call)`         |
+//! | `db.commit(txn)`                   | `txn.commit()`                        |
+//! | `db.abort(txn)`                    | `txn.abort()` (or just drop the guard)|
+//! | *(n/a)*                            | `db.run(\|txn\| …)`                   |
+//! | *(n/a)*                            | `txn.batch().op(…).op(…).submit()`    |
+//!
+//! # Blocking and wakeups
+//!
+//! A blocked request parks the calling OS thread until a conflicting
+//! transaction terminates. Wakeups are **per transaction**: each parked
+//! invocation registers a private wakeup slot (its own mutex + condvar),
+//! and the kernel's event stream delivers an outcome directly into the slot
+//! of exactly the transaction it concerns. A commit therefore wakes only
+//! the threads whose transactions it actually unblocked — there is no
+//! global broadcast that stampedes every parked thread on every
+//! termination.
+//!
+//! An outcome that settles while no thread is parked (possible after a
+//! non-blocking [`Transaction::try_exec_call`], or when the kernel's
+//! internal retry settles a request before the caller parks) is kept in a
+//! `delivered` map and claimed by the next [`Transaction::settle_pending`]
+//! call.
+//!
+//! The [`Database`] handle is cheaply cloneable and can be shared across
+//! threads; each [`Transaction`] is owned by (and intended for) one thread
+//! at a time.
+//!
+//! # Example
+//!
+//! ```
+//! use sbcc_core::{Database, SchedulerConfig};
+//! use sbcc_adt::{Counter, CounterOp, OpResult, Stack, StackOp, Value};
+//!
+//! let db = Database::new(SchedulerConfig::default());
+//! let jobs = db.register("jobs", Stack::new());
+//! let hits = db.register("hits", Counter::new());
+//!
+//! // A grouped submission: both operations admitted in one kernel pass.
+//! let txn = db.begin();
+//! let results = txn
+//!     .batch()
+//!     .op(&jobs, StackOp::Push(Value::Int(42)))
+//!     .op(&hits, CounterOp::Increment(1))
+//!     .submit()
+//!     .unwrap();
+//! assert_eq!(results, vec![OpResult::Ok, OpResult::Ok]);
+//! txn.commit().unwrap();
+//!
+//! // The closure runner retries on scheduler aborts and commits on Ok.
+//! let top = db
+//!     .run(|txn| txn.exec(&jobs, StackOp::Top))
+//!     .unwrap();
+//! assert_eq!(top, OpResult::Value(Value::Int(42)));
+//! ```
 
 use crate::errors::CoreError;
-use crate::events::{CommitOutcome, KernelEvent, RequestOutcome};
+use crate::events::{BatchStop, CommitOutcome, KernelEvent, RequestOutcome};
 use crate::kernel::SchedulerKernel;
 use crate::object::ObjectId;
 use crate::policy::SchedulerConfig;
 use crate::stats::KernelStats;
-use crate::txn::{TxnId, TxnState};
+use crate::txn::{BatchCall, TxnId, TxnState};
 use parking_lot::{Condvar, Mutex};
 use sbcc_adt::{AdtOp, AdtSpec, OpCall, OpResult, SemanticObject};
 use std::collections::HashMap;
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 /// A handle to an object registered with a [`Database`].
+///
+/// Handles are cheap to clone (the registration name is shared behind an
+/// [`Arc`]) and can be freely copied into worker threads.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObjectHandle {
     id: ObjectId,
-    name: String,
+    name: Arc<str>,
 }
 
 impl ObjectHandle {
@@ -45,6 +120,58 @@ impl ObjectHandle {
     /// The registration name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+}
+
+/// A typed handle: an [`ObjectHandle`] plus a compile-time tag naming the
+/// [`AdtSpec`] registered under it, so [`Transaction::exec`] only accepts
+/// operations of that data type.
+///
+/// Dereferences to the underlying [`ObjectHandle`], so a typed handle can
+/// be passed anywhere an erased one is expected (including
+/// [`Transaction::exec_call`]).
+#[derive(Debug)]
+pub struct Handle<A: AdtSpec> {
+    raw: ObjectHandle,
+    _adt: PhantomData<fn() -> A>,
+}
+
+// Manual impls: `A` itself is only a tag and never stored, so the derives'
+// `A: Clone` / `A: PartialEq` bounds would be spurious.
+impl<A: AdtSpec> Clone for Handle<A> {
+    fn clone(&self) -> Self {
+        Handle {
+            raw: self.raw.clone(),
+            _adt: PhantomData,
+        }
+    }
+}
+
+impl<A: AdtSpec> PartialEq for Handle<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.raw == other.raw
+    }
+}
+
+impl<A: AdtSpec> Eq for Handle<A> {}
+
+impl<A: AdtSpec> std::ops::Deref for Handle<A> {
+    type Target = ObjectHandle;
+
+    fn deref(&self) -> &ObjectHandle {
+        &self.raw
+    }
+}
+
+impl<A: AdtSpec> Handle<A> {
+    /// Borrow the erased handle.
+    pub fn erased(&self) -> &ObjectHandle {
+        &self.raw
+    }
+
+    /// Discard the type tag.
+    pub fn into_erased(self) -> ObjectHandle {
+        self.raw
     }
 }
 
@@ -78,8 +205,10 @@ impl WakeupSlot {
 struct DbState {
     kernel: SchedulerKernel,
     /// Outcomes delivered to transactions whose pending request completed
-    /// while no thread was parked waiting for it (e.g. observers using
-    /// [`Database::try_invoke_call`]).
+    /// while no thread was parked waiting for it (e.g. after a
+    /// non-blocking [`Transaction::try_exec_call`]); claimed by
+    /// [`Transaction::settle_pending`] or discarded by the transaction's
+    /// next submission or termination.
     delivered: HashMap<TxnId, RequestOutcome>,
     /// The wakeup slot of every currently parked invocation, by
     /// transaction.
@@ -91,7 +220,7 @@ struct Shared {
 }
 
 /// A thread-safe transactional object store implementing the paper's
-/// protocol.
+/// protocol. See the [module documentation](self) for the session model.
 #[derive(Clone)]
 pub struct Database {
     shared: Arc<Shared>,
@@ -117,13 +246,13 @@ impl Database {
         }
     }
 
-    /// Register a typed atomic data type instance.
+    /// Register a typed atomic data type instance and get a typed handle.
     ///
     /// # Panics
     ///
     /// Panics if an object with the same name is already registered; use
     /// [`Database::try_register`] for a fallible variant.
-    pub fn register<A: AdtSpec>(&self, name: impl Into<String>, adt: A) -> ObjectHandle {
+    pub fn register<A: AdtSpec>(&self, name: impl Into<String>, adt: A) -> Handle<A> {
         self.try_register(name, adt)
             .expect("object name already registered")
     }
@@ -134,11 +263,17 @@ impl Database {
         &self,
         name: impl Into<String>,
         adt: A,
-    ) -> Result<ObjectHandle, CoreError> {
+    ) -> Result<Handle<A>, CoreError> {
         let name = name.into();
         let mut state = self.shared.state.lock();
         let id = state.kernel.register(name.clone(), adt)?;
-        Ok(ObjectHandle { id, name })
+        Ok(Handle {
+            raw: ObjectHandle {
+                id,
+                name: name.into(),
+            },
+            _adt: PhantomData,
+        })
     }
 
     /// Register an erased semantic object.
@@ -150,97 +285,63 @@ impl Database {
         let name = name.into();
         let mut state = self.shared.state.lock();
         let id = state.kernel.register_object(name.clone(), object)?;
-        Ok(ObjectHandle { id, name })
+        Ok(ObjectHandle {
+            id,
+            name: name.into(),
+        })
     }
 
-    /// Begin a transaction.
-    pub fn begin(&self) -> TxnId {
-        self.shared.state.lock().kernel.begin()
-    }
-
-    /// Invoke a typed operation, blocking the calling thread while the
-    /// request is in conflict with uncommitted operations of other
-    /// transactions.
-    pub fn invoke<O: AdtOp>(
-        &self,
-        txn: TxnId,
-        object: &ObjectHandle,
-        op: O,
-    ) -> Result<OpResult, CoreError> {
-        self.invoke_call(txn, object, op.to_call())
-    }
-
-    /// Invoke an erased operation call, blocking while in conflict.
-    pub fn invoke_call(
-        &self,
-        txn: TxnId,
-        object: &ObjectHandle,
-        call: OpCall,
-    ) -> Result<OpResult, CoreError> {
-        let mut state = self.shared.state.lock();
-        let outcome = state.kernel.request(txn, object.id, call)?;
-        self.deliver_events(&mut state);
-        match outcome {
-            RequestOutcome::Executed { result, .. } => Ok(result),
-            RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn, reason }),
-            RequestOutcome::Blocked { .. } => {
-                // The request may already have been settled by side effects
-                // of the call itself (the kernel retries blocked requests to
-                // fixpoint before returning).
-                let delivered = match state.delivered.remove(&txn) {
-                    Some(outcome) => outcome,
-                    None => {
-                        // Park on a private slot: whichever thread later
-                        // drains the kernel event that settles this
-                        // transaction fills the slot and wakes only us.
-                        let slot = Arc::new(WakeupSlot::default());
-                        state.waiters.insert(txn, slot.clone());
-                        drop(state);
-                        slot.await_outcome()
-                    }
-                };
-                match delivered {
-                    RequestOutcome::Executed { result, .. } => Ok(result),
-                    RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn, reason }),
-                    RequestOutcome::Blocked { .. } => {
-                        unreachable!("blocked outcomes are never delivered")
-                    }
-                }
-            }
+    /// Begin a transaction session.
+    ///
+    /// The returned guard aborts the transaction when dropped without an
+    /// explicit [`Transaction::commit`] or [`Transaction::abort`].
+    pub fn begin(&self) -> Transaction {
+        let id = self.shared.state.lock().kernel.begin();
+        Transaction {
+            db: self.clone(),
+            id,
+            finished: false,
+            _not_sync: PhantomData,
         }
     }
 
-    /// Try to invoke an operation without blocking: returns the raw kernel
-    /// outcome (the transaction stays blocked inside the kernel if the
-    /// request conflicts, and the result will be delivered on a later
-    /// blocking call — this method is intended for tests and tools that want
-    /// to observe the scheduler's decisions directly).
-    pub fn try_invoke_call(
+    /// Run a transaction body, committing on success and transparently
+    /// **retrying from scratch** when the scheduler aborts the transaction
+    /// (deadlock cycle, commit-dependency cycle, or victim selection).
+    ///
+    /// The closure receives a fresh [`Transaction`] per attempt; any other
+    /// error — including an [`CoreError::Aborted`] of a *different*
+    /// transaction the closure chose to propagate — is returned as-is, and
+    /// the attempt's transaction is aborted by its guard.
+    ///
+    /// Like an aborted-and-restarted terminal in the paper's model, the
+    /// retry loop runs until the body either succeeds or fails for a
+    /// non-scheduler reason; under the default
+    /// [`crate::VictimPolicy::Requester`] every abort removes the
+    /// requester's operations, so some participant of each cycle always
+    /// makes progress.
+    pub fn run<R>(
         &self,
-        txn: TxnId,
-        object: &ObjectHandle,
-        call: OpCall,
-    ) -> Result<RequestOutcome, CoreError> {
-        let mut state = self.shared.state.lock();
-        let outcome = state.kernel.request(txn, object.id, call)?;
-        self.deliver_events(&mut state);
-        Ok(outcome)
-    }
-
-    /// Commit a transaction (actual or pseudo-commit, per the protocol).
-    pub fn commit(&self, txn: TxnId) -> Result<CommitOutcome, CoreError> {
-        let mut state = self.shared.state.lock();
-        let outcome = state.kernel.commit(txn)?;
-        self.deliver_events(&mut state);
-        Ok(outcome)
-    }
-
-    /// Explicitly abort an active transaction.
-    pub fn abort(&self, txn: TxnId) -> Result<(), CoreError> {
-        let mut state = self.shared.state.lock();
-        state.kernel.abort(txn)?;
-        self.deliver_events(&mut state);
-        Ok(())
+        mut body: impl FnMut(&Transaction) -> Result<R, CoreError>,
+    ) -> Result<R, CoreError> {
+        loop {
+            let txn = self.begin();
+            let id = txn.id();
+            match body(&txn) {
+                Ok(value) => match txn.commit() {
+                    Ok(_) => return Ok(value),
+                    // The transaction was picked as a cycle victim between
+                    // the body's last operation and the commit.
+                    Err(CoreError::InvalidState {
+                        state: TxnState::Aborted,
+                        ..
+                    }) => continue,
+                    Err(e) => return Err(e),
+                },
+                Err(e) if e.is_scheduler_abort_of(id) => continue,
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// The current state of a transaction.
@@ -298,12 +399,170 @@ impl Database {
         result
     }
 
+    // ------------------------------------------------------------------
+    // Session internals (reached through `Transaction`)
+    // ------------------------------------------------------------------
+
+    /// Drop a stale `delivered` entry for `txn` before a new submission.
+    ///
+    /// A stale entry exists when an earlier request settled while no thread
+    /// was parked and the caller never claimed it with
+    /// [`Transaction::settle_pending`]. A stale *abort* makes the whole
+    /// transaction dead and is surfaced now; a stale *result* was
+    /// deliberately left unclaimed and is discarded so it cannot be
+    /// mistaken for the outcome of the submission that follows.
+    fn drain_stale_delivered(state: &mut DbState, txn: TxnId) -> Result<(), CoreError> {
+        match state.delivered.remove(&txn) {
+            Some(RequestOutcome::Aborted { reason }) => Err(CoreError::Aborted { txn, reason }),
+            _ => Ok(()),
+        }
+    }
+
+    fn exec_call_raw(
+        &self,
+        txn: TxnId,
+        object: ObjectId,
+        call: OpCall,
+    ) -> Result<OpResult, CoreError> {
+        let mut state = self.shared.state.lock();
+        Self::drain_stale_delivered(&mut state, txn)?;
+        let outcome = state.kernel.request(txn, object, call)?;
+        self.deliver_events(&mut state);
+        match outcome {
+            RequestOutcome::Executed { result, .. } => Ok(result),
+            RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn, reason }),
+            RequestOutcome::Blocked { .. } => {
+                match self.park_for_outcome(state, txn) {
+                    RequestOutcome::Executed { result, .. } => Ok(result),
+                    RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn, reason }),
+                    RequestOutcome::Blocked { .. } => {
+                        unreachable!("blocked outcomes are never delivered")
+                    }
+                }
+            }
+        }
+    }
+
+    /// Take the settled outcome for `txn`'s pending request, parking the
+    /// calling thread if it has not settled yet. Consumes the lock guard.
+    fn park_for_outcome(
+        &self,
+        mut state: parking_lot::MutexGuard<'_, DbState>,
+        txn: TxnId,
+    ) -> RequestOutcome {
+        // The request may already have been settled by side effects of the
+        // submission itself (the kernel retries blocked requests to
+        // fixpoint before returning).
+        match state.delivered.remove(&txn) {
+            Some(outcome) => outcome,
+            None => {
+                // Park on a private slot: whichever thread later drains the
+                // kernel event that settles this transaction fills the slot
+                // and wakes only us.
+                let slot = Arc::new(WakeupSlot::default());
+                state.waiters.insert(txn, slot.clone());
+                drop(state);
+                slot.await_outcome()
+            }
+        }
+    }
+
+    fn try_exec_call_raw(
+        &self,
+        txn: TxnId,
+        object: ObjectId,
+        call: OpCall,
+    ) -> Result<RequestOutcome, CoreError> {
+        let mut state = self.shared.state.lock();
+        Self::drain_stale_delivered(&mut state, txn)?;
+        let outcome = state.kernel.request(txn, object, call)?;
+        self.deliver_events(&mut state);
+        Ok(outcome)
+    }
+
+    fn settle_pending_raw(&self, txn: TxnId) -> Result<OpResult, CoreError> {
+        let state = self.shared.state.lock();
+        let outcome = {
+            let mut state = state;
+            if let Some(outcome) = state.delivered.remove(&txn) {
+                outcome
+            } else if state.kernel.txn_state(txn) == Some(TxnState::Blocked) {
+                self.park_for_outcome(state, txn)
+            } else {
+                return Err(CoreError::NoPendingOperation(txn));
+            }
+        };
+        match outcome {
+            RequestOutcome::Executed { result, .. } => Ok(result),
+            RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn, reason }),
+            RequestOutcome::Blocked { .. } => unreachable!("blocked outcomes are never delivered"),
+        }
+    }
+
+    /// Submit a group of calls, blocking as often as needed until every
+    /// call has executed (or the transaction aborts). Each kernel pass
+    /// classifies the remaining group in one index walk under one lock
+    /// acquisition; see [`crate::SchedulerKernel::request_batch`].
+    fn submit_batch_raw(
+        &self,
+        txn: TxnId,
+        mut calls: Vec<BatchCall>,
+    ) -> Result<Vec<OpResult>, CoreError> {
+        let mut results = Vec::with_capacity(calls.len());
+        loop {
+            let mut state = self.shared.state.lock();
+            Self::drain_stale_delivered(&mut state, txn)?;
+            let outcome = state.kernel.request_batch(txn, std::mem::take(&mut calls))?;
+            self.deliver_events(&mut state);
+            results.extend(outcome.executed);
+            match outcome.stopped {
+                None => return Ok(results),
+                Some(BatchStop::Aborted { reason, .. }) => {
+                    return Err(CoreError::Aborted { txn, reason })
+                }
+                Some(BatchStop::Blocked { rest, .. }) => {
+                    match self.park_for_outcome(state, txn) {
+                        RequestOutcome::Executed { result, .. } => {
+                            results.push(result);
+                            if rest.is_empty() {
+                                return Ok(results);
+                            }
+                            calls = rest;
+                        }
+                        RequestOutcome::Aborted { reason } => {
+                            return Err(CoreError::Aborted { txn, reason })
+                        }
+                        RequestOutcome::Blocked { .. } => {
+                            unreachable!("blocked outcomes are never delivered")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn commit_raw(&self, txn: TxnId) -> Result<CommitOutcome, CoreError> {
+        let mut state = self.shared.state.lock();
+        state.delivered.remove(&txn);
+        let outcome = state.kernel.commit(txn)?;
+        self.deliver_events(&mut state);
+        Ok(outcome)
+    }
+
+    fn abort_raw(&self, txn: TxnId) -> Result<(), CoreError> {
+        let mut state = self.shared.state.lock();
+        state.delivered.remove(&txn);
+        state.kernel.abort(txn)?;
+        self.deliver_events(&mut state);
+        Ok(())
+    }
+
     fn deliver_events(&self, state: &mut DbState) {
         let events = state.kernel.drain_events();
         for event in events {
             let (txn, outcome) = match event {
                 KernelEvent::Unblocked { txn, outcome } => (txn, outcome),
-                // The transaction may be parked in `invoke_call`; deliver
+                // The transaction may be parked in an `exec*` call; deliver
                 // the abort so it can return an error.
                 KernelEvent::Aborted { txn, reason } => {
                     (txn, RequestOutcome::Aborted { reason })
@@ -325,9 +584,187 @@ impl Database {
     }
 }
 
+/// A transaction session: the unit applications program against.
+///
+/// Obtained from [`Database::begin`] (or per attempt inside
+/// [`Database::run`]). Operations block the calling thread while they
+/// conflict with uncommitted operations of other transactions. The guard
+/// **aborts the transaction on drop** unless [`Transaction::commit`] or
+/// [`Transaction::abort`] consumed it first.
+///
+/// A `Transaction` is driven by one thread at a time: it is `Send` (it may
+/// move between threads) but deliberately **not `Sync`** — two threads
+/// blocking on the same session would race for its single wakeup slot, so
+/// sharing `&Transaction` across threads is a compile error. Start one
+/// session per thread instead; that is what the scheduler is for.
+#[derive(Debug)]
+pub struct Transaction {
+    db: Database,
+    id: TxnId,
+    finished: bool,
+    /// Suppresses `Sync` (a `Cell` is `Send + !Sync`) without affecting
+    /// `Send`; see the type-level docs.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+impl Transaction {
+    /// The raw transaction id (for diagnostics and the inspection APIs on
+    /// [`Database`]).
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// The transaction's current scheduler state.
+    pub fn state(&self) -> Option<TxnState> {
+        self.db.txn_state(self.id)
+    }
+
+    /// Execute a typed operation, blocking while it conflicts with
+    /// uncommitted operations of other transactions.
+    pub fn exec<A: AdtSpec>(
+        &self,
+        object: &Handle<A>,
+        op: A::Op,
+    ) -> Result<OpResult, CoreError> {
+        self.exec_call(object, op.to_call())
+    }
+
+    /// Execute an erased operation call, blocking while in conflict.
+    ///
+    /// Typed [`Handle`]s coerce to [`ObjectHandle`], so this accepts both.
+    pub fn exec_call(&self, object: &ObjectHandle, call: OpCall) -> Result<OpResult, CoreError> {
+        self.db.exec_call_raw(self.id, object.id(), call)
+    }
+
+    /// Submit an operation without blocking: returns the raw kernel
+    /// outcome. On [`RequestOutcome::Blocked`] the request stays pending
+    /// inside the kernel and its eventual outcome is claimed with
+    /// [`Transaction::settle_pending`] (an unclaimed executed result is
+    /// discarded by the next submission). Intended for tests and tools
+    /// that want to observe the scheduler's decisions directly.
+    pub fn try_exec_call(
+        &self,
+        object: &ObjectHandle,
+        call: OpCall,
+    ) -> Result<RequestOutcome, CoreError> {
+        self.db.try_exec_call_raw(self.id, object.id(), call)
+    }
+
+    /// Claim the outcome of a previously blocked submission
+    /// ([`Transaction::try_exec_call`] returning
+    /// [`RequestOutcome::Blocked`]), parking the calling thread until it
+    /// settles if it has not yet. Returns
+    /// [`CoreError::NoPendingOperation`] when there is nothing in flight.
+    pub fn settle_pending(&self) -> Result<OpResult, CoreError> {
+        self.db.settle_pending_raw(self.id)
+    }
+
+    /// Start building a grouped submission. See [`Batch`].
+    pub fn batch(&self) -> Batch<'_> {
+        Batch {
+            txn: self,
+            calls: Vec::new(),
+        }
+    }
+
+    /// Commit the transaction (actual or pseudo-commit, per the protocol).
+    /// Consumes the session; on success the guard will not abort on drop.
+    ///
+    /// A commit can fail while the transaction is still live — e.g. a
+    /// [`Transaction::try_exec_call`] left a blocked request pending — and
+    /// in that case the guard still aborts on drop, so the failed session
+    /// cannot leak a live transaction that would block others forever.
+    pub fn commit(mut self) -> Result<CommitOutcome, CoreError> {
+        let result = self.db.commit_raw(self.id);
+        self.finished = result.is_ok();
+        result
+    }
+
+    /// Explicitly abort the transaction. Consumes the session.
+    pub fn abort(mut self) -> Result<(), CoreError> {
+        self.finished = true;
+        self.db.abort_raw(self.id)
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Best effort: the transaction may already be terminated (e.g.
+            // aborted by the scheduler, or pseudo-committed, which by
+            // construction cannot abort) — those errors are ignored.
+            let _ = self.db.abort_raw(self.id);
+        }
+    }
+}
+
+/// Builder for a grouped submission: several operation calls — often
+/// multiple operations on the same object — admitted by the kernel in
+/// **one classification pass under one lock acquisition** instead of one
+/// kernel round-trip per call.
+///
+/// Calls execute in the order they were added. Admission is *partial* in
+/// exactly the way per-call submission is: a call that conflicts parks the
+/// session until the conflict clears, the already-executed prefix stays
+/// executed, and [`Batch::submit`] resumes the remainder afterwards — the
+/// returned results always cover every call, in order, unless the
+/// transaction is aborted (see
+/// [`crate::BatchOutcome`] for the precise kernel-level
+/// semantics).
+#[derive(Debug)]
+pub struct Batch<'t> {
+    txn: &'t Transaction,
+    calls: Vec<BatchCall>,
+}
+
+impl Batch<'_> {
+    /// Append a typed operation (chaining form).
+    pub fn op<A: AdtSpec>(mut self, object: &Handle<A>, op: A::Op) -> Self {
+        self.add_op(object, op);
+        self
+    }
+
+    /// Append an erased call (chaining form).
+    pub fn call(mut self, object: &ObjectHandle, call: OpCall) -> Self {
+        self.add_call(object, call);
+        self
+    }
+
+    /// Append a typed operation (mutating form, for loops).
+    pub fn add_op<A: AdtSpec>(&mut self, object: &Handle<A>, op: A::Op) {
+        self.add_call(object, op.to_call());
+    }
+
+    /// Append an erased call (mutating form, for loops).
+    pub fn add_call(&mut self, object: &ObjectHandle, call: OpCall) {
+        self.calls.push(BatchCall::new(object.id(), call));
+    }
+
+    /// Number of calls queued so far.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// `true` when no calls are queued.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Submit the group, blocking until **every** call has executed.
+    /// Returns one result per call, in submission order, or the abort
+    /// error if the scheduler aborts the transaction along the way.
+    pub fn submit(self) -> Result<Vec<OpResult>, CoreError> {
+        if self.calls.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.txn.db.submit_batch_raw(self.txn.id, self.calls)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::AbortReason;
     use crate::policy::ConflictPolicy;
     use sbcc_adt::{Stack, StackOp, TableObject, TableOp, Value};
     use std::time::Duration;
@@ -342,11 +779,15 @@ mod tests {
         let h = db.register("jobs", Stack::new());
         assert_eq!(h.name(), "jobs");
         assert_eq!(h.id(), ObjectId(0));
+        assert_eq!(h.erased().name(), "jobs");
+        assert_eq!(h.clone(), h, "typed handles are cheap clones");
+        assert_eq!(h.clone().into_erased().id(), ObjectId(0));
         assert!(db.try_register("jobs", Stack::new()).is_err());
         let h2 = db
             .register_object("jobs2", Box::new(sbcc_adt::AdtObject::new(Stack::new())))
             .unwrap();
         assert_eq!(h2.id(), ObjectId(1));
+        assert_eq!(h2.clone(), h2);
         assert!(format!("{db:?}").contains("Database"));
     }
 
@@ -364,18 +805,20 @@ mod tests {
         let s = db.register("jobs", Stack::new());
         let t1 = db.begin();
         let t2 = db.begin();
-        db.invoke(t1, &s, StackOp::Push(Value::Int(4))).unwrap();
-        db.invoke(t2, &s, StackOp::Push(Value::Int(2))).unwrap();
+        let (id1, id2) = (t1.id(), t2.id());
+        t1.exec(&s, StackOp::Push(Value::Int(4))).unwrap();
+        t2.exec(&s, StackOp::Push(Value::Int(2))).unwrap();
+        assert_eq!(t2.state(), Some(TxnState::Active));
 
-        let o2 = db.commit(t2).unwrap();
+        let o2 = t2.commit().unwrap();
         assert!(o2.is_pseudo_commit());
-        assert_eq!(db.txn_state(t2), Some(TxnState::PseudoCommitted));
-        assert_eq!(db.outcome_of(t2), Some(o2));
+        assert_eq!(db.txn_state(id2), Some(TxnState::PseudoCommitted));
+        assert_eq!(db.outcome_of(id2), Some(o2));
 
-        let o1 = db.commit(t1).unwrap();
+        let o1 = t1.commit().unwrap();
         assert!(o1.is_full_commit());
-        assert_eq!(db.outcome_of(t2), Some(CommitOutcome::Committed));
-        assert_eq!(db.outcome_of(t1), Some(CommitOutcome::Committed));
+        assert_eq!(db.outcome_of(id2), Some(CommitOutcome::Committed));
+        assert_eq!(db.outcome_of(id1), Some(CommitOutcome::Committed));
 
         db.verify_serializable().unwrap();
         db.verify_commit_dependencies().unwrap();
@@ -387,11 +830,11 @@ mod tests {
     }
 
     #[test]
-    fn blocked_invoke_wakes_up_when_holder_commits() {
+    fn blocked_exec_wakes_up_when_holder_commits() {
         let db = db();
         let s = db.register("jobs", Stack::new());
         let t1 = db.begin();
-        db.invoke(t1, &s, StackOp::Push(Value::Int(7))).unwrap();
+        t1.exec(&s, StackOp::Push(Value::Int(7))).unwrap();
 
         let db2 = db.clone();
         let s2 = s.clone();
@@ -399,14 +842,14 @@ mod tests {
             let t2 = db2.begin();
             // pop conflicts with the uncommitted push: this blocks until T1
             // commits, then returns the pushed value.
-            let popped = db2.invoke(t2, &s2, StackOp::Pop).unwrap();
-            db2.commit(t2).unwrap();
+            let popped = t2.exec(&s2, StackOp::Pop).unwrap();
+            t2.commit().unwrap();
             popped
         });
 
         // Give the other thread time to block, then commit.
         std::thread::sleep(Duration::from_millis(50));
-        db.commit(t1).unwrap();
+        t1.commit().unwrap();
         let popped = handle.join().expect("worker thread");
         assert_eq!(popped, OpResult::Value(Value::Int(7)));
         db.verify_serializable().unwrap();
@@ -420,67 +863,365 @@ mod tests {
         let db = db();
         let table = db.register("accounts", TableObject::new());
         let t1 = db.begin();
-        // T1 inserts a key but will abort.
-        db.invoke(t1, &table, TableOp::Insert(Value::Int(1), Value::Int(100)))
+        // T1 inserts key 1 but will abort.
+        t1.exec(&table, TableOp::Insert(Value::Int(1), Value::Int(100)))
             .unwrap();
 
-        // T2 executes a recoverable insert on a different key and
-        // pseudo-commits: it must survive T1's abort (no cascading aborts)
-        // ... actually inserts on different keys commute, so use size-like
-        // dependency instead: T2 inserts same key -> conflicts, so pick a
-        // recoverable pair: T2 does an insert with the same key? That
-        // conflicts. Use delete of a different key (commutes). To exercise
-        // recoverability use Size executed by T1? Size after insert is not
-        // recoverable. Keep it simple: T2 inserts a different key (commutes)
-        // and fully commits even while T1 is live.
+        // T2 inserts a *different* key: inserts with distinct keys commute
+        // (Yes-DP), so T2 neither blocks behind T1 nor acquires a commit
+        // dependency on it, and its commit is a full commit even while T1
+        // is still live. The point of the scenario: T1's subsequent abort
+        // must not touch T2 in any way (no cascading aborts — exactly what
+        // the protocol's recoverability discipline guarantees) and must
+        // leave the committed state containing T2's key only.
         let t2 = db.begin();
-        db.invoke(t2, &table, TableOp::Insert(Value::Int(2), Value::Int(200)))
+        t2.exec(&table, TableOp::Insert(Value::Int(2), Value::Int(200)))
             .unwrap();
-        assert!(db.commit(t2).unwrap().is_full_commit());
+        assert!(t2.commit().unwrap().is_full_commit());
 
-        db.abort(t1).unwrap();
-        assert_eq!(db.txn_state(t1), Some(TxnState::Aborted));
+        let id1 = t1.id();
+        t1.abort().unwrap();
+        assert_eq!(db.txn_state(id1), Some(TxnState::Aborted));
         db.verify_serializable().unwrap();
 
         // The committed state contains key 2 only.
         let t3 = db.begin();
-        let r = db
-            .invoke(t3, &table, TableOp::Lookup(Value::Int(2)))
-            .unwrap();
+        let r = t3.exec(&table, TableOp::Lookup(Value::Int(2))).unwrap();
         assert_eq!(r, OpResult::Value(Value::Int(200)));
-        let r = db
-            .invoke(t3, &table, TableOp::Lookup(Value::Int(1)))
-            .unwrap();
+        let r = t3.exec(&table, TableOp::Lookup(Value::Int(1))).unwrap();
         assert_eq!(r, OpResult::Null);
-        db.commit(t3).unwrap();
+        t3.commit().unwrap();
     }
 
     #[test]
-    fn invoke_after_scheduler_abort_returns_error() {
+    fn exec_after_scheduler_abort_returns_error() {
         let db = Database::new(
             SchedulerConfig::default().with_policy(ConflictPolicy::CommutativityOnly),
         );
         let s = db.register("s", Stack::new());
         let t1 = db.begin();
         let t2 = db.begin();
-        db.invoke(t1, &s, StackOp::Push(Value::Int(1))).unwrap();
+        t1.exec(&s, StackOp::Push(Value::Int(1))).unwrap();
         // Under commutativity-only, T2's push conflicts and blocks; force a
         // deadlock by making T1 also wait on T2 through a second object.
         let s2 = db.register("s2", Stack::new());
-        db.invoke(t2, &s2, StackOp::Push(Value::Int(2))).unwrap();
+        t2.exec(&s2, StackOp::Push(Value::Int(2))).unwrap();
 
-        let db_clone = db.clone();
         let s_clone = s.clone();
-        let blocker = std::thread::spawn(move || db_clone.invoke(t2, &s_clone, StackOp::Push(Value::Int(3))));
+        let blocker =
+            std::thread::spawn(move || {
+                let r = t2.exec(&s_clone, StackOp::Push(Value::Int(3)));
+                (t2, r)
+            });
         std::thread::sleep(Duration::from_millis(50));
         // T1 now requests a push on s2 -> wait-for cycle -> T1 is aborted.
-        let result = db.invoke(t1, &s2, StackOp::Push(Value::Int(4)));
+        let result = t1.exec(&s2, StackOp::Push(Value::Int(4)));
         assert!(matches!(result, Err(CoreError::Aborted { .. })));
         // T2 unblocks once T1's abort removes its operations.
-        let blocked_result = blocker.join().unwrap();
+        let (t2, blocked_result) = blocker.join().unwrap();
         assert!(blocked_result.is_ok());
-        db.commit(t2).unwrap();
+        t2.commit().unwrap();
+        drop(t1); // already aborted; the guard's abort attempt is a no-op
         db.verify_serializable().unwrap();
+    }
+
+    #[test]
+    fn dropping_a_session_aborts_it() {
+        let db = db();
+        let s = db.register("s", Stack::new());
+        let id = {
+            let t = db.begin();
+            t.exec(&s, StackOp::Push(Value::Int(1))).unwrap();
+            t.id()
+            // dropped here without commit
+        };
+        assert_eq!(db.txn_state(id), Some(TxnState::Aborted));
+        assert_eq!(db.stats().aborts_explicit, 1);
+        // The dropped transaction's push is gone.
+        let t = db.begin();
+        assert_eq!(t.exec(&s, StackOp::Top).unwrap(), OpResult::Null);
+        t.commit().unwrap();
+        db.verify_serializable().unwrap();
+    }
+
+    #[test]
+    fn run_commits_on_success_and_retries_scheduler_aborts() {
+        let db = Database::new(
+            SchedulerConfig::default().with_policy(ConflictPolicy::CommutativityOnly),
+        );
+        let a = db.register("a", Stack::new());
+        let b = db.register("b", Stack::new());
+
+        // Plain success path.
+        let r = db
+            .run(|txn| txn.exec(&a, StackOp::Push(Value::Int(1))))
+            .unwrap();
+        assert_eq!(r, OpResult::Ok);
+        assert_eq!(db.stats().commits, 1);
+
+        // Deadlock path: the holder session owns `b` and (from a worker
+        // thread) blocks on `a` once the closure's first attempt holds it;
+        // the attempt then requests `b`, closes the cycle, and is aborted
+        // as the requester. The retry succeeds after the holder commits.
+        let holder = db.begin();
+        holder.exec(&b, StackOp::Push(Value::Int(9))).unwrap();
+        let mut holder = Some(holder);
+        let mut blocker = None;
+
+        let mut attempts = 0;
+        let r = db.run(|txn| {
+            attempts += 1;
+            txn.exec(&a, StackOp::Push(Value::Int(2)))?;
+            if attempts == 1 {
+                // Only now — with `a` held by this attempt — let the holder
+                // block on it, and give it time to do so.
+                let holder = holder.take().expect("first attempt only");
+                let a2 = a.clone();
+                blocker = Some(std::thread::spawn(move || {
+                    holder.exec(&a2, StackOp::Push(Value::Int(8))).unwrap();
+                    holder.commit().unwrap();
+                }));
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            txn.exec(&b, StackOp::Push(Value::Int(3)))
+        });
+        blocker.take().expect("spawned").join().unwrap();
+        assert_eq!(r.unwrap(), OpResult::Ok);
+        assert!(attempts >= 2, "first attempt must have been retried");
+        assert!(db.stats().scheduler_aborts() >= 1);
+        db.verify_serializable().unwrap();
+    }
+
+    #[test]
+    fn run_propagates_non_scheduler_errors() {
+        let db = db();
+        let s = db.register("s", Stack::new());
+        let mut calls = 0;
+        let err = db.run(|_txn| -> Result<(), CoreError> {
+            calls += 1;
+            Err(CoreError::UnknownObject("nope".into()))
+        });
+        assert!(matches!(err, Err(CoreError::UnknownObject(_))));
+        assert_eq!(calls, 1, "non-scheduler errors are not retried");
+        // The failed attempt's transaction was aborted by its guard.
+        assert_eq!(db.stats().aborts_explicit, 1);
+        let t = db.begin();
+        assert_eq!(t.exec(&s, StackOp::Top).unwrap(), OpResult::Null);
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn batch_executes_all_calls_under_one_submission() {
+        let db = db();
+        let s = db.register("s", Stack::new());
+        let t = db.begin();
+        let results = t
+            .batch()
+            .op(&s, StackOp::Push(Value::Int(1)))
+            .op(&s, StackOp::Push(Value::Int(2)))
+            .op(&s, StackOp::Top)
+            .submit()
+            .unwrap();
+        assert_eq!(
+            results,
+            vec![
+                OpResult::Ok,
+                OpResult::Ok,
+                OpResult::Value(Value::Int(2))
+            ]
+        );
+        t.commit().unwrap();
+        let stats = db.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_calls, 3);
+        assert_eq!(stats.requests, 3, "each batched call counts as a request");
+        db.verify_serializable().unwrap();
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let db = db();
+        let s = db.register("s", Stack::new());
+        let t = db.begin();
+        let b = t.batch();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.submit().unwrap(), vec![]);
+        assert_eq!(db.stats().batches, 0, "empty batches never reach the kernel");
+        let _ = t.exec(&s, StackOp::Top).unwrap();
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn blocked_batch_resumes_and_returns_every_result() {
+        let db = db();
+        let s = db.register("s", Stack::new());
+        let c = db.register("c", sbcc_adt::Counter::new());
+        let t1 = db.begin();
+        t1.exec(&s, StackOp::Push(Value::Int(7))).unwrap();
+
+        let db2 = db.clone();
+        let (s2, c2) = (s.clone(), c.clone());
+        let worker = std::thread::spawn(move || {
+            let t2 = db2.begin();
+            // Increment commutes (executes immediately); the pop conflicts
+            // with T1's uncommitted push and parks the batch; the final
+            // increment is resumed after T1 commits.
+            let results = t2
+                .batch()
+                .op(&c2, sbcc_adt::CounterOp::Increment(1))
+                .op(&s2, StackOp::Pop)
+                .op(&c2, sbcc_adt::CounterOp::Increment(1))
+                .submit()
+                .unwrap();
+            t2.commit().unwrap();
+            results
+        });
+
+        std::thread::sleep(Duration::from_millis(50));
+        t1.commit().unwrap();
+        let results = worker.join().expect("worker thread");
+        assert_eq!(
+            results,
+            vec![
+                OpResult::Ok,
+                OpResult::Value(Value::Int(7)),
+                OpResult::Ok
+            ]
+        );
+        assert_eq!(db.stats().blocks, 1);
+        assert_eq!(db.stats().unblocks, 1);
+        db.verify_serializable().unwrap();
+    }
+
+    #[test]
+    fn delivered_outcome_is_claimed_by_settle_pending() {
+        // The `delivered` map path: a request settles while *no* thread is
+        // parked waiting for it, and the outcome is picked up by a later
+        // blocking call.
+        let db = db();
+        let s = db.register("s", Stack::new());
+        let t1 = db.begin();
+        t1.exec(&s, StackOp::Push(Value::Int(7))).unwrap();
+
+        let t2 = db.begin();
+        // Non-blocking submission: the pop conflicts and stays pending
+        // inside the kernel; this thread does NOT park.
+        let outcome = t2.try_exec_call(&s, StackOp::Pop.to_call()).unwrap();
+        assert!(outcome.is_blocked());
+
+        // The holder commits on this same thread: the retried pop executes
+        // and its outcome is delivered with no waiter registered, so it
+        // lands in the `delivered` map.
+        t1.commit().unwrap();
+
+        // ... and is claimed by the later blocking call.
+        assert_eq!(
+            t2.settle_pending().unwrap(),
+            OpResult::Value(Value::Int(7))
+        );
+        t2.commit().unwrap();
+        db.verify_serializable().unwrap();
+    }
+
+    #[test]
+    fn settle_pending_parks_until_the_outcome_arrives() {
+        // Same scenario, but the waiter parks *before* the holder commits:
+        // settle_pending must block and be woken by the delivery.
+        let db = db();
+        let s = db.register("s", Stack::new());
+        let t1 = db.begin();
+        t1.exec(&s, StackOp::Push(Value::Int(3))).unwrap();
+
+        let t2 = db.begin();
+        assert!(t2
+            .try_exec_call(&s, StackOp::Pop.to_call())
+            .unwrap()
+            .is_blocked());
+
+        let worker = std::thread::spawn(move || {
+            let popped = t2.settle_pending().unwrap();
+            t2.commit().unwrap();
+            popped
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        t1.commit().unwrap();
+        assert_eq!(
+            worker.join().expect("worker"),
+            OpResult::Value(Value::Int(3))
+        );
+        db.verify_serializable().unwrap();
+    }
+
+    #[test]
+    fn settle_pending_without_a_pending_operation_errors() {
+        let db = db();
+        let s = db.register("s", Stack::new());
+        let t = db.begin();
+        assert!(matches!(
+            t.settle_pending(),
+            Err(CoreError::NoPendingOperation(_))
+        ));
+        t.exec(&s, StackOp::Push(Value::Int(1))).unwrap();
+        assert!(matches!(
+            t.settle_pending(),
+            Err(CoreError::NoPendingOperation(_)),
+        ), "an executed operation leaves nothing pending");
+        t.commit().unwrap();
+    }
+
+    #[test]
+    fn stale_delivered_result_is_discarded_by_the_next_submission() {
+        let db = db();
+        let s = db.register("s", Stack::new());
+        let t1 = db.begin();
+        t1.exec(&s, StackOp::Push(Value::Int(7))).unwrap();
+
+        let t2 = db.begin();
+        assert!(t2
+            .try_exec_call(&s, StackOp::Pop.to_call())
+            .unwrap()
+            .is_blocked());
+        t1.commit().unwrap(); // settles T2's pop into the delivered map
+
+        // T2 never claims the pop's result and submits something new: the
+        // stale result must not be mistaken for the new call's outcome.
+        assert_eq!(
+            t2.exec(&s, StackOp::Push(Value::Int(9))).unwrap(),
+            OpResult::Ok
+        );
+        t2.commit().unwrap();
+        db.verify_serializable().unwrap();
+    }
+
+    #[test]
+    fn failed_commit_still_aborts_the_session_on_drop() {
+        let db = db();
+        let s = db.register("s", Stack::new());
+        let t1 = db.begin();
+        t1.exec(&s, StackOp::Push(Value::Int(1))).unwrap();
+        let t2 = db.begin();
+        let id2 = t2.id();
+        // A non-blocking conflicting submission leaves T2 blocked inside
+        // the kernel...
+        assert!(t2
+            .try_exec_call(&s, StackOp::Pop.to_call())
+            .unwrap()
+            .is_blocked());
+        // ...so the commit is rejected — and the consumed guard must still
+        // abort the transaction instead of leaking it in the blocked state
+        // (where it would stall every future conflicting session).
+        assert!(matches!(
+            t2.commit(),
+            Err(CoreError::InvalidState {
+                state: TxnState::Blocked,
+                ..
+            })
+        ));
+        assert_eq!(db.txn_state(id2), Some(TxnState::Aborted));
+        t1.commit().unwrap();
+        db.verify_serializable().unwrap();
+        db.check_invariants().unwrap();
     }
 
     #[test]
@@ -489,5 +1230,53 @@ mod tests {
         db.register("s", Stack::new());
         let count = db.with_kernel(|k| k.object_count());
         assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn abort_reason_is_surfaced_after_unparked_abort() {
+        // A transaction aborted while its outcome sits in the delivered map
+        // reports the abort on its next submission.
+        let db = Database::new(
+            SchedulerConfig::default().with_policy(ConflictPolicy::CommutativityOnly),
+        );
+        let s = db.register("s", Stack::new());
+        let t1 = db.begin();
+        t1.exec(&s, StackOp::Push(Value::Int(1))).unwrap();
+        let t2 = db.begin();
+        assert!(t2
+            .try_exec_call(&s, StackOp::Push(Value::Int(2)).to_call())
+            .unwrap()
+            .is_blocked());
+        // T1 aborts; T2's pending push is retried and executes.
+        t1.abort().unwrap();
+        assert_eq!(t2.settle_pending().unwrap(), OpResult::Ok);
+        t2.commit().unwrap();
+        assert_eq!(db.stats().aborts_explicit, 1);
+    }
+
+    #[test]
+    fn stale_delivered_abort_is_reported_by_the_next_submission() {
+        let db = Database::new(
+            SchedulerConfig::default().with_policy(ConflictPolicy::CommutativityOnly),
+        );
+        let s = db.register("s", Stack::new());
+        let s2 = db.register("s2", Stack::new());
+        let t1 = db.begin();
+        let t2 = db.begin();
+        t1.exec(&s, StackOp::Push(Value::Int(1))).unwrap();
+        t2.exec(&s2, StackOp::Push(Value::Int(2))).unwrap();
+        // T2 parks a conflicting push inside the kernel (non-blocking).
+        assert!(t2
+            .try_exec_call(&s, StackOp::Push(Value::Int(3)).to_call())
+            .unwrap()
+            .is_blocked());
+        // T1 requests a push on s2 -> wait-for cycle -> T1 (the requester)
+        // is aborted; T2's pending push then executes and is delivered with
+        // no waiter parked.
+        assert!(t1.exec(&s2, StackOp::Push(Value::Int(4))).is_err());
+        drop(t1);
+        assert_eq!(t2.settle_pending().unwrap(), OpResult::Ok);
+        t2.commit().unwrap();
+        db.verify_serializable().unwrap();
     }
 }

@@ -33,6 +33,10 @@ pub enum CoreError {
     },
     /// An object with this name is already registered.
     DuplicateObject(String),
+    /// [`crate::db::Transaction::settle_pending`] was called while the
+    /// transaction had no blocked operation in flight and no settled outcome
+    /// waiting to be claimed.
+    NoPendingOperation(TxnId),
 }
 
 impl fmt::Display for CoreError {
@@ -49,7 +53,23 @@ impl fmt::Display for CoreError {
             CoreError::DuplicateObject(name) => {
                 write!(f, "an object named {name:?} is already registered")
             }
+            CoreError::NoPendingOperation(txn) => {
+                write!(f, "transaction {txn} has no pending operation to settle")
+            }
         }
+    }
+}
+
+impl CoreError {
+    /// `true` when the error reports a scheduler-initiated abort (deadlock,
+    /// commit-dependency cycle or victim selection) of the given
+    /// transaction — the errors a retry loop such as
+    /// [`crate::Database::run`] transparently restarts on.
+    pub fn is_scheduler_abort_of(&self, txn: TxnId) -> bool {
+        matches!(
+            self,
+            CoreError::Aborted { txn: t, reason } if *t == txn && reason.is_scheduler_initiated()
+        )
     }
 }
 
@@ -79,6 +99,24 @@ mod tests {
         };
         assert!(e.to_string().contains("aborted"));
         assert!(CoreError::DuplicateObject("x".into()).to_string().contains("x"));
+        assert!(CoreError::NoPendingOperation(t).to_string().contains("T3"));
+    }
+
+    #[test]
+    fn scheduler_abort_predicate() {
+        let t = TxnId(7);
+        let scheduler = CoreError::Aborted {
+            txn: t,
+            reason: AbortReason::DeadlockCycle,
+        };
+        assert!(scheduler.is_scheduler_abort_of(t));
+        assert!(!scheduler.is_scheduler_abort_of(TxnId(8)), "different txn");
+        let explicit = CoreError::Aborted {
+            txn: t,
+            reason: AbortReason::Explicit,
+        };
+        assert!(!explicit.is_scheduler_abort_of(t), "explicit aborts are not retried");
+        assert!(!CoreError::UnknownTransaction(t).is_scheduler_abort_of(t));
     }
 
     #[test]

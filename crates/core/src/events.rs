@@ -7,7 +7,7 @@
 //! that closed a cycle) are queued as [`KernelEvent`]s, drained by the
 //! caller with [`crate::SchedulerKernel::drain_events`].
 
-use crate::txn::TxnId;
+use crate::txn::{BatchCall, TxnId};
 use sbcc_adt::OpResult;
 use std::fmt;
 
@@ -26,6 +26,16 @@ pub enum AbortReason {
     VictimSelected,
     /// The application explicitly aborted the transaction.
     Explicit,
+}
+
+impl AbortReason {
+    /// `true` for aborts the scheduler decided on its own (deadlock,
+    /// commit-dependency cycle, victim selection) — the cases a retry loop
+    /// such as [`crate::Database::run`] should transparently restart —
+    /// `false` for application-requested aborts.
+    pub fn is_scheduler_initiated(self) -> bool {
+        !matches!(self, AbortReason::Explicit)
+    }
 }
 
 impl fmt::Display for AbortReason {
@@ -116,6 +126,78 @@ impl CommitOutcome {
     pub fn is_pseudo_commit(&self) -> bool {
         matches!(self, CommitOutcome::PseudoCommitted { .. })
     }
+}
+
+/// Outcome of a grouped submission
+/// ([`crate::SchedulerKernel::request_batch`]).
+///
+/// # Partial-admission semantics
+///
+/// A batch is processed strictly in submission order and is **equivalent to
+/// submitting the same calls one by one** (a property enforced by the
+/// batched-vs-sequential differential test suite). The kernel admits and
+/// executes a *prefix* of the batch; the first call that cannot execute
+/// terminates processing:
+///
+/// * if it **blocks**, the executed prefix stays executed (operations are
+///   never rolled back on a block — exactly as in per-call submission), the
+///   blocking call becomes the transaction's pending request inside the
+///   kernel (retried automatically, reported via
+///   [`KernelEvent::Unblocked`]), and the unprocessed suffix is handed back
+///   in [`BatchStop::Blocked::rest`] for resubmission once the pending call
+///   settles;
+/// * if it **aborts** the transaction (a would-be cycle), the whole
+///   transaction's effects — including the just-executed prefix — are
+///   undone; the prefix *results* are still returned (per-call submission
+///   would already have handed them to the caller before the abort) but
+///   are void, and the unprocessed suffix is returned in
+///   [`BatchStop::Aborted::rest`] for diagnostics.
+///
+/// There is no all-or-nothing admission at batch granularity: atomicity is
+/// provided by the *transaction* (commit/abort), not by the batch, which is
+/// purely a submission-granularity optimisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// Results of the executed prefix, in submission order.
+    pub executed: Vec<OpResult>,
+    /// Union of the commit dependencies acquired by the executed prefix
+    /// (sorted, deduplicated).
+    pub commit_deps: Vec<TxnId>,
+    /// Why processing stopped before the end of the batch, if it did.
+    /// `None` means every call executed.
+    pub stopped: Option<BatchStop>,
+}
+
+impl BatchOutcome {
+    /// `true` when every call of the batch executed.
+    pub fn is_complete(&self) -> bool {
+        self.stopped.is_none()
+    }
+}
+
+/// The terminator of a partially admitted batch (see [`BatchOutcome`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchStop {
+    /// The call at `index` conflicts and is now the transaction's pending
+    /// request inside the kernel.
+    Blocked {
+        /// Position (in the submitted batch) of the call that blocked.
+        index: usize,
+        /// The transactions being waited on.
+        waiting_on: Vec<TxnId>,
+        /// The calls after `index`, unprocessed, for resubmission.
+        rest: Vec<BatchCall>,
+    },
+    /// The call at `index` would have closed a cycle and the transaction
+    /// was aborted.
+    Aborted {
+        /// Position (in the submitted batch) of the call that aborted.
+        index: usize,
+        /// Why the transaction was aborted.
+        reason: AbortReason,
+        /// The calls after `index`, unprocessed.
+        rest: Vec<BatchCall>,
+    },
 }
 
 /// Side effects on transactions other than the caller's, produced while the

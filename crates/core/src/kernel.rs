@@ -20,12 +20,14 @@
 //! directly); [`crate::Database`] adds a thread-safe, blocking front-end.
 
 use crate::errors::CoreError;
-use crate::events::{AbortReason, CommitOutcome, KernelEvent, RequestOutcome};
+use crate::events::{
+    AbortReason, BatchOutcome, BatchStop, CommitOutcome, KernelEvent, RequestOutcome,
+};
 use crate::history::HistoryRecorder;
 use crate::object::{Classification, ManagedObject, ObjectId};
 use crate::policy::{CycleDetector, SchedulerConfig, VictimPolicy};
 use crate::stats::KernelStats;
-use crate::txn::{ExecutedOp, PendingRequest, TxnId, TxnRecord, TxnState};
+use crate::txn::{BatchCall, ExecutedOp, PendingRequest, TxnId, TxnRecord, TxnState};
 use sbcc_adt::{AdtObject, AdtSpec, OpCall, OpResult, SemanticObject};
 use sbcc_graph::{DependencyGraph, EdgeKind};
 use std::collections::HashMap;
@@ -55,6 +57,12 @@ pub struct SchedulerKernel {
     history: Option<HistoryRecorder>,
     events: Vec<KernelEvent>,
     pending_dirty: Vec<ObjectId>,
+    /// Bumped whenever a transaction terminates (commit or abort) — i.e.
+    /// whenever execution logs, blocked queues or the dependency graph may
+    /// have changed *underneath* a caller. Used to (a) skip the settle scan
+    /// when nothing terminated, and (b) invalidate the pre-computed group
+    /// classification of an in-flight batch.
+    termination_epoch: u64,
 }
 
 impl std::fmt::Debug for SchedulerKernel {
@@ -89,6 +97,7 @@ impl SchedulerKernel {
             history,
             events: Vec::new(),
             pending_dirty: Vec::new(),
+            termination_epoch: 0,
         }
     }
 
@@ -281,9 +290,127 @@ impl SchedulerKernel {
             });
         }
         self.stats.requests += 1;
-        let outcome = self.process_request(txn, object, call, false);
-        self.settle();
+        let epoch = self.termination_epoch;
+        let outcome = self.process_request(txn, object, call, false, None);
+        self.settle_if_terminated(epoch);
         Ok(outcome)
+    }
+
+    /// Request execution of a whole **group** of operations on behalf of a
+    /// transaction, classified against the `(transaction, kind,
+    /// parameter-relation)` log index in **one pass** per touched object
+    /// (see [`ManagedObject::classify_many`]) instead of one pass per call.
+    ///
+    /// Admission is strictly in submission order and behaviourally
+    /// equivalent to submitting the same calls one by one through
+    /// [`Self::request`]; see [`BatchOutcome`] for the partial-admission
+    /// semantics (executed prefix, blocking/aborting terminator, returned
+    /// suffix). Every counter in [`KernelStats`] advances exactly as it
+    /// would under per-call submission (plus the `batches`/`batched_calls`
+    /// bookkeeping), which is what the differential test suite asserts.
+    ///
+    /// The pre-computed group classification is invalidated — and redone in
+    /// a fresh single pass over the remaining calls — whenever a
+    /// transaction terminates mid-batch (a victim abort or a cascaded
+    /// commit changes the logs the classification was computed against).
+    pub fn request_batch(
+        &mut self,
+        txn: TxnId,
+        calls: Vec<BatchCall>,
+    ) -> Result<BatchOutcome, CoreError> {
+        // Fail-fast validation: a malformed batch is rejected before any of
+        // its calls executes (per-call submission would execute the prefix
+        // first; rejecting the group whole is the one place the two modes
+        // deliberately differ, and only for programming errors).
+        for bc in &calls {
+            self.ensure_object(bc.object)?;
+        }
+        let state = self
+            .txn_state(txn)
+            .ok_or(CoreError::UnknownTransaction(txn))?;
+        if state != TxnState::Active {
+            return Err(CoreError::InvalidState {
+                txn,
+                state,
+                action: "submit a batch",
+            });
+        }
+        self.stats.batches += 1;
+
+        let mut calls = calls;
+        let mut executed: Vec<OpResult> = Vec::with_capacity(calls.len());
+        let mut all_deps: Vec<TxnId> = Vec::new();
+        let mut plan_epoch = self.termination_epoch;
+        let mut plans = self.plan_batch(txn, &calls);
+        let mut plan_pos = 0usize;
+        for index in 0..calls.len() {
+            self.stats.requests += 1;
+            self.stats.batched_calls += 1;
+            if self.termination_epoch != plan_epoch {
+                // A transaction terminated since the plan was computed
+                // (victim abort, cascaded commit, or a retried request of
+                // another transaction executing): the logs changed, so the
+                // remaining classifications are stale. Re-plan the suffix
+                // in one fresh pass, in place — no payload clones.
+                plan_epoch = self.termination_epoch;
+                plans = self.plan_batch(txn, &calls[index..]);
+                plan_pos = 0;
+            }
+            let precomputed = plans.get_mut(plan_pos).map(std::mem::take);
+            plan_pos += 1;
+            let object = calls[index].object;
+            // Take the payload out of the prefix slot (never read again);
+            // `rest` below only ever covers the untouched suffix.
+            let call = std::mem::replace(&mut calls[index].call, OpCall::nullary(0));
+            let epoch = self.termination_epoch;
+            let outcome = self.process_request(txn, object, call, false, precomputed);
+            self.settle_if_terminated(epoch);
+            match outcome {
+                RequestOutcome::Executed {
+                    result,
+                    commit_deps,
+                } => {
+                    executed.push(result);
+                    all_deps.extend(commit_deps);
+                }
+                RequestOutcome::Blocked { waiting_on } => {
+                    all_deps.sort_unstable();
+                    all_deps.dedup();
+                    return Ok(BatchOutcome {
+                        executed,
+                        commit_deps: all_deps,
+                        stopped: Some(BatchStop::Blocked {
+                            index,
+                            waiting_on,
+                            rest: calls.split_off(index + 1),
+                        }),
+                    });
+                }
+                RequestOutcome::Aborted { reason } => {
+                    // The prefix results are returned exactly as per-call
+                    // submission would already have returned them — but the
+                    // abort has undone their effects, so they are void.
+                    all_deps.sort_unstable();
+                    all_deps.dedup();
+                    return Ok(BatchOutcome {
+                        executed,
+                        commit_deps: all_deps,
+                        stopped: Some(BatchStop::Aborted {
+                            index,
+                            reason,
+                            rest: calls.split_off(index + 1),
+                        }),
+                    });
+                }
+            }
+        }
+        all_deps.sort_unstable();
+        all_deps.dedup();
+        Ok(BatchOutcome {
+            executed,
+            commit_deps: all_deps,
+            stopped: None,
+        })
     }
 
     /// Request an operation using a typed operation value.
@@ -428,18 +555,85 @@ impl SchedulerKernel {
         &self.objects[object.0 as usize]
     }
 
+    /// Compute the classification of every call of a batch in one pass over
+    /// each touched object's log index (and fairness set), in submission
+    /// order. Sound because nothing observable by the classification can
+    /// change between the pass and the calls' admission other than the
+    /// batch transaction's own executions (which classification ignores) —
+    /// terminations, the one exception, bump [`Self::termination_epoch`]
+    /// and force a re-plan.
+    fn plan_batch(&self, txn: TxnId, calls: &[BatchCall]) -> Vec<Classification> {
+        // Fast path for the common batch shape (the ROADMAP's motivating
+        // case): every call targets the same object — classify the group
+        // directly, skipping the per-object scatter machinery.
+        if let [first, rest @ ..] = calls {
+            if rest.iter().all(|bc| bc.object == first.object) {
+                let group: Vec<&OpCall> = calls.iter().map(|bc| &bc.call).collect();
+                let obj = self.object_ref(first.object);
+                let fairness = if self.config.fair_scheduling {
+                    obj.blocked_pairs()
+                } else {
+                    Vec::new()
+                };
+                return obj.classify_many(self.config.policy, txn, &group, &fairness);
+            }
+        }
+        let mut plans: Vec<Option<Classification>> = vec![None; calls.len()];
+        let mut objects: Vec<ObjectId> = calls.iter().map(|bc| bc.object).collect();
+        objects.sort_unstable();
+        objects.dedup();
+        for object in objects {
+            let members: Vec<usize> = (0..calls.len())
+                .filter(|i| calls[*i].object == object)
+                .collect();
+            let group: Vec<&OpCall> = members.iter().map(|i| &calls[*i].call).collect();
+            let obj = self.object_ref(object);
+            let fairness = if self.config.fair_scheduling {
+                obj.blocked_pairs()
+            } else {
+                Vec::new()
+            };
+            let classified = obj.classify_many(self.config.policy, txn, &group, &fairness);
+            for (i, c) in members.into_iter().zip(classified) {
+                plans[i] = Some(c);
+            }
+        }
+        plans
+            .into_iter()
+            .map(|p| p.expect("every call planned"))
+            .collect()
+    }
+
+    /// Run [`Self::settle`] only if a transaction terminated since `epoch`
+    /// was sampled. When nothing terminated, settle is a pure no-op scan
+    /// (no pseudo-commit can have lost its last dependency, no object log
+    /// changed), so skipping it is behaviour-preserving — and saves an
+    /// O(live transactions) walk on every admitted request.
+    fn settle_if_terminated(&mut self, epoch: u64) {
+        if self.termination_epoch != epoch || !self.pending_dirty.is_empty() {
+            self.settle();
+        }
+    }
+
     /// The Figure-2 algorithm for a single request. `is_retry` marks
     /// automatic retries of previously blocked requests (they do not count
-    /// as new blocking events in the statistics).
+    /// as new blocking events in the statistics). `precomputed` supplies a
+    /// still-valid classification from a batch plan for the first loop
+    /// iteration (victim-abort iterations always re-classify).
     fn process_request(
         &mut self,
         txn: TxnId,
         object: ObjectId,
         call: OpCall,
         is_retry: bool,
+        mut precomputed: Option<Classification>,
     ) -> RequestOutcome {
         loop {
-            let classification = self.classify_for(txn, object, &call);
+            // A supplied plan is trusted as-is: the batched-vs-sequential
+            // differential suite proves plans match fresh classifications.
+            let classification = precomputed
+                .take()
+                .unwrap_or_else(|| self.classify_for(txn, object, &call));
             let Classification {
                 conflicts,
                 commit_deps,
@@ -608,6 +802,7 @@ impl SchedulerKernel {
     }
 
     fn actually_commit(&mut self, txn: TxnId) {
+        self.termination_epoch += 1;
         let rec = self.txns.remove(&txn).expect("transaction exists");
         debug_assert!(matches!(
             rec.state,
@@ -634,6 +829,7 @@ impl SchedulerKernel {
     }
 
     fn abort_internal(&mut self, txn: TxnId, reason: AbortReason) {
+        self.termination_epoch += 1;
         let mut rec = self.txns.remove(&txn).expect("transaction exists");
         debug_assert!(
             matches!(rec.state, TxnState::Active | TxnState::Blocked),
@@ -739,7 +935,7 @@ impl SchedulerKernel {
                 rec.pending = None;
             }
             self.graph.clear_out_edges(request.txn, EdgeKind::WaitFor);
-            let outcome = self.process_request(request.txn, object, request.call, true);
+            let outcome = self.process_request(request.txn, object, request.call, true, None);
             match &outcome {
                 RequestOutcome::Blocked { .. } => {
                     // Still blocked; it was re-queued by process_request.

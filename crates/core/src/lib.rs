@@ -10,8 +10,12 @@
 //!   commit-dependency tracking, pseudo-commit and the cascading actual
 //!   commit protocol, plus recovery by intentions lists or replay-based
 //!   undo.
-//! * [`Database`] — a thread-safe, blocking front-end over the kernel for
-//!   applications that want to invoke operations from many threads.
+//! * [`Database`] — the thread-safe, session-based front-end over the
+//!   kernel: typed [`Handle`]s, [`Transaction`] guards that auto-abort on
+//!   drop, grouped submission via [`Transaction::batch`], and the
+//!   [`Database::run`] retry runner (see the [`db`] module docs for the
+//!   full session model and the migration table from the old
+//!   free-function API).
 //! * [`HistoryRecorder`] and the `verify_*` checkers — off-line validation
 //!   that executions are serializable in commit order and respect the
 //!   dynamic commit dependencies.
@@ -64,9 +68,11 @@ pub mod policy;
 pub mod stats;
 pub mod txn;
 
-pub use db::{Database, ObjectHandle};
+pub use db::{Batch, Database, Handle, ObjectHandle, Transaction};
 pub use errors::CoreError;
-pub use events::{AbortReason, CommitOutcome, KernelEvent, RequestOutcome};
+pub use events::{
+    AbortReason, BatchOutcome, BatchStop, CommitOutcome, KernelEvent, RequestOutcome,
+};
 pub use history::{
     verify_commit_order_respects_dependencies, verify_commit_order_serializable, HistoryRecorder,
     TxnFate, TxnHistory,
@@ -75,4 +81,4 @@ pub use kernel::SchedulerKernel;
 pub use object::{BlockedRequest, Classification, LogEntry, ManagedObject, ObjectId};
 pub use policy::{ConflictPolicy, CycleDetector, RecoveryStrategy, SchedulerConfig, VictimPolicy};
 pub use stats::KernelStats;
-pub use txn::{ExecutedOp, PendingRequest, TxnId, TxnRecord, TxnState};
+pub use txn::{BatchCall, ExecutedOp, PendingRequest, TxnId, TxnRecord, TxnState};

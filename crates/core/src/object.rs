@@ -158,6 +158,41 @@ impl ClassifyMemo {
         *slot = Some(c);
         c
     }
+
+    /// Look up the verdict for `(requested.kind, executed_kind, rel)`
+    /// directly. The representative executed call is only materialised on
+    /// a memo **miss** — on a hit (the overwhelming majority once the
+    /// table is warm) this is a pure array lookup with no `OpCall`
+    /// construction or parameter clone.
+    fn classify_rel(
+        &mut self,
+        object: &dyn SemanticObject,
+        requested: &OpCall,
+        executed_kind: usize,
+        rel: ParamRelation,
+        executed_rep: impl FnOnce() -> OpCall,
+    ) -> Compatibility {
+        debug_assert!(
+            requested.kind < self.arity && executed_kind < self.arity,
+            "operation kind out of range for {} ({} kinds)",
+            object.type_name(),
+            self.arity
+        );
+        let idx = requested.kind * self.arity + executed_kind;
+        let slot = &mut self.cells[idx][rel as usize];
+        if let Some(c) = *slot {
+            return c;
+        }
+        let rep = executed_rep();
+        debug_assert_eq!(
+            param_relation(requested, &rep),
+            rel,
+            "representative call must realise the claimed parameter relation"
+        );
+        let c = object.classify(requested, &rep);
+        *slot = Some(c);
+        c
+    }
 }
 
 /// Per-`(transaction, kind)` summary of the uncommitted log: how many
@@ -314,9 +349,28 @@ impl ManagedObject {
         Self::demote(policy, self.raw_classify(requested, executed))
     }
 
+    /// Policy-demoted verdict of `call` against one parameter-relation
+    /// class of executed kind `kind`; the representative call is built
+    /// only when the memo misses.
+    fn rel_severity(
+        &self,
+        policy: ConflictPolicy,
+        call: &OpCall,
+        kind: usize,
+        rel: ParamRelation,
+        rep: impl FnOnce() -> OpCall,
+    ) -> Compatibility {
+        Self::demote(
+            policy,
+            self.memo
+                .borrow_mut()
+                .classify_rel(self.committed.as_ref(), call, kind, rel, rep),
+        )
+    }
+
     /// Worst-case (most restrictive) classification of `call` against one
     /// `(transaction, kind)` bucket, touching each parameter-relation class
-    /// at most once.
+    /// at most once (and, on a warm memo, performing no allocation at all).
     fn bucket_severity(
         &self,
         policy: ConflictPolicy,
@@ -325,29 +379,48 @@ impl ManagedObject {
         bucket: &KindBucket,
     ) -> Compatibility {
         let mut severity = Compatibility::Commutative;
-        let consider = |rep: &OpCall, severity: &mut Compatibility| {
-            *severity = (*severity).max(self.effective(policy, call, rep));
-        };
         match call.distinguishing_param() {
             None => {
                 // Every entry of the bucket is in the Incomparable class
                 // (SP/DP can never hold without a parameter on both sides).
-                if bucket.nullary > 0 {
-                    consider(&OpCall::nullary(kind), &mut severity);
-                } else if let Some(p) = bucket.any_param() {
-                    consider(&OpCall::unary(kind, p.clone()), &mut severity);
+                if !bucket.is_empty() {
+                    severity = self.rel_severity(policy, call, kind, ParamRelation::Incomparable, || {
+                        if bucket.nullary > 0 {
+                            OpCall::nullary(kind)
+                        } else {
+                            OpCall::unary(kind, bucket.any_param().expect("non-empty").clone())
+                        }
+                    });
                 }
             }
             Some(p) => {
                 if bucket.nullary > 0 {
-                    consider(&OpCall::nullary(kind), &mut severity);
+                    severity = severity.max(self.rel_severity(
+                        policy,
+                        call,
+                        kind,
+                        ParamRelation::Incomparable,
+                        || OpCall::nullary(kind),
+                    ));
                 }
                 if severity < Compatibility::NonRecoverable && bucket.params.contains_key(p) {
-                    consider(&OpCall::unary(kind, p.clone()), &mut severity);
+                    severity = severity.max(self.rel_severity(
+                        policy,
+                        call,
+                        kind,
+                        ParamRelation::Equal,
+                        || OpCall::unary(kind, p.clone()),
+                    ));
                 }
                 if severity < Compatibility::NonRecoverable {
                     if let Some(q) = bucket.param_other_than(p) {
-                        consider(&OpCall::unary(kind, q.clone()), &mut severity);
+                        severity = severity.max(self.rel_severity(
+                            policy,
+                            call,
+                            kind,
+                            ParamRelation::Different,
+                            || OpCall::unary(kind, q.clone()),
+                        ));
                     }
                 }
             }
@@ -368,7 +441,11 @@ impl ManagedObject {
     /// executed (the fair-scheduling rule of Section 5.2).
     ///
     /// This is the indexed hot path; it is differentially tested against
-    /// [`Self::classify_naive`].
+    /// [`Self::classify_naive`]. It is the single-call specialisation of
+    /// [`Self::classify_many`] — kept as a direct implementation (no
+    /// group-shaped intermediate vectors) because every kernel request
+    /// runs through it; `classify_many_matches_per_call_classification`
+    /// pins the two to identical verdicts.
     pub fn classify(
         &self,
         policy: ConflictPolicy,
@@ -403,13 +480,7 @@ impl ManagedObject {
             if *other == txn {
                 continue;
             }
-            // Fairness is a *symmetric* conflict test between two pending
-            // requests: the incoming request waits if either order of the
-            // two operations would be non-recoverable. This is what stops an
-            // incoming operation from overtaking (and thereby starving) a
-            // blocked request it conflicts with — e.g. a new reader behind a
-            // blocked writer under commutativity, or a new writer behind a
-            // blocked reader under recoverability.
+            // See `classify_many` for why the fairness test is symmetric.
             let incoming_after_blocked = self.effective(policy, call, other_call);
             let blocked_after_incoming = self.effective(policy, other_call, call);
             if (incoming_after_blocked == Compatibility::NonRecoverable
@@ -428,6 +499,102 @@ impl ManagedObject {
             conflicts,
             commit_deps,
         }
+    }
+
+    /// Classify a whole *group* of calls, all requested by `txn`, against
+    /// the uncommitted operations of other transactions — in **one pass**
+    /// over the `(transaction, kind, parameter-relation)` log index.
+    ///
+    /// Per-call classification walks the index once per call; a
+    /// transaction's batch of `B` calls therefore traverses it `B` times.
+    /// This method traverses each `(transaction, kind)` bucket exactly once
+    /// and scores every call of the group against it, so a batch pays one
+    /// index walk (plus one walk of the fairness set) regardless of its
+    /// size. Calls are taken by reference so batch planning never clones
+    /// operation payloads. The verdict for each call is identical to what
+    /// [`Self::classify`] would return on it.
+    pub fn classify_many(
+        &self,
+        policy: ConflictPolicy,
+        txn: TxnId,
+        calls: &[&OpCall],
+        fairness_extra: &[(TxnId, OpCall)],
+    ) -> Vec<Classification> {
+        let mut conflicts: Vec<Vec<TxnId>> = vec![Vec::new(); calls.len()];
+        let mut commit_deps: Vec<Vec<TxnId>> = vec![Vec::new(); calls.len()];
+
+        // Buckets are the outer loop: each `(transaction, kind)` bucket is
+        // visited exactly once and every call of the group is scored
+        // against it while it is hot. Per-call severities accumulate in a
+        // reused scratch vector; a call that has already reached
+        // `NonRecoverable` against this transaction skips further buckets
+        // (mirroring the early exit of the single-call path — `max` is
+        // order-insensitive, so the verdicts are identical).
+        let mut severities: Vec<Compatibility> = Vec::with_capacity(calls.len());
+        for (other, kinds) in &self.index {
+            if *other == txn {
+                continue;
+            }
+            severities.clear();
+            severities.resize(calls.len(), Compatibility::Commutative);
+            for (kind, bucket) in kinds {
+                if bucket.is_empty() {
+                    continue;
+                }
+                for (ci, call) in calls.iter().enumerate() {
+                    if severities[ci] == Compatibility::NonRecoverable {
+                        continue;
+                    }
+                    severities[ci] =
+                        severities[ci].max(self.bucket_severity(policy, call, *kind, bucket));
+                }
+            }
+            for (ci, severity) in severities.iter().enumerate() {
+                match severity {
+                    Compatibility::NonRecoverable => conflicts[ci].push(*other),
+                    Compatibility::Recoverable => commit_deps[ci].push(*other),
+                    Compatibility::Commutative => {}
+                }
+            }
+        }
+        for (other, other_call) in fairness_extra {
+            if *other == txn {
+                continue;
+            }
+            for (ci, call) in calls.iter().enumerate() {
+                // Fairness is a *symmetric* conflict test between two
+                // pending requests: the incoming request waits if either
+                // order of the two operations would be non-recoverable.
+                // This is what stops an incoming operation from overtaking
+                // (and thereby starving) a blocked request it conflicts
+                // with — e.g. a new reader behind a blocked writer under
+                // commutativity, or a new writer behind a blocked reader
+                // under recoverability.
+                let incoming_after_blocked = self.effective(policy, call, other_call);
+                let blocked_after_incoming = self.effective(policy, other_call, call);
+                if (incoming_after_blocked == Compatibility::NonRecoverable
+                    || blocked_after_incoming == Compatibility::NonRecoverable)
+                    && !conflicts[ci].contains(other)
+                {
+                    conflicts[ci].push(*other);
+                }
+            }
+        }
+        conflicts
+            .into_iter()
+            .zip(commit_deps)
+            .map(|(mut conflicts, mut commit_deps)| {
+                conflicts.sort_unstable();
+                // A transaction that must be waited on anyway is not listed
+                // as a commit dependency.
+                commit_deps.retain(|t| conflicts.binary_search(t).is_err());
+                commit_deps.sort_unstable();
+                Classification {
+                    conflicts,
+                    commit_deps,
+                }
+            })
+            .collect()
     }
 
     /// The pre-index reference implementation of [`Self::classify`]: a
@@ -731,6 +898,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn classify_many_matches_per_call_classification() {
+        let mut obj = stack_object(RecoveryStrategy::IntentionsList);
+        obj.execute(TxnId(1), 1, push(1));
+        obj.execute(TxnId(1), 2, top());
+        obj.execute(TxnId(2), 3, push(2));
+        obj.execute(TxnId(3), 4, pop());
+        let fairness = vec![(TxnId(4), pop()), (TxnId(5), top())];
+        let group = [push(1), push(9), pop(), top()];
+        let group_refs: Vec<&OpCall> = group.iter().collect();
+        for policy in [
+            ConflictPolicy::Recoverability,
+            ConflictPolicy::CommutativityOnly,
+        ] {
+            for requester in [TxnId(1), TxnId(2), TxnId(6)] {
+                let grouped = obj.classify_many(policy, requester, &group_refs, &fairness);
+                assert_eq!(grouped.len(), group.len());
+                for (call, grouped) in group.iter().zip(&grouped) {
+                    let single = obj.classify(policy, requester, call, &fairness);
+                    assert_eq!(
+                        grouped, &single,
+                        "policy {policy:?} call {call} by {requester}"
+                    );
+                }
+            }
+        }
+        assert!(obj
+            .classify_many(ConflictPolicy::Recoverability, TxnId(9), &[], &fairness)
+            .is_empty());
     }
 
     #[test]

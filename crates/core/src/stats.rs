@@ -11,8 +11,19 @@ pub struct KernelStats {
     /// Transactions begun.
     pub transactions_begun: u64,
     /// Operation requests received (excluding internal retries of blocked
-    /// requests).
+    /// requests). Each call of a batch counts as one request, so this
+    /// counter is directly comparable between per-call and batched
+    /// submission.
     pub requests: u64,
+    /// Grouped submission passes ([`crate::SchedulerKernel::request_batch`]).
+    /// A batch whose blocked terminator later settles is resumed by the
+    /// session layer as a fresh pass over the remaining calls, which counts
+    /// again here.
+    pub batches: u64,
+    /// Calls *processed* by batch passes: each counts one request, so this
+    /// is always a subset of `requests` (a blocked batch's unprocessed
+    /// suffix is not counted until its resumption pass processes it).
+    pub batched_calls: u64,
     /// Operations actually executed (including executions that happen when a
     /// blocked request is finally admitted).
     pub operations_executed: u64,
@@ -74,9 +85,11 @@ impl KernelStats {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "txns={} requests={} executed={} blocks={} unblocks={} commit-deps={} commits={} pseudo={} aborts(deadlock={}, cycle={}, victim={}, explicit={})",
+            "txns={} requests={} batches={}/{} executed={} blocks={} unblocks={} commit-deps={} commits={} pseudo={} aborts(deadlock={}, cycle={}, victim={}, explicit={})",
             self.transactions_begun,
             self.requests,
+            self.batches,
+            self.batched_calls,
             self.operations_executed,
             self.blocks,
             self.unblocks,

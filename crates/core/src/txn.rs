@@ -96,6 +96,25 @@ pub struct PendingRequest {
     pub call: OpCall,
 }
 
+/// One element of a grouped submission: an operation call aimed at a
+/// specific object. A batch is an ordered `Vec<BatchCall>` handed to
+/// [`crate::SchedulerKernel::request_batch`] (or built through the
+/// [`crate::db::Batch`] session builder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchCall {
+    /// Object the call targets.
+    pub object: ObjectId,
+    /// The operation call.
+    pub call: OpCall,
+}
+
+impl BatchCall {
+    /// Convenience constructor.
+    pub fn new(object: ObjectId, call: OpCall) -> Self {
+        BatchCall { object, call }
+    }
+}
+
 /// Internal per-transaction record kept by the kernel.
 #[derive(Debug, Clone)]
 pub struct TxnRecord {

@@ -10,10 +10,21 @@
 //!   one stack (a quadratic cycle-check workload) committed in reverse;
 //! * `hotspot_counter_200` — 200 concurrent commuting increments;
 //! * `graph_checks_<detector>` — raw would-close-cycle checks on a dense
-//!   1000-node dependency graph.
+//!   1000-node dependency graph;
+//! * `submission_{percall,batched}` — the same contended kernel workload
+//!   submitted one call at a time vs as per-transaction groups
+//!   (`request_batch`): the batched-vs-per-call delta is the cost of
+//!   walking the classification index once per call instead of once per
+//!   group;
+//! * `session_{percall,batched}_4thr` — the same comparison at the
+//!   [`sbcc_core::Database`] session level with 4 threads hammering one
+//!   database: batching additionally amortises the lock acquisition and
+//!   wakeup round-trip per submission.
 
 use sbcc_adt::{Counter, CounterOp, Stack, StackOp, TableObject, TableOp, Value};
-use sbcc_core::{ConflictPolicy, CycleDetector, SchedulerConfig, SchedulerKernel};
+use sbcc_core::{
+    BatchCall, ConflictPolicy, CycleDetector, Database, SchedulerConfig, SchedulerKernel,
+};
 use sbcc_graph::{DependencyGraph, EdgeKind};
 use std::time::{Duration, Instant};
 
@@ -123,6 +134,79 @@ fn hotspot_counter() -> u64 {
     kernel.stats().operations_executed + kernel.stats().commits
 }
 
+/// The submission-mode comparison workload: `txns` transactions all stay
+/// live while each submits `ops_per_txn` commuting increments against one
+/// hot counter. Every classification therefore walks one log-index bucket
+/// per already-active transaction while the dependency graph stays empty
+/// (increments commute — no blocking, no commit-dependency edges, no
+/// cycle checks), so the measured gap between the modes is exactly the
+/// per-call classification-pass overhead that grouped submission
+/// amortises. Differential tests prove the two modes are behaviourally
+/// identical; this measures the cost gap.
+pub fn submission_workload(batched: bool, txns: u64, ops_per_txn: u64) -> u64 {
+    let mut kernel = SchedulerKernel::new(SchedulerConfig::default().with_history(false));
+    let counter = kernel.register("hits", Counter::new()).unwrap();
+    let ids: Vec<_> = (0..txns).map(|_| kernel.begin()).collect();
+    for t in &ids {
+        if batched {
+            let calls: Vec<BatchCall> = (0..ops_per_txn)
+                .map(|_| BatchCall::new(counter, sbcc_adt::AdtOp::to_call(&CounterOp::Increment(1))))
+                .collect();
+            let outcome = kernel.request_batch(*t, calls).unwrap();
+            assert!(outcome.is_complete());
+        } else {
+            for _ in 0..ops_per_txn {
+                let outcome = kernel
+                    .request(*t, counter, sbcc_adt::AdtOp::to_call(&CounterOp::Increment(1)))
+                    .unwrap();
+                assert!(outcome.is_executed());
+            }
+        }
+    }
+    for t in &ids {
+        let _ = kernel.commit(*t);
+    }
+    let _ = kernel.drain_events();
+    kernel.stats().operations_executed + kernel.stats().commits
+}
+
+/// The session-level comparison: `threads` threads each run transactions of
+/// `ops_per_txn` commuting counter increments against one shared
+/// [`Database`]. Per-call submission takes the database lock (and drains
+/// the event queue) once per operation; a batch takes it once per
+/// transaction.
+fn session_workload(batched: bool, threads: usize, txns_per_thread: u64, ops_per_txn: u64) -> u64 {
+    let db = Database::new(SchedulerConfig::default().with_history(false));
+    let counter = db.register("hits", Counter::new());
+    let done: Vec<std::thread::JoinHandle<u64>> = (0..threads)
+        .map(|_| {
+            let db = db.clone();
+            let counter = counter.clone();
+            std::thread::spawn(move || {
+                let mut ops = 0u64;
+                for _ in 0..txns_per_thread {
+                    let t = db.begin();
+                    if batched {
+                        let mut batch = t.batch();
+                        for _ in 0..ops_per_txn {
+                            batch.add_op(&counter, CounterOp::Increment(1));
+                        }
+                        ops += batch.submit().unwrap().len() as u64;
+                    } else {
+                        for _ in 0..ops_per_txn {
+                            t.exec(&counter, CounterOp::Increment(1)).unwrap();
+                            ops += 1;
+                        }
+                    }
+                    t.commit().unwrap();
+                }
+                ops
+            })
+        })
+        .collect();
+    done.into_iter().map(|h| h.join().expect("bench thread")).sum()
+}
+
 fn graph_checks(detector: CycleDetector) -> u64 {
     let n = 1000u64;
     let mut g: DependencyGraph<u64> = DependencyGraph::new();
@@ -163,7 +247,9 @@ pub fn run_all(quick: bool) -> Vec<BenchResult> {
     let budget = if quick {
         Duration::from_millis(80)
     } else {
-        Duration::from_millis(400)
+        // 800 ms per entry: the threaded session workloads are too noisy
+        // at shorter budgets to support mode-vs-mode comparisons.
+        Duration::from_millis(800)
     };
     let chain_n = if quick { 128 } else { 384 };
     let mut results = Vec::new();
@@ -187,6 +273,31 @@ pub fn run_all(quick: bool) -> Vec<BenchResult> {
         results.push(measure(&format!("graph_checks_{detector}"), budget, || {
             graph_checks(detector)
         }));
+    }
+    let (sub_txns, sub_ops) = if quick { (48, 8) } else { (96, 8) };
+    for batched in [false, true] {
+        results.push(measure(
+            if batched {
+                "submission_batched"
+            } else {
+                "submission_percall"
+            },
+            budget,
+            || submission_workload(batched, sub_txns, sub_ops),
+        ));
+    }
+    // Enough transactions per thread that spawn overhead is amortised away.
+    let (threads, sess_txns, sess_ops) = if quick { (4, 16, 8) } else { (4, 200, 8) };
+    for batched in [false, true] {
+        results.push(measure(
+            if batched {
+                "session_batched_4thr"
+            } else {
+                "session_percall_4thr"
+            },
+            budget,
+            || session_workload(batched, threads, sess_txns, sess_ops),
+        ));
     }
     results
 }
@@ -218,7 +329,7 @@ mod tests {
     #[test]
     fn quick_run_produces_all_entries_and_valid_json() {
         let results = run_all(true);
-        assert_eq!(results.len(), 7);
+        assert_eq!(results.len(), 11);
         for r in &results {
             assert!(r.ops > 0, "{} did work", r.name);
             assert!(r.ops_per_sec > 0.0);
@@ -227,6 +338,8 @@ mod tests {
         assert!(json.contains("\"schema\": 1"));
         assert!(json.contains("dense_chain"));
         assert!(json.contains("graph_checks_incremental"));
+        assert!(json.contains("submission_batched"));
+        assert!(json.contains("session_percall_4thr"));
         // Crude JSON sanity: balanced braces/brackets, one object per line.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -246,6 +359,25 @@ mod tests {
         assert!(
             speedup >= 2.0,
             "incremental checks should be at least 2x the oracle (got {speedup:.1}x)"
+        );
+    }
+
+    #[test]
+    fn submission_modes_do_identical_work() {
+        // The speedup comparison lives in the release-mode numbers
+        // (`repro --bench-kernel`, BENCH_kernel.json) — a debug test run
+        // in a parallel suite is far too noisy for any wall-clock
+        // assertion. What must hold unconditionally: both modes perform
+        // exactly the same kernel work.
+        assert_eq!(
+            submission_workload(false, 48, 8),
+            submission_workload(true, 48, 8),
+            "batched and per-call submission must execute identical workloads"
+        );
+        assert_eq!(
+            session_workload(false, 2, 8, 8),
+            session_workload(true, 2, 8, 8),
+            "batched and per-call sessions must execute identical workloads"
         );
     }
 }

@@ -116,6 +116,23 @@ pub struct SimParams {
     /// Whether a pseudo-committed transaction keeps occupying its
     /// multiprogramming slot until it actually commits (see DESIGN.md §6).
     pub pseudo_commit_holds_slot: bool,
+    /// Batched submission: a transaction hands its **entire remaining
+    /// script** to the kernel as one group
+    /// ([`sbcc_core::SchedulerKernel::request_batch`]) instead of one
+    /// request per operation. The kernel classifies the group in one index
+    /// pass; the admitted prefix is then serviced as one burst (its
+    /// operations' service demands back to back), and a blocked call parks
+    /// the transaction exactly as per-call submission would. The
+    /// *admission* decisions for a given log state are identical to
+    /// per-call submission; what changes is timing — and note the cost
+    /// model's bias: the simulator charges **zero** overhead per
+    /// submission, so batching's real-world win (fewer kernel round trips
+    /// and lock acquisitions; see `BENCH_kernel.json`) is invisible here,
+    /// while its cost — operations enter the uncommitted logs *before*
+    /// their service time elapses, widening every transaction's conflict
+    /// window — is fully modelled. Under heavy data contention batched
+    /// simulated throughput can therefore trail per-call.
+    pub batch_submission: bool,
     /// Stop the run after this many transactions have completed
     /// (paper: 50 000).
     pub target_completions: u64,
@@ -142,6 +159,7 @@ impl Default for SimParams {
             recovery: RecoveryStrategy::IntentionsList,
             victim: VictimPolicy::Requester,
             pseudo_commit_holds_slot: false,
+            batch_submission: false,
             target_completions: 10_000,
             seed: 42,
         }
@@ -191,6 +209,12 @@ impl SimParams {
     /// Builder-style: enable or disable fair scheduling.
     pub fn with_fair_scheduling(mut self, fair: bool) -> Self {
         self.fair_scheduling = fair;
+        self
+    }
+
+    /// Builder-style: enable or disable batched submission.
+    pub fn with_batch_submission(mut self, batched: bool) -> Self {
+        self.batch_submission = batched;
         self
     }
 
@@ -264,12 +288,17 @@ impl SimParams {
     /// One-line description used by the experiment harness.
     pub fn describe(&self) -> String {
         format!(
-            "{} | {} | mpl={} | {} | fair={} | {} completions",
+            "{} | {} | mpl={} | {} | fair={} | {} | {} completions",
             self.data_model.label(),
             self.policy,
             self.mpl_level,
             self.resource_mode.label(),
             self.fair_scheduling,
+            if self.batch_submission {
+                "batched"
+            } else {
+                "per-call"
+            },
             self.target_completions
         )
     }
@@ -313,6 +342,10 @@ mod tests {
         assert_eq!(p.target_completions, 500);
         assert_eq!(p.seed, 7);
         assert!(!p.fair_scheduling);
+        assert!(!p.batch_submission, "per-call submission is the default");
+        let p = p.with_batch_submission(true);
+        assert!(p.batch_submission);
+        assert!(p.describe().contains("batched"));
         p.validate().unwrap();
 
         let p = SimParams::abstract_adt(25, ConflictPolicy::Recoverability, 4, 8);

@@ -17,7 +17,8 @@ use crate::rng::SimRng;
 use crate::workload::WorkloadGenerator;
 use sbcc_adt::OpCall;
 use sbcc_core::{
-    KernelEvent, KernelStats, ObjectId, RequestOutcome, SchedulerConfig, SchedulerKernel, TxnId,
+    BatchCall, BatchStop, KernelEvent, KernelStats, ObjectId, RequestOutcome, SchedulerConfig,
+    SchedulerKernel, TxnId,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -46,6 +47,13 @@ struct SimTxn {
     phase: Phase,
     holds_slot: bool,
     completed: bool,
+    /// Batched mode: operations admitted by the kernel whose service burst
+    /// has not started yet (accumulated while the batch's terminator is
+    /// blocked inside the kernel).
+    owed_service: u64,
+    /// Number of operations covered by the service burst in flight
+    /// (always 1 under per-call submission).
+    service_burst: u64,
 }
 
 /// The simulator. Build it from [`SimParams`] and call [`Simulator::run`].
@@ -204,6 +212,8 @@ impl Simulator {
             phase: Phase::Ready,
             holds_slot: false,
             completed: false,
+            owed_service: 0,
+            service_burst: 1,
         });
         self.ready_queue.push_back(key);
         self.try_admit();
@@ -234,6 +244,9 @@ impl Simulator {
     }
 
     fn issue_next_op(&mut self, key: SimTxnKey) {
+        if self.params.batch_submission {
+            return self.issue_next_batch(key);
+        }
         let (done, kernel_txn, object, call) = {
             let txn = &self.txns[key];
             if txn.next_op >= txn.script.len() {
@@ -261,12 +274,61 @@ impl Simulator {
         }
     }
 
+    /// Submit the transaction's entire remaining script as one kernel
+    /// batch; service the admitted prefix as one burst.
+    fn issue_next_batch(&mut self, key: SimTxnKey) {
+        let (kernel_txn, calls) = {
+            let txn = &self.txns[key];
+            if txn.next_op >= txn.script.len() {
+                self.finish_transaction(key);
+                return;
+            }
+            let calls: Vec<BatchCall> = txn.script[txn.next_op..]
+                .iter()
+                .map(|(object, call)| BatchCall::new(*object, call.clone()))
+                .collect();
+            (txn.kernel_txn.expect("admitted"), calls)
+        };
+        let outcome = self
+            .kernel
+            .request_batch(kernel_txn, calls)
+            .expect("valid batch");
+        self.process_kernel_events();
+        let executed = outcome.executed.len() as u64;
+        self.txns[key].next_op += executed as usize;
+        match outcome.stopped {
+            None => {
+                if executed == 0 {
+                    self.finish_transaction(key);
+                } else {
+                    self.start_service_burst(key, executed);
+                }
+            }
+            Some(BatchStop::Blocked { .. }) => {
+                // The executed prefix's service is owed; it is bundled into
+                // the burst that starts when the pending call unblocks.
+                let txn = &mut self.txns[key];
+                txn.owed_service += executed;
+                txn.phase = Phase::BlockedInKernel;
+            }
+            Some(BatchStop::Aborted { .. }) => self.handle_abort(key),
+        }
+    }
+
     fn start_service(&mut self, key: SimTxnKey) {
+        self.start_service_burst(key, 1);
+    }
+
+    /// Schedule service for `ops` back-to-back operations (one operation
+    /// under per-call submission; an admitted batch prefix under batched
+    /// submission, which pays its CPU/disk demands as one scaled burst).
+    fn start_service_burst(&mut self, key: SimTxnKey, ops: u64) {
         self.txns[key].phase = Phase::Running;
+        self.txns[key].service_burst = ops;
         match self.params.resource_mode {
             ResourceMode::Infinite => {
                 self.queue.schedule_in(
-                    self.params.step_time,
+                    self.params.step_time * ops as f64,
                     Event::ServiceDone {
                         txn: key,
                         stage: ServiceStage::Step,
@@ -278,7 +340,7 @@ impl Simulator {
                 match pool.acquire_cpu(key) {
                     Grant::Acquired => {
                         self.queue.schedule_in(
-                            self.params.cpu_time,
+                            self.params.cpu_time * ops as f64,
                             Event::ServiceDone {
                                 txn: key,
                                 stage: ServiceStage::Cpu,
@@ -306,7 +368,7 @@ impl Simulator {
                     .release_cpu();
                 if let Some(next_key) = next {
                     self.queue.schedule_in(
-                        self.params.cpu_time,
+                        self.params.cpu_time * self.txns[next_key].service_burst as f64,
                         Event::ServiceDone {
                             txn: next_key,
                             stage: ServiceStage::Cpu,
@@ -319,7 +381,7 @@ impl Simulator {
                 match pool.acquire_disk(disk, key) {
                     Grant::Acquired => {
                         self.queue.schedule_in(
-                            self.params.io_time,
+                            self.params.io_time * self.txns[key].service_burst as f64,
                             Event::ServiceDone {
                                 txn: key,
                                 stage: ServiceStage::Disk { disk },
@@ -337,7 +399,7 @@ impl Simulator {
                     .release_disk(disk);
                 if let Some(next_key) = next {
                     self.queue.schedule_in(
-                        self.params.io_time,
+                        self.params.io_time * self.txns[next_key].service_burst as f64,
                         Event::ServiceDone {
                             txn: next_key,
                             stage: ServiceStage::Disk { disk },
@@ -350,7 +412,11 @@ impl Simulator {
     }
 
     fn operation_complete(&mut self, key: SimTxnKey) {
-        self.txns[key].next_op += 1;
+        if !self.params.batch_submission {
+            // Batched mode advances `next_op` when the kernel admits the
+            // calls, not when their service burst ends.
+            self.txns[key].next_op += 1;
+        }
         self.issue_next_op(key);
     }
 
@@ -404,6 +470,7 @@ impl Simulator {
             txn.restarts += 1;
             let old = txn.kernel_txn.take();
             txn.next_op = 0;
+            txn.owed_service = 0;
             txn.phase = Phase::Ready;
             if txn.holds_slot {
                 txn.holds_slot = false;
@@ -430,7 +497,17 @@ impl Simulator {
                     };
                     match outcome {
                         RequestOutcome::Executed { .. } => {
-                            self.start_service(key);
+                            if self.params.batch_submission {
+                                // The unblocked pending call plus the owed
+                                // prefix are serviced as one burst.
+                                let txn = &mut self.txns[key];
+                                txn.next_op += 1;
+                                let burst = txn.owed_service + 1;
+                                txn.owed_service = 0;
+                                self.start_service_burst(key, burst);
+                            } else {
+                                self.start_service(key);
+                            }
                         }
                         RequestOutcome::Aborted { .. } => self.handle_abort(key),
                         RequestOutcome::Blocked { .. } => {
@@ -552,6 +629,53 @@ mod tests {
             "Pr=8 BR {} should not exceed Pr=0 BR {}",
             lots.blocking_ratio,
             none.blocking_ratio
+        );
+    }
+
+    #[test]
+    fn batched_submission_runs_to_completion_and_stays_deterministic() {
+        let params = small_params(ConflictPolicy::Recoverability).with_batch_submission(true);
+        let mut sim = Simulator::new(params.clone());
+        let a = sim.run();
+        assert!(a.completed >= 400);
+        assert!(a.throughput > 0.0);
+        let stats = sim.kernel_stats();
+        assert!(stats.batches > 0, "batched mode must reach request_batch");
+        assert!(stats.batched_calls >= stats.batches);
+        let b = Simulator::new(params).run();
+        assert_eq!(a, b, "batched runs are deterministic for a fixed seed");
+    }
+
+    #[test]
+    fn batched_submission_works_under_finite_resources_and_baseline_policy() {
+        for policy in [
+            ConflictPolicy::Recoverability,
+            ConflictPolicy::CommutativityOnly,
+        ] {
+            let params = small_params(policy)
+                .with_batch_submission(true)
+                .with_resources(ResourceMode::Finite { resource_units: 2 });
+            let result = Simulator::new(params).run();
+            assert!(result.completed >= 400, "policy {policy}: completes");
+            assert!(result.throughput > 0.0);
+        }
+    }
+
+    #[test]
+    fn batched_submission_profits_on_an_uncontended_workload() {
+        // With little data contention the whole script is admitted in one
+        // batch and serviced as one burst, so a transaction finishes in
+        // (roughly) one service round instead of one per operation —
+        // batched throughput must be at least the per-call throughput.
+        let mut params = small_params(ConflictPolicy::Recoverability);
+        params.db_size = 2_000; // spread transactions across many objects
+        let percall = Simulator::new(params.clone()).run();
+        let batched = Simulator::new(params.with_batch_submission(true)).run();
+        assert!(
+            batched.throughput >= percall.throughput,
+            "batched {:.1} tps should not trail per-call {:.1} tps",
+            batched.throughput,
+            percall.throughput
         );
     }
 

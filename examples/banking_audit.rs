@@ -10,6 +10,9 @@
 //! * Under recoverability, `insert` and `delete` are recoverable relative to
 //!   `size`: tellers proceed immediately and merely commit after the audit.
 //!
+//! Each teller submits its two operations as one batch — one kernel pass,
+//! one lock acquisition per teller transaction.
+//!
 //! Run with: `cargo run --example banking_audit`
 
 use sbcc::prelude::*;
@@ -23,23 +26,23 @@ fn run(policy: ConflictPolicy) -> (u64, u64) {
     );
     let accounts = db.register("accounts", TableObject::new());
 
-    // Seed a few accounts.
+    // Seed a few accounts with one batched setup transaction.
     let setup = db.begin();
+    let mut seed = setup.batch();
     for i in 0..4 {
-        db.invoke(
-            setup,
+        seed.add_op(
             &accounts,
             TableOp::Insert(Value::Int(i), Value::Int(1_000 + i)),
-        )
-        .unwrap();
+        );
     }
-    db.commit(setup).unwrap();
+    seed.submit().unwrap();
+    setup.commit().unwrap();
 
     // The long-running audit: count the accounts, then look at some balances.
     let audit = db.begin();
-    let size = db.invoke(audit, &accounts, TableOp::Size).unwrap();
-    let balance = db
-        .invoke(audit, &accounts, TableOp::Lookup(Value::Int(1)))
+    let size = audit.exec(&accounts, TableOp::Size).unwrap();
+    let balance = audit
+        .exec(&accounts, TableOp::Lookup(Value::Int(1)))
         .unwrap();
 
     // Tellers run on their own threads while the audit is still open.
@@ -49,22 +52,22 @@ fn run(policy: ConflictPolicy) -> (u64, u64) {
         let accounts = accounts.clone();
         tellers.push(std::thread::spawn(move || {
             let t = db.begin();
-            // Open a new account (recoverable relative to the audit's size).
-            db.invoke(
-                t,
-                &accounts,
-                TableOp::Insert(Value::Int(100 + teller), Value::Int(500)),
-            )
-            .unwrap();
-            // Adjust an untouched balance (commutes with the audit's lookup
-            // of account 1 because the keys differ).
-            db.invoke(
-                t,
-                &accounts,
-                TableOp::Modify(Value::Int(2), Value::Int(2_000 + teller)),
-            )
-            .unwrap();
-            let outcome = db.commit(t).unwrap();
+            t.batch()
+                // Open a new account (recoverable relative to the audit's
+                // size).
+                .op(
+                    &accounts,
+                    TableOp::Insert(Value::Int(100 + teller), Value::Int(500)),
+                )
+                // Adjust an untouched balance (commutes with the audit's
+                // lookup of account 1 because the keys differ).
+                .op(
+                    &accounts,
+                    TableOp::Modify(Value::Int(2), Value::Int(2_000 + teller)),
+                )
+                .submit()
+                .unwrap();
+            let outcome = t.commit().unwrap();
             outcome.is_pseudo_commit()
         }));
     }
@@ -75,10 +78,10 @@ fn run(policy: ConflictPolicy) -> (u64, u64) {
     let pseudo_before_audit_end = db.stats().pseudo_commits;
 
     // The audit finishes.
-    let _ = db
-        .invoke(audit, &accounts, TableOp::Lookup(Value::Int(3)))
+    let _ = audit
+        .exec(&accounts, TableOp::Lookup(Value::Int(3)))
         .unwrap();
-    db.commit(audit).unwrap();
+    audit.commit().unwrap();
 
     for teller in tellers {
         teller.join().expect("teller thread");

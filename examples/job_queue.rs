@@ -1,11 +1,13 @@
 //! A multithreaded job pipeline: many producers, one consumer, one metrics
 //! counter — all as transactions on atomic data types.
 //!
-//! Producers append jobs to a FIFO queue and bump a counter; the consumer
-//! drains jobs. Under recoverability the producers never block each other
-//! (enqueue is recoverable relative to enqueue, increments commute), while
-//! the consumer — whose `dequeue` genuinely observes state — waits only as
-//! long as uncommitted producers exist.
+//! Producers append jobs to a FIFO queue and bump a counter **in one
+//! batched submission**: both operations are classified against the log
+//! index in a single kernel pass under a single lock acquisition, instead
+//! of one round-trip each. Under recoverability the producers never block
+//! each other (enqueue is recoverable relative to enqueue, increments
+//! commute), while the consumer — whose `dequeue` genuinely observes
+//! state — waits only as long as uncommitted producers exist.
 //!
 //! Run with: `cargo run --example job_queue`
 
@@ -23,7 +25,8 @@ fn main() {
 
     let blocked_producer_ops = Arc::new(AtomicU64::new(0));
 
-    // Producers: each job is its own transaction (enqueue + increment).
+    // Producers: each job is its own transaction (enqueue + increment),
+    // submitted as one two-call batch.
     let mut handles = Vec::new();
     for p in 0..PRODUCERS {
         let db = db.clone();
@@ -35,15 +38,17 @@ fn main() {
                 let job_id = (p as i64) * 1_000 + j;
                 let t = db.begin();
                 let before = db.stats().blocks;
-                db.invoke(t, &queue, QueueOp::Enqueue(Value::Int(job_id)))
+                t.batch()
+                    .op(&queue, QueueOp::Enqueue(Value::Int(job_id)))
+                    .op(&submitted, CounterOp::Increment(1))
+                    .submit()
                     .unwrap();
-                db.invoke(t, &submitted, CounterOp::Increment(1)).unwrap();
                 if db.stats().blocks > before {
                     blocked.fetch_add(1, Ordering::Relaxed);
                 }
                 // Producers never conflict with each other: the commit is at
                 // worst a pseudo-commit ordered behind earlier producers.
-                db.commit(t).unwrap();
+                t.commit().unwrap();
             }
         }));
     }
@@ -60,14 +65,14 @@ fn main() {
     let consumer = db.begin();
     let mut drained = 0usize;
     loop {
-        match db.invoke(consumer, &queue, QueueOp::Dequeue).unwrap() {
+        match consumer.exec(&queue, QueueOp::Dequeue).unwrap() {
             OpResult::Value(_) => drained += 1,
             OpResult::Null => break,
             other => panic!("unexpected dequeue result {other:?}"),
         }
     }
-    let count = db.invoke(consumer, &submitted, CounterOp::Read).unwrap();
-    db.commit(consumer).unwrap();
+    let count = consumer.exec(&submitted, CounterOp::Read).unwrap();
+    consumer.commit().unwrap();
 
     println!("consumer drained {drained} jobs; submitted counter reads {count}");
     assert_eq!(drained, PRODUCERS * JOBS_PER_PRODUCER as usize);
@@ -81,11 +86,14 @@ fn main() {
         .expect("commit order respects dependencies");
     let stats = db.stats();
     println!(
-        "stats: {} commits, {} pseudo-commits, {} blocks, {} commit dependencies, {} cycle checks",
+        "stats: {} commits, {} pseudo-commits, {} blocks, {} commit dependencies, \
+         {} batches ({} calls), {} cycle checks",
         stats.commits,
         stats.pseudo_commits,
         stats.blocks,
         stats.commit_dependencies,
+        stats.batches,
+        stats.batched_calls,
         db.cycle_checks()
     );
 }

@@ -43,11 +43,22 @@ fn main() {
 
     println!("\nA single detailed point (mpl = 50, recoverability):");
     let params = SimParams::read_write(50, ConflictPolicy::Recoverability).with_completions(5_000);
-    let mut sim = Simulator::new(params);
+    let mut sim = Simulator::new(params.clone());
     let result = sim.run();
     println!("  {result}");
     println!(
         "  completions: {} ({} pseudo-commits at completion time)",
         result.completed, result.pseudo_commit_completions
+    );
+
+    // The same point with batched submission: each transaction hands its
+    // whole script to the kernel as one group (admitted prefix serviced as
+    // one burst) instead of one round-trip per operation.
+    let batched = Simulator::new(params.with_batch_submission(true)).run();
+    println!("\nSame point, batched submission:");
+    println!("  {batched}");
+    println!(
+        "  batched vs per-call throughput: {:.1} vs {:.1} tps",
+        batched.throughput, result.throughput
     );
 }

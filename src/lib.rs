@@ -27,15 +27,21 @@
 //!
 //! let t1 = db.begin();
 //! let t2 = db.begin();
+//! let id2 = t2.id();
 //! // Two pushes do not commute, but push is recoverable relative to push:
 //! // both execute immediately; t2 merely acquires a commit dependency on t1.
-//! db.invoke(t1, &s, StackOp::Push(Value::Int(4))).unwrap();
-//! db.invoke(t2, &s, StackOp::Push(Value::Int(2))).unwrap();
-//! let o2 = db.commit(t2).unwrap();
+//! t1.exec(&s, StackOp::Push(Value::Int(4))).unwrap();
+//! t2.exec(&s, StackOp::Push(Value::Int(2))).unwrap();
+//! let o2 = t2.commit().unwrap();
 //! assert!(o2.is_pseudo_commit()); // t2 must wait for t1 to terminate
-//! let o1 = db.commit(t1).unwrap();
+//! let o1 = t1.commit().unwrap();
 //! assert!(o1.is_full_commit());
-//! assert!(db.outcome_of(t2).unwrap().is_full_commit()); // cascaded
+//! assert!(db.outcome_of(id2).unwrap().is_full_commit()); // cascaded
+//!
+//! // Or let the database drive the session: `run` begins a transaction,
+//! // commits on success and retries on scheduler-initiated aborts.
+//! let top = db.run(|txn| txn.exec(&s, StackOp::Top)).unwrap();
+//! assert_eq!(top, sbcc::adt::OpResult::Value(Value::Int(2)));
 //! ```
 
 pub use sbcc_adt as adt;
@@ -54,9 +60,10 @@ pub mod prelude {
         Set, SetOp, Stack, StackOp, TableEntry, TableObject, TableOp, Value,
     };
     pub use crate::core::{
-        AbortReason, CommitOutcome, ConflictPolicy, CoreError, Database, KernelEvent, KernelStats,
-        ObjectHandle, ObjectId, RecoveryStrategy, RequestOutcome, SchedulerConfig, SchedulerKernel,
-        TxnId, TxnState, VictimPolicy,
+        AbortReason, Batch, BatchCall, BatchOutcome, BatchStop, CommitOutcome, ConflictPolicy,
+        CoreError, Database, Handle, KernelEvent, KernelStats, ObjectHandle, ObjectId,
+        RecoveryStrategy, RequestOutcome, SchedulerConfig, SchedulerKernel, Transaction, TxnId,
+        TxnState, VictimPolicy,
     };
     pub use crate::graph::{DependencyGraph, EdgeKind};
     pub use crate::sim::{DataModel, ResourceMode, SimParams, SimulationResult, Simulator};

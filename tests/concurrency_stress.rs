@@ -1,4 +1,4 @@
-//! Multithreaded stress tests against the blocking [`Database`] front-end:
+//! Multithreaded stress tests against the blocking session front-end:
 //! many threads, conflicting workloads, scheduler-initiated aborts — the
 //! final execution must be serializable and the data-type invariants must
 //! hold.
@@ -21,8 +21,8 @@ fn concurrent_counter_increments_never_lose_updates() {
             scope.spawn(move |_| {
                 for _ in 0..per_thread {
                     let t = db.begin();
-                    db.invoke(t, &counter, CounterOp::Increment(1)).unwrap();
-                    db.commit(t).unwrap();
+                    t.exec(&counter, CounterOp::Increment(1)).unwrap();
+                    t.commit().unwrap();
                 }
             });
         }
@@ -30,8 +30,8 @@ fn concurrent_counter_increments_never_lose_updates() {
     .expect("threads join");
 
     let t = db.begin();
-    let value = db.invoke(t, &counter, CounterOp::Read).unwrap();
-    db.commit(t).unwrap();
+    let value = t.exec(&counter, CounterOp::Read).unwrap();
+    t.commit().unwrap();
     assert_eq!(value, OpResult::Value(Value::Int(threads as i64 * per_thread)));
     db.verify_serializable().unwrap();
     assert_eq!(db.stats().blocks, 0, "increments commute and never block");
@@ -47,16 +47,17 @@ fn concurrent_bank_transfers_preserve_the_total_balance() {
     let n_accounts = 6i64;
     let initial_balance = 100i64;
 
+    // Seed through a batched setup session.
     let setup = db.begin();
+    let mut seed = setup.batch();
     for a in 0..n_accounts {
-        db.invoke(
-            setup,
+        seed.add_op(
             &accounts,
             TableOp::Insert(Value::Int(a), Value::Int(initial_balance)),
-        )
-        .unwrap();
+        );
     }
-    db.commit(setup).unwrap();
+    seed.submit().unwrap();
+    setup.commit().unwrap();
 
     let retries = Arc::new(AtomicI64::new(0));
     crossbeam::scope(|scope| {
@@ -92,12 +93,12 @@ fn concurrent_bank_transfers_preserve_the_total_balance() {
     let t = db.begin();
     let mut total = 0i64;
     for a in 0..n_accounts {
-        match db.invoke(t, &accounts, TableOp::Lookup(Value::Int(a))).unwrap() {
+        match t.exec(&accounts, TableOp::Lookup(Value::Int(a))).unwrap() {
             OpResult::Value(Value::Int(v)) => total += v,
             other => panic!("unexpected lookup result {other:?}"),
         }
     }
-    db.commit(t).unwrap();
+    t.commit().unwrap();
     assert_eq!(total, n_accounts * initial_balance);
 
     db.verify_serializable().unwrap();
@@ -107,41 +108,109 @@ fn concurrent_bank_transfers_preserve_the_total_balance() {
 
 fn try_transfer(
     db: &Database,
-    accounts: &ObjectHandle,
+    accounts: &Handle<TableObject>,
     from: i64,
     to: i64,
     amount: i64,
 ) -> Result<(), CoreError> {
-    let t = db.begin();
-    let result = (|| {
-        let from_balance = match db.invoke(t, accounts, TableOp::Lookup(Value::Int(from)))? {
-            OpResult::Value(Value::Int(v)) => v,
-            other => panic!("unexpected lookup result {other:?}"),
-        };
-        let to_balance = match db.invoke(t, accounts, TableOp::Lookup(Value::Int(to)))? {
-            OpResult::Value(Value::Int(v)) => v,
-            other => panic!("unexpected lookup result {other:?}"),
-        };
-        db.invoke(
-            t,
+    // The session guard replaces the old abort dance: any `?` below drops
+    // the transaction, which aborts it (a no-op if the scheduler already
+    // aborted it).
+    let txn = db.begin();
+    let from_balance = match txn.exec(accounts, TableOp::Lookup(Value::Int(from)))? {
+        OpResult::Value(Value::Int(v)) => v,
+        other => panic!("unexpected lookup result {other:?}"),
+    };
+    let to_balance = match txn.exec(accounts, TableOp::Lookup(Value::Int(to)))? {
+        OpResult::Value(Value::Int(v)) => v,
+        other => panic!("unexpected lookup result {other:?}"),
+    };
+    // The two updates go out as one batched submission.
+    txn.batch()
+        .op(
             accounts,
             TableOp::Modify(Value::Int(from), Value::Int(from_balance - amount)),
-        )?;
-        db.invoke(
-            t,
+        )
+        .op(
             accounts,
             TableOp::Modify(Value::Int(to), Value::Int(to_balance + amount)),
-        )?;
-        db.commit(t)?;
-        Ok(())
-    })();
-    if result.is_err() {
-        // The transaction may already have been aborted by the scheduler;
-        // an explicit abort of an already-aborted transaction is an error we
-        // can ignore here.
-        let _ = db.abort(t);
+        )
+        .submit()?;
+    txn.commit()?;
+    Ok(())
+}
+
+#[test]
+fn concurrent_transfers_through_the_run_helper_always_complete() {
+    // The same transfer workload, but written against `db.run`: scheduler
+    // aborts are retried inside the closure runner, so every worker
+    // completes its quota without an application-level retry loop.
+    let db = Database::new(SchedulerConfig::default());
+    let accounts = db.register("accounts", TableObject::new());
+    let n_accounts = 5i64;
+    let initial_balance = 100i64;
+
+    let setup = db.begin();
+    let mut seed = setup.batch();
+    for a in 0..n_accounts {
+        seed.add_op(
+            &accounts,
+            TableOp::Insert(Value::Int(a), Value::Int(initial_balance)),
+        );
     }
-    result
+    seed.submit().unwrap();
+    setup.commit().unwrap();
+
+    crossbeam::scope(|scope| {
+        for worker in 0..4i64 {
+            let db = db.clone();
+            let accounts = accounts.clone();
+            scope.spawn(move |_| {
+                for round in 0..10i64 {
+                    let from = (worker + round) % n_accounts;
+                    let to = (from + 1) % n_accounts;
+                    db.run(|txn| {
+                        let balance = |key: i64| -> Result<i64, CoreError> {
+                            match txn.exec(&accounts, TableOp::Lookup(Value::Int(key)))? {
+                                OpResult::Value(Value::Int(v)) => Ok(v),
+                                other => panic!("unexpected lookup result {other:?}"),
+                            }
+                        };
+                        let from_balance = balance(from)?;
+                        let to_balance = balance(to)?;
+                        txn.exec(
+                            &accounts,
+                            TableOp::Modify(Value::Int(from), Value::Int(from_balance - 1)),
+                        )?;
+                        txn.exec(
+                            &accounts,
+                            TableOp::Modify(Value::Int(to), Value::Int(to_balance + 1)),
+                        )?;
+                        Ok(())
+                    })
+                    .expect("run retries scheduler aborts until the transfer commits");
+                }
+            });
+        }
+    })
+    .expect("threads join");
+
+    let total = db
+        .run(|txn| {
+            let mut total = 0i64;
+            for a in 0..n_accounts {
+                match txn.exec(&accounts, TableOp::Lookup(Value::Int(a)))? {
+                    OpResult::Value(Value::Int(v)) => total += v,
+                    other => panic!("unexpected lookup result {other:?}"),
+                }
+            }
+            Ok(total)
+        })
+        .unwrap();
+    assert_eq!(total, n_accounts * initial_balance);
+    db.verify_serializable().unwrap();
+    db.verify_commit_dependencies().unwrap();
+    db.check_invariants().unwrap();
 }
 
 #[test]
@@ -152,7 +221,8 @@ fn mixed_producers_and_auditors_on_sets_and_stacks() {
 
     crossbeam::scope(|scope| {
         // Producers push log entries and insert into the set — all
-        // recoverable or commutative, so they never block each other.
+        // recoverable or commutative, so they never block each other. Each
+        // producer transaction is one two-call batch.
         for p in 0..4i64 {
             let db = db.clone();
             let log = log.clone();
@@ -161,9 +231,12 @@ fn mixed_producers_and_auditors_on_sets_and_stacks() {
                 for i in 0..30 {
                     let t = db.begin();
                     let id = p * 1_000 + i;
-                    db.invoke(t, &log, StackOp::Push(Value::Int(id))).unwrap();
-                    db.invoke(t, &seen, SetOp::Insert(Value::Int(id))).unwrap();
-                    db.commit(t).unwrap();
+                    t.batch()
+                        .op(&log, StackOp::Push(Value::Int(id)))
+                        .op(&seen, SetOp::Insert(Value::Int(id)))
+                        .submit()
+                        .unwrap();
+                    t.commit().unwrap();
                 }
             });
         }
@@ -178,13 +251,14 @@ fn mixed_producers_and_auditors_on_sets_and_stacks() {
             while reads < 5 && attempts < 1_000 {
                 attempts += 1;
                 let t = db_a.begin();
-                match db_a.invoke(t, &log_a, StackOp::Top) {
+                match t.exec(&log_a, StackOp::Top) {
                     Ok(_) => {
-                        let _ = db_a.commit(t);
+                        let _ = t.commit();
                         reads += 1;
                     }
                     Err(_) => {
-                        let _ = db_a.abort(t);
+                        // Dropping the session aborts it (no-op when the
+                        // scheduler already did).
                     }
                 }
             }
@@ -196,11 +270,11 @@ fn mixed_producers_and_auditors_on_sets_and_stacks() {
     let t = db.begin();
     let mut count = 0;
     loop {
-        match db.invoke(t, &log, StackOp::Pop).unwrap() {
+        match t.exec(&log, StackOp::Pop).unwrap() {
             OpResult::Value(Value::Int(id)) => {
                 count += 1;
                 assert_eq!(
-                    db.invoke(t, &seen, SetOp::Member(Value::Int(id))).unwrap(),
+                    t.exec(&seen, SetOp::Member(Value::Int(id))).unwrap(),
                     OpResult::Value(Value::Bool(true))
                 );
             }
@@ -208,7 +282,7 @@ fn mixed_producers_and_auditors_on_sets_and_stacks() {
             other => panic!("unexpected pop result {other:?}"),
         }
     }
-    db.commit(t).unwrap();
+    t.commit().unwrap();
     assert_eq!(count, 4 * 30);
 
     db.verify_serializable().unwrap();

@@ -1,5 +1,5 @@
 //! Cross-crate integration: the facade crate, the typed data types, the
-//! kernel/database and the simulator working together.
+//! kernel/database session API and the simulator working together.
 
 use sbcc::prelude::*;
 use sbcc::sim::run_averaged;
@@ -28,46 +28,55 @@ fn database_round_trip_across_all_data_types() {
     let page = db.register("page", Page::new());
     let queue = db.register("queue", FifoQueue::new());
 
+    // One typed session writing every data type — as a single batched
+    // submission (one kernel pass, one lock acquisition).
     let t = db.begin();
-    db.invoke(t, &stack, StackOp::Push(Value::Int(1))).unwrap();
-    db.invoke(t, &set, SetOp::Insert(Value::Int(2))).unwrap();
-    db.invoke(t, &counter, CounterOp::Increment(3)).unwrap();
-    db.invoke(t, &table, TableOp::Insert(Value::Int(4), Value::str("four")))
+    let results = t
+        .batch()
+        .op(&stack, StackOp::Push(Value::Int(1)))
+        .op(&set, SetOp::Insert(Value::Int(2)))
+        .op(&counter, CounterOp::Increment(3))
+        .op(&table, TableOp::Insert(Value::Int(4), Value::str("four")))
+        .op(&page, PageOp::Write(Value::Int(5)))
+        .op(&queue, QueueOp::Enqueue(Value::Int(6)))
+        .submit()
         .unwrap();
-    db.invoke(t, &page, PageOp::Write(Value::Int(5))).unwrap();
-    db.invoke(t, &queue, QueueOp::Enqueue(Value::Int(6))).unwrap();
-    assert!(db.commit(t).unwrap().is_full_commit());
+    assert_eq!(results.len(), 6);
+    assert!(t.commit().unwrap().is_full_commit());
 
     let t2 = db.begin();
     assert_eq!(
-        db.invoke(t2, &set, SetOp::Member(Value::Int(2))).unwrap(),
+        t2.exec(&set, SetOp::Member(Value::Int(2))).unwrap(),
         OpResult::Value(Value::Bool(true))
     );
     assert_eq!(
-        db.invoke(t2, &counter, CounterOp::Read).unwrap(),
+        t2.exec(&counter, CounterOp::Read).unwrap(),
         OpResult::Value(Value::Int(3))
     );
     assert_eq!(
-        db.invoke(t2, &table, TableOp::Lookup(Value::Int(4))).unwrap(),
+        t2.exec(&table, TableOp::Lookup(Value::Int(4))).unwrap(),
         OpResult::Value(Value::str("four"))
     );
     assert_eq!(
-        db.invoke(t2, &page, PageOp::Read).unwrap(),
+        t2.exec(&page, PageOp::Read).unwrap(),
         OpResult::Value(Value::Int(5))
     );
     assert_eq!(
-        db.invoke(t2, &queue, QueueOp::Front).unwrap(),
+        t2.exec(&queue, QueueOp::Front).unwrap(),
         OpResult::Value(Value::Int(6))
     );
     assert_eq!(
-        db.invoke(t2, &stack, StackOp::Top).unwrap(),
+        t2.exec(&stack, StackOp::Top).unwrap(),
         OpResult::Value(Value::Int(1))
     );
-    db.commit(t2).unwrap();
+    t2.commit().unwrap();
 
     db.verify_serializable().unwrap();
     db.verify_commit_dependencies().unwrap();
     db.check_invariants().unwrap();
+    let stats = db.stats();
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.batched_calls, 6);
 }
 
 #[test]
@@ -85,6 +94,20 @@ fn kernel_and_dependency_graph_work_through_the_facade() {
         .request(t1, s, StackOp::Push(Value::Int(1)).to_call())
         .unwrap();
     assert!(r.is_executed());
+    // The batch entry point is part of the kernel surface too.
+    let t2 = kernel.begin();
+    let b = kernel
+        .request_batch(
+            t2,
+            vec![
+                BatchCall::new(s, StackOp::Push(Value::Int(2)).to_call()),
+                BatchCall::new(s, StackOp::Push(Value::Int(3)).to_call()),
+            ],
+        )
+        .unwrap();
+    assert!(b.is_complete());
+    assert_eq!(b.commit_deps, vec![t1]);
+    assert!(kernel.commit(t2).unwrap().is_pseudo_commit());
     assert!(kernel.commit(t1).unwrap().is_full_commit());
 }
 
@@ -123,8 +146,9 @@ fn abstract_objects_and_conflict_tables_compose_with_the_database() {
     let obj = db
         .register_object("abstract", Box::new(AbstractObject::new(table)))
         .unwrap();
+    // Erased objects are driven through `exec_call` on an `ObjectHandle`.
     let t = db.begin();
-    let r = db.invoke_call(t, &obj, OpCall::nullary(0)).unwrap();
+    let r = t.exec_call(&obj, OpCall::nullary(0)).unwrap();
     assert_eq!(r, OpResult::Ok);
-    db.commit(t).unwrap();
+    t.commit().unwrap();
 }
