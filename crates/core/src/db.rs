@@ -1,6 +1,7 @@
-//! The session-based, thread-safe front-end over the [`SchedulerKernel`]:
-//! typed [`Handle`]s, [`Transaction`] guards, grouped submission through
-//! [`Batch`], and the [`Database::run`] retry runner.
+//! The session-based, thread-safe front-end over the sharded scheduler
+//! kernel ([`ShardedKernel`]): typed [`Handle`]s, [`Transaction`] guards,
+//! grouped submission through [`Batch`], and the [`Database::run`] retry
+//! runner.
 //!
 //! # Sessions, not bare transaction ids
 //!
@@ -26,6 +27,30 @@
 //! (deadlock or commit-dependency cycle), which is what most applications
 //! want.
 //!
+//! # Sharding
+//!
+//! The database runs [`crate::shard::ShardedKernel`] underneath: objects
+//! are partitioned across `shards` independent scheduler kernels by a hash
+//! of their registration name, so sessions whose footprints live in
+//! different shards never contend on a lock. [`Database::new`] takes the
+//! shard count from the `SBCC_SHARDS` environment variable (default 1);
+//! [`Database::with_config`] sets it explicitly:
+//!
+//! ```
+//! use sbcc_core::{Database, DatabaseConfig, SchedulerConfig};
+//! let db = Database::with_config(
+//!     DatabaseConfig::new(SchedulerConfig::default()).with_shards(4),
+//! );
+//! assert_eq!(db.shard_count(), 4);
+//! ```
+//!
+//! With one shard the behaviour is exactly the PR-2 single-kernel
+//! database. With several, everything session-visible stays the same —
+//! handles, blocking, batches, retry semantics, aggregate [`KernelStats`]
+//! — and [`Database::stats_snapshot`] additionally exposes the per-shard
+//! breakdown. See the [`crate::shard`] module docs for the sharding
+//! invariants and the cross-shard commit protocol.
+//!
 //! # Migration from the PR-1 free-function API
 //!
 //! | old call                           | session call                          |
@@ -38,6 +63,10 @@
 //! | `db.abort(txn)`                    | `txn.abort()` (or just drop the guard)|
 //! | *(n/a)*                            | `db.run(\|txn\| …)`                   |
 //! | *(n/a)*                            | `txn.batch().op(…).op(…).submit()`    |
+//!
+//! PR-3 note: `db.with_kernel(|k| …)` (which borrowed *the* kernel) is
+//! replaced by [`Database::with_sharded_kernel`] /
+//! [`crate::shard::ShardedKernel::with_shard`].
 //!
 //! # Blocking and wakeups
 //!
@@ -90,13 +119,14 @@
 
 use crate::errors::CoreError;
 use crate::events::{BatchStop, CommitOutcome, KernelEvent, RequestOutcome};
-use crate::kernel::SchedulerKernel;
 use crate::object::ObjectId;
 use crate::policy::SchedulerConfig;
-use crate::stats::KernelStats;
+use crate::shard::{DatabaseConfig, ObjectLoc, ShardedKernel};
+use crate::stats::{KernelStats, StatsSnapshot};
 use crate::txn::{BatchCall, TxnId, TxnState};
 use parking_lot::{Condvar, Mutex};
 use sbcc_adt::{AdtOp, AdtSpec, OpCall, OpResult, SemanticObject};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -104,17 +134,30 @@ use std::sync::Arc;
 /// A handle to an object registered with a [`Database`].
 ///
 /// Handles are cheap to clone (the registration name is shared behind an
-/// [`Arc`]) and can be freely copied into worker threads.
+/// [`Arc`]) and can be freely copied into worker threads. A handle carries
+/// the object's shard location, so the session hot path routes straight to
+/// the owning shard without any directory lookup.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObjectHandle {
     id: ObjectId,
+    loc: ObjectLoc,
     name: Arc<str>,
 }
 
 impl ObjectHandle {
-    /// The object id.
+    /// The (database-global) object id.
     pub fn id(&self) -> ObjectId {
         self.id
+    }
+
+    /// The object's shard location.
+    pub fn loc(&self) -> ObjectLoc {
+        self.loc
+    }
+
+    /// The shard owning this object.
+    pub fn shard(&self) -> u32 {
+        self.loc.shard
     }
 
     /// The registration name.
@@ -202,8 +245,11 @@ impl WakeupSlot {
     }
 }
 
-struct DbState {
-    kernel: SchedulerKernel,
+/// The rendezvous state: one map of settled-but-unclaimed outcomes, one map
+/// of parked invocations. Guarded by its own small mutex, separate from the
+/// shard kernels — delivering a wakeup never holds a kernel lock.
+#[derive(Default)]
+struct SessionState {
     /// Outcomes delivered to transactions whose pending request completed
     /// while no thread was parked waiting for it (e.g. after a
     /// non-blocking [`Transaction::try_exec_call`]); claimed by
@@ -216,7 +262,34 @@ struct DbState {
 }
 
 struct Shared {
-    state: Mutex<DbState>,
+    /// The sharded kernel (internally locked per shard; see
+    /// [`crate::shard`]).
+    kernel: ShardedKernel,
+    sessions: Mutex<SessionState>,
+    /// Lock-free count of entries in `sessions.delivered`, so the exec
+    /// fast path (nothing ever delivered — the overwhelmingly common
+    /// case) skips the sessions mutex entirely. Only advisory: a zero
+    /// reading is sound because a delivery for transaction `T` can only
+    /// exist while `T` has a parked/pending request, and `T`'s own session
+    /// thread — the only reader of `T`'s entries — is not submitting then.
+    delivered_count: std::sync::atomic::AtomicUsize,
+}
+
+impl Shared {
+    /// Remove and return `txn`'s delivered outcome, skipping the lock when
+    /// the map is known empty.
+    fn take_delivered(&self, txn: TxnId) -> Option<RequestOutcome> {
+        use std::sync::atomic::Ordering;
+        if self.delivered_count.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut sessions = self.sessions.lock();
+        let outcome = sessions.delivered.remove(&txn);
+        if outcome.is_some() {
+            self.delivered_count.fetch_sub(1, Ordering::Release);
+        }
+        outcome
+    }
 }
 
 /// A thread-safe transactional object store implementing the paper's
@@ -233,17 +306,28 @@ impl std::fmt::Debug for Database {
 }
 
 impl Database {
-    /// Create a database with the given scheduler configuration.
+    /// Create a database with the given scheduler configuration. The shard
+    /// count is taken from the `SBCC_SHARDS` environment variable
+    /// (default 1); use [`Database::with_config`] to set it explicitly.
     pub fn new(config: SchedulerConfig) -> Self {
+        Database::with_config(DatabaseConfig::new(config))
+    }
+
+    /// Create a database with an explicit [`DatabaseConfig`] (scheduler
+    /// configuration plus shard count).
+    pub fn with_config(config: DatabaseConfig) -> Self {
         Database {
             shared: Arc::new(Shared {
-                state: Mutex::new(DbState {
-                    kernel: SchedulerKernel::new(config),
-                    delivered: HashMap::new(),
-                    waiters: HashMap::new(),
-                }),
+                kernel: ShardedKernel::new(config),
+                sessions: Mutex::new(SessionState::default()),
+                delivered_count: std::sync::atomic::AtomicUsize::new(0),
             }),
         }
+    }
+
+    /// Number of scheduler-kernel shards behind this database.
+    pub fn shard_count(&self) -> usize {
+        self.shared.kernel.shard_count()
     }
 
     /// Register a typed atomic data type instance and get a typed handle.
@@ -265,11 +349,11 @@ impl Database {
         adt: A,
     ) -> Result<Handle<A>, CoreError> {
         let name = name.into();
-        let mut state = self.shared.state.lock();
-        let id = state.kernel.register(name.clone(), adt)?;
+        let (id, loc) = self.shared.kernel.register(name.clone(), adt)?;
         Ok(Handle {
             raw: ObjectHandle {
                 id,
+                loc,
                 name: name.into(),
             },
             _adt: PhantomData,
@@ -283,10 +367,10 @@ impl Database {
         object: Box<dyn SemanticObject>,
     ) -> Result<ObjectHandle, CoreError> {
         let name = name.into();
-        let mut state = self.shared.state.lock();
-        let id = state.kernel.register_object(name.clone(), object)?;
+        let (id, loc) = self.shared.kernel.register_object(name.clone(), object)?;
         Ok(ObjectHandle {
             id,
+            loc,
             name: name.into(),
         })
     }
@@ -296,11 +380,13 @@ impl Database {
     /// The returned guard aborts the transaction when dropped without an
     /// explicit [`Transaction::commit`] or [`Transaction::abort`].
     pub fn begin(&self) -> Transaction {
-        let id = self.shared.state.lock().kernel.begin();
+        let id = self.shared.kernel.begin();
         Transaction {
             db: self.clone(),
             id,
             finished: false,
+            enrolled: RefCell::new(Vec::new()),
+            pending: std::cell::Cell::new(false),
             _not_sync: PhantomData,
         }
     }
@@ -339,6 +425,20 @@ impl Database {
                     Err(e) => return Err(e),
                 },
                 Err(e) if e.is_scheduler_abort_of(id) => continue,
+                // A victim abort can race the delivery of its outcome:
+                // another session's thread aborts this attempt's
+                // transaction inside a shard, and this thread's next
+                // submission observes the terminated state *before* the
+                // abort event (with its reason) reaches the session layer.
+                // The attempt's own transaction can only be `Aborted`
+                // without this closure's involvement by the scheduler —
+                // the guard API offers the closure no way to abort it —
+                // so this is a scheduler abort and is retried like one.
+                Err(CoreError::InvalidState {
+                    txn: t,
+                    state: TxnState::Aborted,
+                    ..
+                }) if t == id => continue,
                 Err(e) => return Err(e),
             }
         }
@@ -346,56 +446,64 @@ impl Database {
 
     /// The current state of a transaction.
     pub fn txn_state(&self, txn: TxnId) -> Option<TxnState> {
-        self.shared.state.lock().kernel.txn_state(txn)
+        self.shared.kernel.txn_state(txn)
     }
 
     /// The commit outcome of a transaction that has (pseudo-)committed:
     /// `Committed` once the actual commit happened, `PseudoCommitted` while
     /// it is still waiting on its commit dependencies, `None` otherwise.
     pub fn outcome_of(&self, txn: TxnId) -> Option<CommitOutcome> {
-        let state = self.shared.state.lock();
-        match state.kernel.txn_state(txn)? {
+        match self.shared.kernel.txn_state(txn)? {
             TxnState::Committed => Some(CommitOutcome::Committed),
             TxnState::PseudoCommitted => Some(CommitOutcome::PseudoCommitted {
-                waiting_on: state.kernel.commit_dependencies_of(txn),
+                waiting_on: self.shared.kernel.commit_dependencies_of(txn),
             }),
             _ => None,
         }
     }
 
-    /// Snapshot of the kernel counters.
+    /// Snapshot of the aggregate kernel counters (summed across shards;
+    /// transaction-lifecycle counters deduplicated by the coordinator).
     pub fn stats(&self) -> KernelStats {
-        self.shared.state.lock().kernel.stats().clone()
+        self.shared.kernel.stats()
     }
 
-    /// Number of cycle-detection invocations so far.
+    /// The aggregate counters plus the per-shard breakdown (lock
+    /// acquisitions, escalations, local vs. mirrored edges).
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        self.shared.kernel.stats_snapshot()
+    }
+
+    /// Number of cycle-detection invocations so far (all shards plus the
+    /// cross-shard escalation graph).
     pub fn cycle_checks(&self) -> u64 {
-        self.shared.state.lock().kernel.cycle_checks()
+        self.shared.kernel.cycle_checks()
     }
 
-    /// Run the commit-order serializability checker (requires history
-    /// recording, which [`SchedulerConfig::default`] enables).
+    /// Run the commit-order serializability checker on every shard
+    /// (requires history recording, which [`SchedulerConfig::default`]
+    /// enables).
     pub fn verify_serializable(&self) -> Result<(), String> {
-        let state = self.shared.state.lock();
-        crate::history::verify_commit_order_serializable(&state.kernel)
+        self.shared.kernel.verify_serializable()
     }
 
-    /// Run the commit-order dependency checker.
+    /// Run the commit-order dependency checker on every shard.
     pub fn verify_commit_dependencies(&self) -> Result<(), String> {
-        let state = self.shared.state.lock();
-        crate::history::verify_commit_order_respects_dependencies(&state.kernel)
+        self.shared.kernel.verify_commit_dependencies()
     }
 
-    /// Check kernel invariants (acyclic graph, consistent logs and queues).
+    /// Check kernel invariants on every shard (acyclic graphs, consistent
+    /// logs and queues) plus the escalation graph.
     pub fn check_invariants(&self) -> Result<(), String> {
-        self.shared.state.lock().kernel.check_invariants()
+        self.shared.kernel.check_invariants()
     }
 
-    /// Run a closure against the kernel (advanced / test use).
-    pub fn with_kernel<R>(&self, f: impl FnOnce(&mut SchedulerKernel) -> R) -> R {
-        let mut state = self.shared.state.lock();
-        let result = f(&mut state.kernel);
-        self.deliver_events(&mut state);
+    /// Run a closure against the sharded kernel (advanced / test use).
+    /// Replaces the PR-2 `with_kernel` (there is no longer a single kernel
+    /// to borrow; use [`ShardedKernel::with_shard`] for one shard).
+    pub fn with_sharded_kernel<R>(&self, f: impl FnOnce(&ShardedKernel) -> R) -> R {
+        let result = f(&self.shared.kernel);
+        self.deliver_events();
         result
     }
 
@@ -403,134 +511,237 @@ impl Database {
     // Session internals (reached through `Transaction`)
     // ------------------------------------------------------------------
 
-    /// Drop a stale `delivered` entry for `txn` before a new submission.
+    /// Gate a new submission on the session's previous one.
     ///
-    /// A stale entry exists when an earlier request settled while no thread
-    /// was parked and the caller never claimed it with
+    /// A `delivered` entry exists when an earlier request settled while no
+    /// thread was parked and the caller never claimed it with
     /// [`Transaction::settle_pending`]. A stale *abort* makes the whole
     /// transaction dead and is surfaced now; a stale *result* was
     /// deliberately left unclaimed and is discarded so it cannot be
     /// mistaken for the outcome of the submission that follows.
-    fn drain_stale_delivered(state: &mut DbState, txn: TxnId) -> Result<(), CoreError> {
-        match state.delivered.remove(&txn) {
-            Some(RequestOutcome::Aborted { reason }) => Err(CoreError::Aborted { txn, reason }),
+    ///
+    /// While a non-blocking submission is still **pending** (blocked
+    /// inside a shard kernel, no outcome delivered yet), the submission is
+    /// rejected with the same `InvalidState { state: Blocked }` error the
+    /// unsharded kernel returns — without this gate, a request routed to a
+    /// *different* shard would be admitted there, because only the shard
+    /// holding the pending request knows the transaction is blocked.
+    fn admit_submission(&self, txn: &Transaction, action: &'static str) -> Result<(), CoreError> {
+        let id = txn.id;
+        let delivered = self.shared.take_delivered(id);
+        if txn.pending.get() {
+            return match delivered {
+                Some(RequestOutcome::Executed { .. }) => {
+                    // Settled while unclaimed: the stale result is
+                    // discarded and the session is submittable again.
+                    txn.pending.set(false);
+                    Ok(())
+                }
+                Some(RequestOutcome::Aborted { reason }) => {
+                    txn.pending.set(false);
+                    Err(CoreError::Aborted { txn: id, reason })
+                }
+                Some(RequestOutcome::Blocked { .. }) => {
+                    unreachable!("blocked outcomes are never delivered")
+                }
+                None => Err(CoreError::InvalidState {
+                    txn: id,
+                    state: TxnState::Blocked,
+                    action,
+                }),
+            };
+        }
+        match delivered {
+            Some(RequestOutcome::Aborted { reason }) => {
+                Err(CoreError::Aborted { txn: id, reason })
+            }
             _ => Ok(()),
+        }
+    }
+
+    /// Enroll the session's transaction into a shard if its session-local
+    /// cache has not seen the shard yet. Steady state (every shard already
+    /// touched) skips the coordinator entirely: the only lock an exec
+    /// takes is the owning shard's.
+    fn ensure_session_enrolled(
+        &self,
+        txn: &Transaction,
+        shard: u32,
+        action: &'static str,
+    ) -> Result<(), CoreError> {
+        if txn.enrolled.borrow().contains(&shard) {
+            return Ok(());
+        }
+        self.shared.kernel.ensure_enrolled(txn.id, shard, action)?;
+        txn.enrolled.borrow_mut().push(shard);
+        Ok(())
+    }
+
+    fn check_loc(&self, loc: ObjectLoc) -> Result<(), CoreError> {
+        if (loc.shard as usize) < self.shared.kernel.shard_count() {
+            Ok(())
+        } else {
+            Err(CoreError::UnknownObject(format!(
+                "object of shard {} in a {}-shard database",
+                loc.shard,
+                self.shared.kernel.shard_count()
+            )))
         }
     }
 
     fn exec_call_raw(
         &self,
-        txn: TxnId,
-        object: ObjectId,
+        txn: &Transaction,
+        loc: ObjectLoc,
         call: OpCall,
     ) -> Result<OpResult, CoreError> {
-        let mut state = self.shared.state.lock();
-        Self::drain_stale_delivered(&mut state, txn)?;
-        let outcome = state.kernel.request(txn, object, call)?;
-        self.deliver_events(&mut state);
+        let id = txn.id;
+        self.check_loc(loc)?;
+        self.admit_submission(txn, "request an operation")?;
+        self.ensure_session_enrolled(txn, loc.shard, "request an operation")?;
+        let outcome = self.shared.kernel.request_enrolled(id, loc, call)?;
+        self.deliver_events();
         match outcome {
             RequestOutcome::Executed { result, .. } => Ok(result),
-            RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn, reason }),
-            RequestOutcome::Blocked { .. } => {
-                match self.park_for_outcome(state, txn) {
-                    RequestOutcome::Executed { result, .. } => Ok(result),
-                    RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn, reason }),
-                    RequestOutcome::Blocked { .. } => {
-                        unreachable!("blocked outcomes are never delivered")
-                    }
+            RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn: id, reason }),
+            RequestOutcome::Blocked { .. } => match self.park_for_outcome(id) {
+                RequestOutcome::Executed { result, .. } => Ok(result),
+                RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn: id, reason }),
+                RequestOutcome::Blocked { .. } => {
+                    unreachable!("blocked outcomes are never delivered")
                 }
-            }
+            },
         }
     }
 
     /// Take the settled outcome for `txn`'s pending request, parking the
-    /// calling thread if it has not settled yet. Consumes the lock guard.
-    fn park_for_outcome(
-        &self,
-        mut state: parking_lot::MutexGuard<'_, DbState>,
-        txn: TxnId,
-    ) -> RequestOutcome {
-        // The request may already have been settled by side effects of the
-        // submission itself (the kernel retries blocked requests to
-        // fixpoint before returning).
-        match state.delivered.remove(&txn) {
-            Some(outcome) => outcome,
-            None => {
-                // Park on a private slot: whichever thread later drains the
-                // kernel event that settles this transaction fills the slot
-                // and wakes only us.
-                let slot = Arc::new(WakeupSlot::default());
-                state.waiters.insert(txn, slot.clone());
-                drop(state);
-                slot.await_outcome()
+    /// calling thread if it has not settled yet.
+    ///
+    /// This is the database's **single rendezvous seam**: every blocking
+    /// path — per-call exec, grouped submission, `settle_pending`, and
+    /// every shard-originated wakeup — funnels through this one
+    /// slot-fill/slot-await pair, so an async front-end only needs a
+    /// `Waker`-backed slot beside the condvar-backed one.
+    fn park_for_outcome(&self, txn: TxnId) -> RequestOutcome {
+        let slot = {
+            let mut sessions = self.shared.sessions.lock();
+            // The request may already have been settled by side effects of
+            // the submission itself (the kernel retries blocked requests
+            // to fixpoint before returning) or by another thread's
+            // termination racing this park.
+            match sessions.delivered.remove(&txn) {
+                Some(outcome) => {
+                    self.shared
+                        .delivered_count
+                        .fetch_sub(1, std::sync::atomic::Ordering::Release);
+                    return outcome;
+                }
+                None => {
+                    // Park on a private slot: whichever thread later drains
+                    // the kernel event that settles this transaction fills
+                    // the slot and wakes only us.
+                    let slot = Arc::new(WakeupSlot::default());
+                    sessions.waiters.insert(txn, slot.clone());
+                    slot
+                }
             }
-        }
+        };
+        slot.await_outcome()
     }
 
     fn try_exec_call_raw(
         &self,
-        txn: TxnId,
-        object: ObjectId,
+        txn: &Transaction,
+        loc: ObjectLoc,
         call: OpCall,
     ) -> Result<RequestOutcome, CoreError> {
-        let mut state = self.shared.state.lock();
-        Self::drain_stale_delivered(&mut state, txn)?;
-        let outcome = state.kernel.request(txn, object, call)?;
-        self.deliver_events(&mut state);
+        let id = txn.id;
+        self.check_loc(loc)?;
+        self.admit_submission(txn, "request an operation")?;
+        self.ensure_session_enrolled(txn, loc.shard, "request an operation")?;
+        let outcome = self.shared.kernel.request_enrolled(id, loc, call)?;
+        self.deliver_events();
+        if outcome.is_blocked() {
+            txn.pending.set(true);
+        }
         Ok(outcome)
     }
 
-    fn settle_pending_raw(&self, txn: TxnId) -> Result<OpResult, CoreError> {
-        let state = self.shared.state.lock();
-        let outcome = {
-            let mut state = state;
-            if let Some(outcome) = state.delivered.remove(&txn) {
-                outcome
-            } else if state.kernel.txn_state(txn) == Some(TxnState::Blocked) {
-                self.park_for_outcome(state, txn)
-            } else {
-                return Err(CoreError::NoPendingOperation(txn));
-            }
+    fn settle_pending_raw(&self, txn: &Transaction) -> Result<OpResult, CoreError> {
+        let id = txn.id;
+        if !txn.pending.get() {
+            return Err(CoreError::NoPendingOperation(id));
+        }
+        // There IS an operation in flight, so an outcome is guaranteed to
+        // be delivered (the thread that settles the request always runs
+        // `deliver_events` after publishing): parking cannot be lost, and
+        // no kernel-state check is needed — querying it here would race
+        // the delivery (settled-but-not-yet-delivered would look like
+        // "nothing pending").
+        let outcome = match self.shared.take_delivered(id) {
+            Some(outcome) => outcome,
+            None => self.park_for_outcome(id),
         };
+        txn.pending.set(false);
         match outcome {
             RequestOutcome::Executed { result, .. } => Ok(result),
-            RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn, reason }),
+            RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn: id, reason }),
             RequestOutcome::Blocked { .. } => unreachable!("blocked outcomes are never delivered"),
         }
     }
 
     /// Submit a group of calls, blocking as often as needed until every
     /// call has executed (or the transaction aborts). Each kernel pass
-    /// classifies the remaining group in one index walk under one lock
-    /// acquisition; see [`crate::SchedulerKernel::request_batch`].
+    /// classifies the remaining group in one index walk per touched shard;
+    /// see [`ShardedKernel::request_batch_located`] and
+    /// [`crate::SchedulerKernel::request_batch`].
     fn submit_batch_raw(
         &self,
-        txn: TxnId,
+        txn: &Transaction,
         mut calls: Vec<BatchCall>,
+        mut locs: Vec<ObjectLoc>,
     ) -> Result<Vec<OpResult>, CoreError> {
+        let id = txn.id;
+        for loc in &locs {
+            self.check_loc(*loc)?;
+        }
         let mut results = Vec::with_capacity(calls.len());
         loop {
-            let mut state = self.shared.state.lock();
-            Self::drain_stale_delivered(&mut state, txn)?;
-            let outcome = state.kernel.request_batch(txn, std::mem::take(&mut calls))?;
-            self.deliver_events(&mut state);
+            self.admit_submission(txn, "submit a batch")?;
+            // Enrollment through the session cache: steady state takes no
+            // coordinator lock, exactly like the per-call exec path.
+            for loc in &locs {
+                self.ensure_session_enrolled(txn, loc.shard, "submit a batch")?;
+            }
+            let locs_kept = locs.clone();
+            let outcome = self.shared.kernel.request_batch_enrolled(
+                id,
+                std::mem::take(&mut calls),
+                std::mem::take(&mut locs),
+            )?;
+            self.deliver_events();
             results.extend(outcome.executed);
             match outcome.stopped {
                 None => return Ok(results),
                 Some(BatchStop::Aborted { reason, .. }) => {
-                    return Err(CoreError::Aborted { txn, reason })
+                    return Err(CoreError::Aborted { txn: id, reason })
                 }
-                Some(BatchStop::Blocked { rest, .. }) => {
-                    match self.park_for_outcome(state, txn) {
+                Some(BatchStop::Blocked { rest, index, .. }) => {
+                    match self.park_for_outcome(id) {
                         RequestOutcome::Executed { result, .. } => {
                             results.push(result);
                             if rest.is_empty() {
                                 return Ok(results);
                             }
+                            // The unprocessed suffix keeps its original
+                            // locations (`rest` is always a suffix of the
+                            // submitted batch).
+                            locs = locs_kept[index + 1..].to_vec();
+                            debug_assert_eq!(locs.len(), rest.len());
                             calls = rest;
                         }
                         RequestOutcome::Aborted { reason } => {
-                            return Err(CoreError::Aborted { txn, reason })
+                            return Err(CoreError::Aborted { txn: id, reason })
                         }
                         RequestOutcome::Blocked { .. } => {
                             unreachable!("blocked outcomes are never delivered")
@@ -542,23 +753,25 @@ impl Database {
     }
 
     fn commit_raw(&self, txn: TxnId) -> Result<CommitOutcome, CoreError> {
-        let mut state = self.shared.state.lock();
-        state.delivered.remove(&txn);
-        let outcome = state.kernel.commit(txn)?;
-        self.deliver_events(&mut state);
+        let _ = self.shared.take_delivered(txn);
+        let outcome = self.shared.kernel.commit(txn)?;
+        self.deliver_events();
         Ok(outcome)
     }
 
     fn abort_raw(&self, txn: TxnId) -> Result<(), CoreError> {
-        let mut state = self.shared.state.lock();
-        state.delivered.remove(&txn);
-        state.kernel.abort(txn)?;
-        self.deliver_events(&mut state);
-        Ok(())
+        let _ = self.shared.take_delivered(txn);
+        let result = self.shared.kernel.abort(txn);
+        self.deliver_events();
+        result
     }
 
-    fn deliver_events(&self, state: &mut DbState) {
-        let events = state.kernel.drain_events();
+    fn deliver_events(&self) {
+        let events = self.shared.kernel.drain_events();
+        if events.is_empty() {
+            return;
+        }
+        let mut sessions = self.shared.sessions.lock();
         for event in events {
             let (txn, outcome) = match event {
                 KernelEvent::Unblocked { txn, outcome } => (txn, outcome),
@@ -572,12 +785,16 @@ impl Database {
                     continue;
                 }
             };
-            match state.waiters.remove(&txn) {
+            match sessions.waiters.remove(&txn) {
                 // Exactly the thread blocked on this transaction wakes;
                 // every other parked invocation stays asleep.
                 Some(slot) => slot.fill(outcome),
                 None => {
-                    state.delivered.insert(txn, outcome);
+                    if sessions.delivered.insert(txn, outcome).is_none() {
+                        self.shared
+                            .delivered_count
+                            .fetch_add(1, std::sync::atomic::Ordering::Release);
+                    }
                 }
             }
         }
@@ -602,6 +819,18 @@ pub struct Transaction {
     db: Database,
     id: TxnId,
     finished: bool,
+    /// Session-local cache of the shards this transaction is enrolled in.
+    /// Lets the steady-state exec path skip the cross-shard coordinator
+    /// (the cache is sound because enrollment only ever grows while the
+    /// transaction is live). A `RefCell` suffices: the session is `!Sync`.
+    enrolled: RefCell<Vec<u32>>,
+    /// `true` while a [`Transaction::try_exec_call`] submission is blocked
+    /// inside a shard kernel with its outcome unclaimed. The session layer
+    /// uses it to enforce the single-kernel contract across shards (no
+    /// further submissions while blocked — another shard's kernel would
+    /// not know) and to make [`Transaction::settle_pending`] park without
+    /// racing the outcome delivery.
+    pending: std::cell::Cell<bool>,
     /// Suppresses `Sync` (a `Cell` is `Send + !Sync`) without affecting
     /// `Send`; see the type-level docs.
     _not_sync: PhantomData<std::cell::Cell<()>>,
@@ -633,7 +862,7 @@ impl Transaction {
     ///
     /// Typed [`Handle`]s coerce to [`ObjectHandle`], so this accepts both.
     pub fn exec_call(&self, object: &ObjectHandle, call: OpCall) -> Result<OpResult, CoreError> {
-        self.db.exec_call_raw(self.id, object.id(), call)
+        self.db.exec_call_raw(self, object.loc(), call)
     }
 
     /// Submit an operation without blocking: returns the raw kernel
@@ -647,7 +876,7 @@ impl Transaction {
         object: &ObjectHandle,
         call: OpCall,
     ) -> Result<RequestOutcome, CoreError> {
-        self.db.try_exec_call_raw(self.id, object.id(), call)
+        self.db.try_exec_call_raw(self, object.loc(), call)
     }
 
     /// Claim the outcome of a previously blocked submission
@@ -656,7 +885,7 @@ impl Transaction {
     /// settles if it has not yet. Returns
     /// [`CoreError::NoPendingOperation`] when there is nothing in flight.
     pub fn settle_pending(&self) -> Result<OpResult, CoreError> {
-        self.db.settle_pending_raw(self.id)
+        self.db.settle_pending_raw(self)
     }
 
     /// Start building a grouped submission. See [`Batch`].
@@ -664,6 +893,7 @@ impl Transaction {
         Batch {
             txn: self,
             calls: Vec::new(),
+            locs: Vec::new(),
         }
     }
 
@@ -715,6 +945,9 @@ impl Drop for Transaction {
 pub struct Batch<'t> {
     txn: &'t Transaction,
     calls: Vec<BatchCall>,
+    /// Shard locations, parallel to `calls` (handles carry them, so the
+    /// batch never consults the object directory).
+    locs: Vec<ObjectLoc>,
 }
 
 impl Batch<'_> {
@@ -738,6 +971,7 @@ impl Batch<'_> {
     /// Append an erased call (mutating form, for loops).
     pub fn add_call(&mut self, object: &ObjectHandle, call: OpCall) {
         self.calls.push(BatchCall::new(object.id(), call));
+        self.locs.push(object.loc());
     }
 
     /// Number of calls queued so far.
@@ -757,7 +991,7 @@ impl Batch<'_> {
         if self.calls.is_empty() {
             return Ok(Vec::new());
         }
-        self.txn.db.submit_batch_raw(self.txn.id, self.calls)
+        self.txn.db.submit_batch_raw(self.txn, self.calls, self.locs)
     }
 }
 
@@ -1171,6 +1405,58 @@ mod tests {
     }
 
     #[test]
+    fn blocked_session_cannot_submit_elsewhere() {
+        // The single-kernel contract: a transaction with a pending blocked
+        // request rejects every further submission with
+        // InvalidState{Blocked}. Across shards only the shard holding the
+        // pending request knows, so the session layer enforces it — this
+        // must behave identically at every shard count (exercised under
+        // both SBCC_SHARDS CI configurations, and pinned here at 4 shards
+        // with objects spread wide).
+        let db = Database::with_config(
+            crate::shard::DatabaseConfig::new(SchedulerConfig::default()).with_shards(4),
+        );
+        let handles: Vec<_> = (0..8).map(|i| db.register(format!("s{i}"), Stack::new())).collect();
+        let t1 = db.begin();
+        t1.exec(&handles[0], StackOp::Push(Value::Int(7))).unwrap();
+
+        let t2 = db.begin();
+        assert!(t2
+            .try_exec_call(&handles[0], StackOp::Pop.to_call())
+            .unwrap()
+            .is_blocked());
+        // Every other object — wherever it lives — must reject t2 now.
+        for h in &handles[1..] {
+            assert!(
+                matches!(
+                    t2.exec_call(h, StackOp::Push(Value::Int(1)).to_call()),
+                    Err(CoreError::InvalidState {
+                        state: TxnState::Blocked,
+                        ..
+                    })
+                ),
+                "blocked session must not execute on {}",
+                h.name()
+            );
+        }
+        assert!(matches!(
+            t2.batch().op(&handles[1], StackOp::Top).submit(),
+            Err(CoreError::InvalidState {
+                state: TxnState::Blocked,
+                ..
+            })
+        ));
+        // Once the conflict clears, the pending pop settles and the
+        // session is usable again.
+        t1.commit().unwrap();
+        assert_eq!(t2.settle_pending().unwrap(), OpResult::Value(Value::Int(7)));
+        t2.exec(&handles[3], StackOp::Push(Value::Int(2))).unwrap();
+        t2.commit().unwrap();
+        db.verify_serializable().unwrap();
+        db.check_invariants().unwrap();
+    }
+
+    #[test]
     fn stale_delivered_result_is_discarded_by_the_next_submission() {
         let db = db();
         let s = db.register("s", Stack::new());
@@ -1225,11 +1511,12 @@ mod tests {
     }
 
     #[test]
-    fn with_kernel_exposes_the_kernel() {
+    fn with_sharded_kernel_exposes_the_kernel() {
         let db = db();
         db.register("s", Stack::new());
-        let count = db.with_kernel(|k| k.object_count());
+        let count = db.with_sharded_kernel(|k| k.object_count());
         assert_eq!(count, 1);
+        assert!(db.shard_count() >= 1);
     }
 
     #[test]

@@ -26,11 +26,13 @@ use crate::events::{
 use crate::history::HistoryRecorder;
 use crate::object::{Classification, ManagedObject, ObjectId};
 use crate::policy::{CycleDetector, SchedulerConfig, VictimPolicy};
+use crate::shard::GlobalGraph;
 use crate::stats::KernelStats;
 use crate::txn::{BatchCall, ExecutedOp, PendingRequest, TxnId, TxnRecord, TxnState};
 use sbcc_adt::{AdtObject, AdtSpec, OpCall, OpResult, SemanticObject};
 use sbcc_graph::{DependencyGraph, EdgeKind};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Compact record kept for a terminated transaction after its full
 /// [`TxnRecord`] has been dropped (keeping the full record for every
@@ -63,6 +65,20 @@ pub struct SchedulerKernel {
     /// when nothing terminated, and (b) invalidate the pre-computed group
     /// classification of an in-flight batch.
     termination_epoch: u64,
+    /// The cross-shard escalation graph, when this kernel is one shard of a
+    /// [`crate::shard::ShardedKernel`]. `None` for a standalone kernel.
+    escalation: Option<Arc<GlobalGraph>>,
+    /// `true` while this shard hosts (or recently hosted) a transaction
+    /// that is also enrolled in another shard. While entangled, every
+    /// local dependency-graph mutation is mirrored into the escalation
+    /// graph and every cycle check that finds no local cycle additionally
+    /// consults it. Reset when the shard quiesces (no live transactions).
+    entangled: bool,
+    /// Coordinated (multi-shard) pseudo-committed transactions whose
+    /// **local** commit-dependency out-degree dropped to zero; drained by
+    /// the cross-shard coordinator, which re-runs the commit vote across
+    /// every shard the transaction is enrolled in.
+    coordination_ready: Vec<TxnId>,
 }
 
 impl std::fmt::Debug for SchedulerKernel {
@@ -98,6 +114,9 @@ impl SchedulerKernel {
             events: Vec::new(),
             pending_dirty: Vec::new(),
             termination_epoch: 0,
+            escalation: None,
+            entangled: false,
+            coordination_ready: Vec::new(),
         }
     }
 
@@ -211,6 +230,133 @@ impl SchedulerKernel {
             h.record_begin(id);
         }
         id
+    }
+
+    // ------------------------------------------------------------------
+    // Sharding hooks (see `crate::shard`)
+    //
+    // A `ShardedKernel` runs N of these kernels side by side, each owning a
+    // disjoint set of objects. Transaction ids are then assigned by the
+    // coordinator and *adopted* into a shard on first touch; terminations
+    // of multi-shard transactions are applied by the coordinator through
+    // the `*_coordinated` methods. A standalone kernel never uses any of
+    // this.
+    // ------------------------------------------------------------------
+
+    /// Attach the cross-shard escalation graph. Called once per shard at
+    /// [`crate::shard::ShardedKernel`] construction, before any request.
+    pub fn attach_escalation(&mut self, global: Arc<GlobalGraph>) {
+        self.escalation = Some(global);
+    }
+
+    /// Mark this shard entangled: from now on (until the shard quiesces)
+    /// every local dependency edge is mirrored into the escalation graph,
+    /// starting with a bulk upload of the edges that already exist.
+    pub fn entangle(&mut self) {
+        if self.entangled {
+            return;
+        }
+        self.entangled = true;
+        if let Some(global) = self.escalation.clone() {
+            let escalated = global.mirror_all(&self.graph);
+            self.stats.escalated_edges += escalated;
+        }
+    }
+
+    /// `true` while the shard mirrors its graph into the escalation graph.
+    pub fn is_entangled(&self) -> bool {
+        self.entangled
+    }
+
+    /// Adopt an externally assigned transaction id (cross-shard enrollment:
+    /// the coordinator begot the transaction; this shard sees it for the
+    /// first time). `coordinated` marks it as enrolled in more than one
+    /// shard from the start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is already known to this kernel — the coordinator
+    /// enrolls each transaction into a shard at most once.
+    pub fn adopt(&mut self, id: TxnId, coordinated: bool) {
+        assert!(
+            !self.txns.contains_key(&id) && !self.finished.contains_key(&id),
+            "transaction {id} already enrolled in this shard"
+        );
+        let mut rec = TxnRecord::new(id);
+        rec.coordinated = coordinated;
+        self.txns.insert(id, rec);
+        self.graph.add_node(id);
+        self.next_txn_id = self.next_txn_id.max(id.0);
+        self.stats.transactions_begun += 1;
+        if let Some(h) = &mut self.history {
+            h.record_begin(id);
+        }
+    }
+
+    /// Promote a live transaction to coordinated (it just enrolled in a
+    /// second shard).
+    pub fn mark_coordinated(&mut self, txn: TxnId) {
+        if let Some(rec) = self.txns.get_mut(&txn) {
+            rec.coordinated = true;
+        }
+    }
+
+    /// Record a coordinator-decided pseudo-commit of a coordinated
+    /// transaction (its commit-dependency union across shards was
+    /// non-empty). Unlike [`Self::commit`] this performs no local dependency
+    /// check — the coordinator saw the union. Returns `false` if the
+    /// transaction is not live and active in this shard.
+    pub fn pseudo_commit_coordinated(&mut self, txn: TxnId) -> bool {
+        match self.txns.get_mut(&txn) {
+            Some(rec) if rec.state == TxnState::Active => {
+                debug_assert!(rec.coordinated, "only coordinated transactions");
+                rec.state = TxnState::PseudoCommitted;
+                self.stats.pseudo_commits += 1;
+                if let Some(h) = &mut self.history {
+                    h.record_pseudo_commit(txn);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Apply the local share of a coordinator-decided **actual commit** of
+    /// a coordinated transaction: fold its operations into this shard's
+    /// committed states, drop its graph node and settle. The coordinator
+    /// only calls this once the transaction's commit-dependency out-degree
+    /// is zero in *every* shard it is enrolled in.
+    pub fn commit_coordinated(&mut self, txn: TxnId) {
+        self.coordination_ready.retain(|t| *t != txn);
+        debug_assert!(
+            self.graph.out_neighbors_kind(txn, EdgeKind::CommitDep).is_empty(),
+            "coordinated commit of {txn} with local commit dependencies outstanding"
+        );
+        self.actually_commit(txn);
+        self.settle();
+    }
+
+    /// Apply the local share of a coordinator-driven **abort** of a
+    /// coordinated transaction (the shard where the abort originated has
+    /// already aborted it locally). Returns `false` when the transaction is
+    /// not live here (already applied, or never blocked/active) — callers
+    /// treat that as an idempotent no-op.
+    pub fn abort_coordinated(&mut self, txn: TxnId, reason: AbortReason) -> bool {
+        match self.txns.get(&txn) {
+            Some(rec) if matches!(rec.state, TxnState::Active | TxnState::Blocked) => {
+                self.abort_internal(txn, reason);
+                self.settle();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drain the coordinated pseudo-committed transactions whose local
+    /// commit-dependency out-degree dropped to zero since the last drain
+    /// (a cross-shard commit vote should be re-run for each).
+    pub fn drain_coordination_ready(&mut self) -> Vec<TxnId> {
+        std::mem::take(&mut self.coordination_ready)
     }
 
     /// The current state of a transaction.
@@ -436,6 +582,10 @@ impl SchedulerKernel {
                 action: "commit",
             });
         }
+        debug_assert!(
+            !self.txns.get(&txn).map(|r| r.coordinated).unwrap_or(false),
+            "multi-shard transactions commit through the coordinator, not Self::commit"
+        );
         let mut deps = self.graph.out_neighbors_kind(txn, EdgeKind::CommitDep);
         deps.sort_unstable();
         if deps.is_empty() {
@@ -538,6 +688,48 @@ impl SchedulerKernel {
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// Add a dependency edge to the local graph, mirroring it into the
+    /// escalation graph while entangled.
+    fn graph_add_edge(&mut self, from: TxnId, to: TxnId, kind: EdgeKind) {
+        self.graph.add_edge(from, to, kind);
+        self.stats.graph_edges += 1;
+        if self.entangled {
+            if let Some(global) = &self.escalation {
+                global.add_edge(from, to, kind);
+            }
+            self.stats.escalated_edges += 1;
+        }
+    }
+
+    /// Remove a node (transaction termination) from the local graph and,
+    /// while entangled, from the escalation graph.
+    fn graph_remove_node(&mut self, txn: TxnId) {
+        self.graph.remove_node(txn);
+        if self.entangled {
+            if let Some(global) = &self.escalation {
+                global.remove_node(txn);
+            }
+            // Quiesce: once no live transaction remains, every node this
+            // shard ever mirrored has been removed from the escalation
+            // graph, so the shard can return to the lock-free local-only
+            // fast path.
+            if self.txns.is_empty() {
+                self.entangled = false;
+            }
+        }
+    }
+
+    /// Clear a transaction's outgoing wait-for edges (blocked-request
+    /// retry), mirrored while entangled.
+    fn graph_clear_wait_edges(&mut self, txn: TxnId) {
+        self.graph.clear_out_edges(txn, EdgeKind::WaitFor);
+        if self.entangled {
+            if let Some(global) = &self.escalation {
+                global.clear_out_edges(txn, EdgeKind::WaitFor);
+            }
+        }
+    }
 
     fn ensure_object(&self, object: ObjectId) -> Result<(), CoreError> {
         if (object.0 as usize) < self.objects.len() {
@@ -642,7 +834,7 @@ impl SchedulerKernel {
             if !conflicts.is_empty() {
                 // Step 1: the request conflicts; it must wait unless waiting
                 // would close a cycle.
-                if self.cycle_would_close(txn, &conflicts) {
+                if self.cycle_would_close(txn, &conflicts, EdgeKind::WaitFor) {
                     match self.select_victim(txn, &conflicts) {
                         victim if victim == txn => {
                             self.abort_internal(txn, AbortReason::DeadlockCycle);
@@ -661,7 +853,7 @@ impl SchedulerKernel {
                     }
                 }
                 for holder in &conflicts {
-                    self.graph.add_edge(txn, *holder, EdgeKind::WaitFor);
+                    self.graph_add_edge(txn, *holder, EdgeKind::WaitFor);
                 }
                 self.object_mut(object).push_blocked(txn, call.clone());
                 let rec = self.txns.get_mut(&txn).expect("transaction exists");
@@ -694,7 +886,7 @@ impl SchedulerKernel {
 
             // Step 3: recoverable — check the commit-dependency relation
             // stays acyclic, then execute with commit-dependency edges.
-            if self.cycle_would_close(txn, &commit_deps) {
+            if self.cycle_would_close(txn, &commit_deps, EdgeKind::CommitDep) {
                 match self.select_victim(txn, &commit_deps) {
                     victim if victim == txn => {
                         self.abort_internal(txn, AbortReason::CommitDependencyCycle);
@@ -720,7 +912,7 @@ impl SchedulerKernel {
                 // graph has to carry until termination.
                 self.stats.commit_dependencies += 1;
                 if !self.graph.has_edge(txn, *holder, EdgeKind::CommitDep) {
-                    self.graph.add_edge(txn, *holder, EdgeKind::CommitDep);
+                    self.graph_add_edge(txn, *holder, EdgeKind::CommitDep);
                 }
             }
             let result = self.execute_op(txn, object, call);
@@ -737,11 +929,34 @@ impl SchedulerKernel {
     /// Dispatch the per-request cycle check to the configured detector.
     /// Both paths count towards [`Self::cycle_checks`] and are proven
     /// behaviourally identical by differential tests.
-    fn cycle_would_close(&mut self, from: TxnId, targets: &[TxnId]) -> bool {
-        match self.config.cycle_detector {
+    ///
+    /// While the shard is entangled, a locally negative verdict is
+    /// **escalated**: the same hypothetical edges are checked against the
+    /// cross-shard escalation graph, which holds the union of every
+    /// entangled shard's edges — the only place a cycle spanning shards is
+    /// visible. The escalated check atomically *reserves* the edges on a
+    /// pass ([`GlobalGraph::check_and_reserve`]), closing the window in
+    /// which two requests racing in two entangled shards could both pass
+    /// before either mirrored its edge. An isolated (non-entangled) shard
+    /// never takes the global lock here, because no transaction with a
+    /// presence in this shard has edges anywhere else.
+    ///
+    /// `kind` is the edge kind the caller will add on a negative verdict
+    /// (wait-for for the blocking branch, commit-dep for the recoverable
+    /// branch).
+    fn cycle_would_close(&mut self, from: TxnId, targets: &[TxnId], kind: EdgeKind) -> bool {
+        let local = match self.config.cycle_detector {
             CycleDetector::Incremental => self.graph.would_close_cycle(from, targets),
             CycleDetector::SccOracle => self.graph.would_close_cycle_oracle(from, targets),
+        };
+        if local || !self.entangled {
+            return local;
         }
+        let Some(global) = self.escalation.clone() else {
+            return local;
+        };
+        self.stats.escalated_checks += 1;
+        global.check_and_reserve(from, targets, kind)
     }
 
     fn classify_for(&self, txn: TxnId, object: ObjectId, call: &OpCall) -> Classification {
@@ -766,13 +981,20 @@ impl SchedulerKernel {
                 // The cycle consists of the requester plus the path back to
                 // it; the youngest is the one with the largest id. A
                 // pseudo-committed participant can never be the victim (it
-                // is guaranteed to commit), so it is skipped.
+                // is guaranteed to commit). A *coordinated* (multi-shard)
+                // participant other than the requester is skipped too: its
+                // session thread could be mid-commit in another shard, and
+                // aborting it out from under the cross-shard commit
+                // protocol would race the vote — aborting the requester
+                // (who is here, on this thread, inside its own request) is
+                // always safe.
                 path.into_iter()
                     .filter(|t| {
                         self.txns
                             .get(t)
                             .map(|r| {
                                 matches!(r.state, TxnState::Active | TxnState::Blocked)
+                                    && (!r.coordinated || r.id == requester)
                             })
                             .unwrap_or(false)
                     })
@@ -813,7 +1035,7 @@ impl SchedulerKernel {
         for obj in &touched {
             self.objects[obj.0 as usize].commit_txn(txn);
         }
-        self.graph.remove_node(txn);
+        self.graph_remove_node(txn);
         self.pending_dirty.extend(touched);
         self.stats.commits += 1;
         self.finished.insert(
@@ -844,7 +1066,7 @@ impl SchedulerKernel {
         for obj in &touched {
             self.objects[obj.0 as usize].abort_txn(txn);
         }
-        self.graph.remove_node(txn);
+        self.graph_remove_node(txn);
         self.pending_dirty.extend(touched);
         match reason {
             AbortReason::DeadlockCycle => self.stats.aborts_deadlock += 1,
@@ -869,20 +1091,29 @@ impl SchedulerKernel {
     /// blocked requests on objects whose logs changed. Runs to fixpoint.
     fn settle(&mut self) {
         loop {
-            // Cascade commits of pseudo-committed transactions.
+            // Cascade commits of pseudo-committed transactions. A
+            // *coordinated* transaction is never committed locally — zero
+            // local out-degree only means its last dependency in THIS shard
+            // is gone; it is reported to the coordinator, which re-runs the
+            // commit vote across every shard it is enrolled in.
             let mut cascaded = false;
             loop {
-                let candidates: Vec<TxnId> = self
-                    .graph
-                    .zero_out_degree_nodes()
-                    .into_iter()
-                    .filter(|t| {
-                        self.txns
-                            .get(t)
-                            .map(|r| r.state == TxnState::PseudoCommitted)
-                            .unwrap_or(false)
-                    })
-                    .collect();
+                let mut candidates: Vec<TxnId> = Vec::new();
+                for t in self.graph.zero_out_degree_nodes() {
+                    let Some(rec) = self.txns.get(&t) else {
+                        continue;
+                    };
+                    if rec.state != TxnState::PseudoCommitted {
+                        continue;
+                    }
+                    if rec.coordinated {
+                        if !self.coordination_ready.contains(&t) {
+                            self.coordination_ready.push(t);
+                        }
+                    } else {
+                        candidates.push(t);
+                    }
+                }
                 if candidates.is_empty() {
                     break;
                 }
@@ -934,7 +1165,7 @@ impl SchedulerKernel {
                 rec.state = TxnState::Active;
                 rec.pending = None;
             }
-            self.graph.clear_out_edges(request.txn, EdgeKind::WaitFor);
+            self.graph_clear_wait_edges(request.txn);
             let outcome = self.process_request(request.txn, object, request.call, true, None);
             match &outcome {
                 RequestOutcome::Blocked { .. } => {

@@ -10,11 +10,16 @@
 //!   commit-dependency tracking, pseudo-commit and the cascading actual
 //!   commit protocol, plus recovery by intentions lists or replay-based
 //!   undo.
+//! * [`ShardedKernel`] — N independent scheduler kernels, each owning a
+//!   disjoint (name-hashed) set of objects behind its own lock, plus a
+//!   cross-shard coordinator for transaction liveness, commit votes and
+//!   an escalation graph for dependency edges that span shards (see the
+//!   [`shard`] module docs for the invariants and the protocol).
 //! * [`Database`] — the thread-safe, session-based front-end over the
-//!   kernel: typed [`Handle`]s, [`Transaction`] guards that auto-abort on
-//!   drop, grouped submission via [`Transaction::batch`], and the
-//!   [`Database::run`] retry runner (see the [`db`] module docs for the
-//!   full session model and the migration table from the old
+//!   sharded kernel: typed [`Handle`]s, [`Transaction`] guards that
+//!   auto-abort on drop, grouped submission via [`Transaction::batch`],
+//!   and the [`Database::run`] retry runner (see the [`db`] module docs
+//!   for the full session model and the migration table from the old
 //!   free-function API).
 //! * [`HistoryRecorder`] and the `verify_*` checkers — off-line validation
 //!   that executions are serializable in commit order and respect the
@@ -65,6 +70,7 @@ pub mod history;
 pub mod kernel;
 pub mod object;
 pub mod policy;
+pub mod shard;
 pub mod stats;
 pub mod txn;
 
@@ -80,5 +86,6 @@ pub use history::{
 pub use kernel::SchedulerKernel;
 pub use object::{BlockedRequest, Classification, LogEntry, ManagedObject, ObjectId};
 pub use policy::{ConflictPolicy, CycleDetector, RecoveryStrategy, SchedulerConfig, VictimPolicy};
-pub use stats::KernelStats;
+pub use shard::{shard_of_name, DatabaseConfig, GlobalGraph, ObjectLoc, ShardedKernel};
+pub use stats::{KernelStats, ShardStats, StatsSnapshot};
 pub use txn::{BatchCall, ExecutedOp, PendingRequest, TxnId, TxnRecord, TxnState};

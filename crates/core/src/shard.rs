@@ -1,0 +1,1395 @@
+//! The sharded scheduler kernel: N independent [`SchedulerKernel`]s plus a
+//! lightweight cross-shard coordinator.
+//!
+//! # Why sharding works for this protocol
+//!
+//! The paper's semantic relations (commutativity / recoverability per ADT
+//! operation pair) are **per object**: classification of a request only ever
+//! reads the execution log and blocked queue of the one object it targets.
+//! The only truly global state is transaction-level — liveness, the
+//! dependency graph, and the commit order. A [`ShardedKernel`] therefore
+//! partitions the *objects* across `shards` independent kernels (hash of
+//! the registration name, see [`shard_of_name`]), each with its own lock,
+//! its own log index and its own local [`sbcc_graph::DependencyGraph`],
+//! and keeps a small coordinator for the transaction-level pieces.
+//!
+//! # Sharding invariants
+//!
+//! 1. **Object ownership is static**: an object registered under a name
+//!    lives in `shard_of_name(name, shards)` forever. Every request for it
+//!    is processed under that shard's lock only.
+//! 2. **Transaction ids are global**: [`ShardedKernel::begin`] assigns ids
+//!    from one atomic counter; a shard *adopts* the id the first time the
+//!    transaction touches one of its objects (lazy enrollment).
+//! 3. **Local graphs are authoritative for intra-shard cycles**: a
+//!    transaction enrolled in exactly one shard has all of its edges in
+//!    that shard's graph, so the ordinary local cycle check is complete
+//!    for it — **intra-shard admission takes no global lock**.
+//! 4. **Cross-shard edges escalate**: the moment a transaction enrolls in
+//!    a second shard, every shard it is enrolled in becomes *entangled* —
+//!    its local graph is bulk-mirrored into the [`GlobalGraph`] and every
+//!    subsequent edge add/remove is mirrored too (see
+//!    [`SchedulerKernel::entangle`]). A cycle check that finds no local
+//!    cycle in an entangled shard is re-run against the global graph,
+//!    which holds the union of all entangled shards' edges. An entangled
+//!    shard returns to the local-only fast path once it quiesces (no live
+//!    transactions).
+//!
+//! ## Why the escalation rule is sound
+//!
+//! A cycle in the union of the local graphs either lies inside one shard
+//! (caught by that shard's local check) or spans shards. A spanning cycle
+//! enters and leaves each contributing shard through transactions enrolled
+//! in two shards; those boundary transactions entangled every contributing
+//! shard *before* the cycle's last edge could be inserted (their dual
+//! enrollment precedes their edges), so by insertion time every other edge
+//! of the cycle is present in the global graph and the escalated check
+//! refuses the request.
+//!
+//! # Cross-shard termination protocol
+//!
+//! * **Commit** of a transaction enrolled in one shard is the unsharded
+//!   fast path: the shard's own [`SchedulerKernel::commit`] decides
+//!   between actual and pseudo-commit locally.
+//! * **Commit** of a multi-shard transaction collects per-shard votes (the
+//!   local commit-dependency out-neighbours) under the coordinator's
+//!   termination lock. An empty union applies
+//!   [`SchedulerKernel::commit_coordinated`] shard by shard; otherwise the
+//!   transaction pseudo-commits in every shard and each shard reports
+//!   (via [`SchedulerKernel::drain_coordination_ready`]) when its local
+//!   out-degree drops to zero, triggering a re-vote.
+//! * **Aborts** apply shard by shard; victim selection never picks a
+//!   multi-shard transaction other than the requester (see
+//!   [`crate::policy::VictimPolicy`] handling in the kernel), so a
+//!   scheduler-initiated abort of a multi-shard transaction only ever
+//!   happens on the transaction's own session thread — there is no race
+//!   against a concurrent commit vote for the same transaction.
+//!
+//! With `shards = 1` nothing ever entangles, every transaction is
+//! single-shard, and the subsystem degenerates to the unsharded kernel's
+//! behaviour (the sharded-vs-single differential test suite pins this).
+
+use crate::errors::CoreError;
+use crate::events::{
+    AbortReason, BatchOutcome, BatchStop, CommitOutcome, KernelEvent, RequestOutcome,
+};
+use crate::kernel::SchedulerKernel;
+use crate::object::ObjectId;
+use crate::policy::SchedulerConfig;
+use crate::stats::{KernelStats, ShardStats, StatsSnapshot};
+use crate::txn::{BatchCall, TxnId, TxnState};
+use parking_lot::{Mutex, MutexGuard};
+use sbcc_adt::{AdtObject, AdtSpec, OpCall, SemanticObject};
+use sbcc_graph::{DependencyGraph, EdgeKind};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Environment variable overriding the default shard count of
+/// [`DatabaseConfig`] (used by CI to run the test suites single- and
+/// multi-sharded).
+pub const SHARDS_ENV: &str = "SBCC_SHARDS";
+
+/// Database-level configuration: the per-shard scheduler configuration plus
+/// the shard count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatabaseConfig {
+    /// Scheduler configuration applied to every shard kernel.
+    pub scheduler: SchedulerConfig,
+    /// Number of independent scheduler kernels ( ≥ 1 ). One shard
+    /// reproduces the unsharded kernel's behaviour exactly.
+    pub shards: usize,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig::new(SchedulerConfig::default())
+    }
+}
+
+impl DatabaseConfig {
+    /// Configuration with the shard count taken from the `SBCC_SHARDS`
+    /// environment variable (default 1).
+    pub fn new(scheduler: SchedulerConfig) -> Self {
+        DatabaseConfig {
+            scheduler,
+            shards: Self::shards_from_env(),
+        }
+    }
+
+    /// Builder-style: set the shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard is required");
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count requested through the `SBCC_SHARDS` environment
+    /// variable, defaulting to 1 when unset or unparsable.
+    pub fn shards_from_env() -> usize {
+        std::env::var(SHARDS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|n| *n >= 1)
+            .unwrap_or(1)
+    }
+}
+
+/// Stable shard routing: FNV-1a over the registration name, reduced modulo
+/// the shard count. Deterministic across runs and platforms.
+pub fn shard_of_name(name: &str, shards: usize) -> u32 {
+    debug_assert!(shards >= 1);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards as u64) as u32
+}
+
+/// Where an object lives: its shard plus its id *inside that shard's
+/// kernel*. Carried by [`crate::ObjectHandle`] so the session layer routes
+/// without a directory lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjectLoc {
+    /// Owning shard.
+    pub shard: u32,
+    /// The object's id within the owning shard's kernel.
+    pub local: ObjectId,
+}
+
+/// The cross-shard escalation graph: the union of every entangled shard's
+/// dependency edges, behind its own small lock. Consulted only by cycle
+/// checks in entangled shards; isolated shards never touch it.
+#[derive(Debug, Default)]
+pub struct GlobalGraph {
+    graph: Mutex<DependencyGraph<TxnId>>,
+}
+
+impl GlobalGraph {
+    /// An empty escalation graph.
+    pub fn new() -> Self {
+        GlobalGraph::default()
+    }
+
+    pub(crate) fn add_edge(&self, from: TxnId, to: TxnId, kind: EdgeKind) {
+        self.graph.lock().add_edge(from, to, kind);
+    }
+
+    pub(crate) fn remove_node(&self, txn: TxnId) {
+        self.graph.lock().remove_node(txn);
+    }
+
+    pub(crate) fn clear_out_edges(&self, txn: TxnId, kind: EdgeKind) {
+        self.graph.lock().clear_out_edges(txn, kind);
+    }
+
+    /// Escalated check **and reservation** in one critical section: if the
+    /// hypothetical edges close no cycle, insert them immediately so that
+    /// a concurrent escalated check from another shard sees them.
+    ///
+    /// Without the reservation the check and the later mirror (performed
+    /// once the kernel actually adds the edges, under a *different* shard
+    /// lock) would be two separate global-graph critical sections, and two
+    /// requests racing in two entangled shards could each pass the check
+    /// before either inserted its edge — admitting exactly the undetected
+    /// cross-shard cycle the escalation path exists to refuse. A passed
+    /// check is always followed by the kernel adding those edges (the
+    /// Figure-2 branches never abandon them), so reserved edges are never
+    /// phantom; the kernel's own mirror then merely raises the pair's
+    /// multiplicity, which is harmless because the global graph is only
+    /// ever pruned wholesale (node removal, per-kind out-edge clears).
+    pub fn check_and_reserve(&self, from: TxnId, targets: &[TxnId], kind: EdgeKind) -> bool {
+        let mut graph = self.graph.lock();
+        if graph.would_close_cycle(from, targets) {
+            return true;
+        }
+        for target in targets {
+            graph.add_edge(from, *target, kind);
+        }
+        false
+    }
+
+    /// Bulk-mirror every edge of a shard's local graph (entanglement
+    /// upload). Returns the number of logical edges mirrored.
+    pub(crate) fn mirror_all(&self, local: &DependencyGraph<TxnId>) -> u64 {
+        let mut g = self.graph.lock();
+        let mut mirrored = 0u64;
+        local.for_each_edge(|from, to, kind, multiplicity| {
+            for _ in 0..multiplicity {
+                g.add_edge(from, to, kind);
+            }
+            mirrored += u64::from(multiplicity);
+        });
+        mirrored
+    }
+
+    /// Cycle checks performed on this graph so far.
+    pub fn cycle_checks(&self) -> u64 {
+        self.graph.lock().cycle_checks()
+    }
+
+    /// Number of nodes currently mirrored.
+    pub fn node_count(&self) -> usize {
+        self.graph.lock().node_count()
+    }
+
+    /// Full-graph acyclicity check (invariant validation).
+    pub fn has_cycle(&self) -> bool {
+        self.graph.lock().has_cycle()
+    }
+}
+
+/// One shard: a kernel behind its own lock, plus observability counters.
+struct ShardCell {
+    kernel: Mutex<SchedulerKernel>,
+    lock_acquisitions: AtomicU64,
+}
+
+/// Coordinator-side record of a live transaction.
+#[derive(Debug, Clone, Default)]
+struct EnrollRec {
+    /// Shards the transaction is enrolled in, in enrollment order.
+    shards: Vec<u32>,
+    /// `true` once the transaction pseudo-committed (coordinator-level
+    /// flag; the per-shard states agree).
+    pseudo: bool,
+}
+
+#[derive(Debug, Default)]
+struct Enrollments {
+    live: HashMap<TxnId, EnrollRec>,
+    finished: HashMap<TxnId, TxnState>,
+}
+
+/// Globally deduplicated transaction-lifecycle counters (one count per
+/// transaction regardless of how many shards it touched).
+#[derive(Debug, Default)]
+struct Lifecycle {
+    begun: AtomicU64,
+    commits: AtomicU64,
+    pseudo_commits: AtomicU64,
+    aborts_deadlock: AtomicU64,
+    aborts_commit_cycle: AtomicU64,
+    aborts_victim: AtomicU64,
+    aborts_explicit: AtomicU64,
+}
+
+/// How a transaction terminated (internal bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TermFate {
+    Committed,
+    Aborted(AbortReason),
+}
+
+/// Side effects drained from one shard pass.
+struct ShardFx {
+    events: Vec<KernelEvent>,
+    ready: Vec<TxnId>,
+}
+
+fn drain_fx(kernel: &mut SchedulerKernel) -> ShardFx {
+    ShardFx {
+        events: kernel.drain_events(),
+        ready: kernel.drain_coordination_ready(),
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    names: HashMap<String, ObjectId>,
+    directory: Vec<ObjectLoc>,
+}
+
+/// N independent scheduler kernels plus the cross-shard coordinator. The
+/// thread-safe, internally locked counterpart of [`SchedulerKernel`]; the
+/// module documentation describes the protocol.
+pub struct ShardedKernel {
+    config: DatabaseConfig,
+    shards: Vec<ShardCell>,
+    global: Arc<GlobalGraph>,
+    registry: Mutex<Registry>,
+    enroll: Mutex<Enrollments>,
+    /// Serializes multi-shard terminations (commit votes, coordinated
+    /// commits and explicit multi-shard aborts) so per-shard commit orders
+    /// stay mutually consistent.
+    termination: Mutex<()>,
+    /// Side-effect events collected across shards, drained by the caller
+    /// exactly like [`SchedulerKernel::drain_events`].
+    events: Mutex<Vec<KernelEvent>>,
+    /// Lock-free emptiness hint for `events`: the request fast path (no
+    /// side effects, the overwhelmingly common case) must not pay a mutex
+    /// acquisition per call just to find the buffer empty.
+    events_pending: AtomicU64,
+    next_txn: AtomicU64,
+    lifecycle: Lifecycle,
+}
+
+impl std::fmt::Debug for ShardedKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedKernel")
+            .field("shards", &self.shards.len())
+            .field("objects", &self.registry.lock().directory.len())
+            .finish()
+    }
+}
+
+impl ShardedKernel {
+    /// Build a sharded kernel: `config.shards` kernels sharing one
+    /// escalation graph.
+    pub fn new(config: DatabaseConfig) -> Self {
+        assert!(config.shards >= 1, "at least one shard is required");
+        let global = Arc::new(GlobalGraph::new());
+        let shards = (0..config.shards)
+            .map(|_| {
+                let mut kernel = SchedulerKernel::new(config.scheduler.clone());
+                kernel.attach_escalation(global.clone());
+                ShardCell {
+                    kernel: Mutex::new(kernel),
+                    lock_acquisitions: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        ShardedKernel {
+            config,
+            shards,
+            global,
+            registry: Mutex::new(Registry::default()),
+            enroll: Mutex::new(Enrollments::default()),
+            termination: Mutex::new(()),
+            events: Mutex::new(Vec::new()),
+            events_pending: AtomicU64::new(0),
+            next_txn: AtomicU64::new(0),
+            lifecycle: Lifecycle::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DatabaseConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn lock_shard(&self, shard: u32) -> MutexGuard<'_, SchedulerKernel> {
+        let cell = &self.shards[shard as usize];
+        cell.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        cell.kernel.lock()
+    }
+
+    /// Lock a shard for inspection without perturbing the lock counter.
+    fn peek_shard(&self, shard: u32) -> MutexGuard<'_, SchedulerKernel> {
+        self.shards[shard as usize].kernel.lock()
+    }
+
+    // ------------------------------------------------------------------
+    // Object registration and inspection
+    // ------------------------------------------------------------------
+
+    /// Register an erased semantic object; its shard is
+    /// `shard_of_name(name, shards)`. Returns the **global** object id
+    /// (dense, in registration order) and its location.
+    pub fn register_object(
+        &self,
+        name: impl Into<String>,
+        object: Box<dyn SemanticObject>,
+    ) -> Result<(ObjectId, ObjectLoc), CoreError> {
+        let name = name.into();
+        let mut registry = self.registry.lock();
+        if registry.names.contains_key(&name) {
+            return Err(CoreError::DuplicateObject(name));
+        }
+        let shard = shard_of_name(&name, self.shards.len());
+        let local = self.peek_shard(shard).register_object(name.clone(), object)?;
+        let global = ObjectId(registry.directory.len() as u32);
+        let loc = ObjectLoc { shard, local };
+        registry.directory.push(loc);
+        registry.names.insert(name, global);
+        Ok((global, loc))
+    }
+
+    /// Register a typed atomic data type instance.
+    pub fn register<A: AdtSpec>(
+        &self,
+        name: impl Into<String>,
+        adt: A,
+    ) -> Result<(ObjectId, ObjectLoc), CoreError> {
+        self.register_object(name, Box::new(AdtObject::new(adt)))
+    }
+
+    /// Number of registered objects (across all shards).
+    pub fn object_count(&self) -> usize {
+        self.registry.lock().directory.len()
+    }
+
+    /// Resolve an object name to its global id.
+    pub fn object_id(&self, name: &str) -> Option<ObjectId> {
+        self.registry.lock().names.get(name).copied()
+    }
+
+    /// The location of a global object id.
+    pub fn object_loc(&self, object: ObjectId) -> Option<ObjectLoc> {
+        self.registry.lock().directory.get(object.0 as usize).copied()
+    }
+
+    /// Run a closure against an object's committed state (under its
+    /// shard's lock).
+    pub fn with_object_committed<R>(
+        &self,
+        object: ObjectId,
+        f: impl FnOnce(&dyn SemanticObject) -> R,
+    ) -> Option<R> {
+        let loc = self.object_loc(object)?;
+        let kernel = self.peek_shard(loc.shard);
+        kernel.object_committed_state(loc.local).map(f)
+    }
+
+    /// Run a closure against one shard's kernel (tests / diagnostics).
+    pub fn with_shard<R>(&self, shard: usize, f: impl FnOnce(&mut SchedulerKernel) -> R) -> R {
+        let mut kernel = self.peek_shard(shard as u32);
+        f(&mut kernel)
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction life cycle
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction. The id is assigned globally; shards adopt it
+    /// lazily on first touch.
+    pub fn begin(&self) -> TxnId {
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed) + 1);
+        self.enroll.lock().live.insert(id, EnrollRec::default());
+        self.lifecycle.begun.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    fn missing_txn_error(
+        enroll: &Enrollments,
+        txn: TxnId,
+        action: &'static str,
+    ) -> CoreError {
+        match enroll.finished.get(&txn) {
+            Some(state) => CoreError::InvalidState {
+                txn,
+                state: *state,
+                action,
+            },
+            None => CoreError::UnknownTransaction(txn),
+        }
+    }
+
+    /// Enroll `txn` into `shard` if it is not enrolled yet, entangling the
+    /// affected shards when the transaction becomes multi-shard. Returns
+    /// `true` when this call performed the enrollment (the session layer
+    /// caches this to skip the coordinator on repeat touches).
+    pub fn ensure_enrolled(
+        &self,
+        txn: TxnId,
+        shard: u32,
+        action: &'static str,
+    ) -> Result<bool, CoreError> {
+        let mut enroll = self.enroll.lock();
+        let Some(rec) = enroll.live.get_mut(&txn) else {
+            return Err(Self::missing_txn_error(&enroll, txn, action));
+        };
+        if rec.shards.contains(&shard) {
+            return Ok(false);
+        }
+        let becoming_multi = rec.shards.len() == 1;
+        let already_multi = rec.shards.len() >= 2;
+        let first = rec.shards.first().copied();
+        rec.shards.push(shard);
+        if becoming_multi {
+            // The transaction spans shards from now on: mark it coordinated
+            // where it already lives, and entangle both shards so their
+            // edges are visible to escalated cycle checks.
+            let first = first.expect("becoming multi implies a first shard");
+            {
+                let mut kernel = self.lock_shard(first);
+                kernel.mark_coordinated(txn);
+                kernel.entangle();
+            }
+            let mut kernel = self.lock_shard(shard);
+            kernel.adopt(txn, true);
+            kernel.entangle();
+        } else if already_multi {
+            let mut kernel = self.lock_shard(shard);
+            kernel.adopt(txn, true);
+            kernel.entangle();
+        } else {
+            self.lock_shard(shard).adopt(txn, false);
+        }
+        Ok(true)
+    }
+
+    /// The current state of a transaction. `Blocked` wins over `Active`
+    /// across shards (a transaction blocks in at most one shard — it has
+    /// at most one in-flight request).
+    pub fn txn_state(&self, txn: TxnId) -> Option<TxnState> {
+        let shards = {
+            let enroll = self.enroll.lock();
+            if let Some(state) = enroll.finished.get(&txn) {
+                return Some(*state);
+            }
+            let rec = enroll.live.get(&txn)?;
+            if rec.shards.is_empty() {
+                return Some(TxnState::Active);
+            }
+            rec.shards.clone()
+        };
+        let mut state = TxnState::Active;
+        for s in shards {
+            match self.peek_shard(s).txn_state(txn) {
+                Some(TxnState::Blocked) => return Some(TxnState::Blocked),
+                Some(TxnState::PseudoCommitted) => state = TxnState::PseudoCommitted,
+                _ => {}
+            }
+        }
+        Some(state)
+    }
+
+    /// The union of the transaction's commit dependencies across shards.
+    pub fn commit_dependencies_of(&self, txn: TxnId) -> Vec<TxnId> {
+        let shards = {
+            let enroll = self.enroll.lock();
+            enroll.live.get(&txn).map(|r| r.shards.clone()).unwrap_or_default()
+        };
+        let mut deps: Vec<TxnId> = Vec::new();
+        for s in shards {
+            deps.extend(self.peek_shard(s).commit_dependencies_of(txn));
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        deps
+    }
+
+    /// Drain the side-effect events collected across shards (same
+    /// semantics as [`SchedulerKernel::drain_events`]).
+    ///
+    /// A thread that published events always drains after publishing, so
+    /// the lock-free empty fast path cannot strand an event: at worst a
+    /// *concurrent* caller misses events another thread is about to drain
+    /// anyway.
+    pub fn drain_events(&self) -> Vec<KernelEvent> {
+        if self.events_pending.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let mut events = self.events.lock();
+        self.events_pending.store(0, Ordering::Release);
+        std::mem::take(&mut *events)
+    }
+
+    /// Publish side-effect events for [`Self::drain_events`].
+    fn publish_events(&self, events: Vec<KernelEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        let mut buf = self.events.lock();
+        buf.extend(events);
+        self.events_pending
+            .store(buf.len() as u64, Ordering::Release);
+    }
+
+    // ------------------------------------------------------------------
+    // Requests
+    // ------------------------------------------------------------------
+
+    /// Request an operation by global object id (resolves the shard
+    /// through the directory; sessions use [`Self::request_located`] with
+    /// the handle-resident location instead).
+    pub fn request(
+        &self,
+        txn: TxnId,
+        object: ObjectId,
+        call: OpCall,
+    ) -> Result<RequestOutcome, CoreError> {
+        let loc = self
+            .object_loc(object)
+            .ok_or_else(|| CoreError::UnknownObject(format!("{object}")))?;
+        self.request_located(txn, loc, call)
+    }
+
+    /// Request an operation at a known location (enrolls on first touch).
+    pub fn request_located(
+        &self,
+        txn: TxnId,
+        loc: ObjectLoc,
+        call: OpCall,
+    ) -> Result<RequestOutcome, CoreError> {
+        self.ensure_enrolled(txn, loc.shard, "request an operation")?;
+        self.request_enrolled(txn, loc, call)
+    }
+
+    /// Request an operation for a transaction known to be enrolled in the
+    /// target shard (the session layer's cached fast path: no coordinator
+    /// lock, one shard lock).
+    pub fn request_enrolled(
+        &self,
+        txn: TxnId,
+        loc: ObjectLoc,
+        call: OpCall,
+    ) -> Result<RequestOutcome, CoreError> {
+        let (result, fx) = {
+            let mut kernel = self.lock_shard(loc.shard);
+            let result = kernel.request(txn, loc.local, call);
+            let fx = drain_fx(&mut kernel);
+            (result, fx)
+        };
+        let requester = match &result {
+            Ok(RequestOutcome::Aborted { reason }) => Some((txn, *reason)),
+            _ => None,
+        };
+        self.absorb(loc.shard, requester, fx);
+        result
+    }
+
+    /// Grouped submission across shards: the batch is split into maximal
+    /// same-shard runs, each classified by its shard in one pass
+    /// ([`SchedulerKernel::request_batch`]), strictly in submission order.
+    /// The documented partial-admission semantics of [`BatchOutcome`] are
+    /// preserved: indices in the outcome refer to the submitted batch, and
+    /// a blocking or aborting terminator hands back the unprocessed suffix
+    /// (including the untouched later runs).
+    pub fn request_batch(
+        &self,
+        txn: TxnId,
+        calls: Vec<BatchCall>,
+    ) -> Result<BatchOutcome, CoreError> {
+        let locs: Result<Vec<ObjectLoc>, CoreError> = calls
+            .iter()
+            .map(|bc| {
+                self.object_loc(bc.object)
+                    .ok_or_else(|| CoreError::UnknownObject(format!("{}", bc.object)))
+            })
+            .collect();
+        self.request_batch_located(txn, calls, locs?)
+    }
+
+    /// [`Self::request_batch`] with pre-resolved locations (`locs[i]` must
+    /// locate `calls[i].object`).
+    pub fn request_batch_located(
+        &self,
+        txn: TxnId,
+        calls: Vec<BatchCall>,
+        locs: Vec<ObjectLoc>,
+    ) -> Result<BatchOutcome, CoreError> {
+        self.request_batch_inner(txn, calls, locs, true)
+    }
+
+    /// [`Self::request_batch_located`] for a transaction the caller has
+    /// already enrolled in every touched shard (the session layer's cached
+    /// fast path — no coordinator lock per shard run).
+    pub fn request_batch_enrolled(
+        &self,
+        txn: TxnId,
+        calls: Vec<BatchCall>,
+        locs: Vec<ObjectLoc>,
+    ) -> Result<BatchOutcome, CoreError> {
+        self.request_batch_inner(txn, calls, locs, false)
+    }
+
+    fn request_batch_inner(
+        &self,
+        txn: TxnId,
+        mut calls: Vec<BatchCall>,
+        locs: Vec<ObjectLoc>,
+        enroll: bool,
+    ) -> Result<BatchOutcome, CoreError> {
+        assert_eq!(calls.len(), locs.len(), "one location per call");
+        if calls.is_empty() {
+            // Mirror the kernel's validation without enrolling anywhere.
+            let enroll = self.enroll.lock();
+            if !enroll.live.contains_key(&txn) {
+                return Err(Self::missing_txn_error(&enroll, txn, "submit a batch"));
+            }
+            return Ok(BatchOutcome {
+                executed: Vec::new(),
+                commit_deps: Vec::new(),
+                stopped: None,
+            });
+        }
+        let total = calls.len();
+        let mut executed = Vec::with_capacity(total);
+        let mut all_deps: Vec<TxnId> = Vec::new();
+        let mut start = 0usize;
+        while start < total {
+            let shard = locs[start].shard;
+            let mut end = start + 1;
+            while end < total && locs[end].shard == shard {
+                end += 1;
+            }
+            if enroll {
+                self.ensure_enrolled(txn, shard, "submit a batch")?;
+            }
+            // Localize the run by moving the payloads out of the original
+            // slots (the suffix after a stop is reconstructed below).
+            let run: Vec<BatchCall> = (start..end)
+                .map(|i| {
+                    BatchCall::new(
+                        locs[i].local,
+                        std::mem::replace(&mut calls[i].call, OpCall::nullary(0)),
+                    )
+                })
+                .collect();
+            let (result, fx) = {
+                let mut kernel = self.lock_shard(shard);
+                let result = kernel.request_batch(txn, run);
+                let fx = drain_fx(&mut kernel);
+                (result, fx)
+            };
+            let outcome = match result {
+                Ok(o) => o,
+                Err(e) => {
+                    self.absorb(shard, None, fx);
+                    return Err(e);
+                }
+            };
+            executed.extend(outcome.executed);
+            all_deps.extend(outcome.commit_deps);
+            let stopped = match outcome.stopped {
+                None => {
+                    self.absorb(shard, None, fx);
+                    start = end;
+                    continue;
+                }
+                Some(s) => s,
+            };
+            all_deps.sort_unstable();
+            all_deps.dedup();
+            let (index, rest_local, requester, stop) = match stopped {
+                BatchStop::Blocked {
+                    index,
+                    waiting_on,
+                    rest,
+                } => {
+                    let g = start + index;
+                    (g, rest, None, BatchStop::Blocked {
+                        index: g,
+                        waiting_on,
+                        rest: Vec::new(),
+                    })
+                }
+                BatchStop::Aborted { index, reason, rest } => {
+                    let g = start + index;
+                    (g, rest, Some((txn, reason)), BatchStop::Aborted {
+                        index: g,
+                        reason,
+                        rest: Vec::new(),
+                    })
+                }
+            };
+            // Re-globalize the run's unprocessed suffix, then append the
+            // untouched later runs.
+            let mut rest_out: Vec<BatchCall> = rest_local
+                .into_iter()
+                .enumerate()
+                .map(|(i, bc)| BatchCall::new(calls[index + 1 + i].object, bc.call))
+                .collect();
+            rest_out.extend(calls.drain(end..));
+            self.absorb(shard, requester, fx);
+            let stop = match stop {
+                BatchStop::Blocked { index, waiting_on, .. } => BatchStop::Blocked {
+                    index,
+                    waiting_on,
+                    rest: rest_out,
+                },
+                BatchStop::Aborted { index, reason, .. } => BatchStop::Aborted {
+                    index,
+                    reason,
+                    rest: rest_out,
+                },
+            };
+            return Ok(BatchOutcome {
+                executed,
+                commit_deps: all_deps,
+                stopped: Some(stop),
+            });
+        }
+        all_deps.sort_unstable();
+        all_deps.dedup();
+        Ok(BatchOutcome {
+            executed,
+            commit_deps: all_deps,
+            stopped: None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Termination
+    // ------------------------------------------------------------------
+
+    /// Commit a transaction. Single-shard transactions take the unsharded
+    /// fast path inside their shard; multi-shard transactions run the
+    /// cross-shard vote described in the module documentation.
+    pub fn commit(&self, txn: TxnId) -> Result<CommitOutcome, CoreError> {
+        let enrolled: Vec<u32> = {
+            let enroll = self.enroll.lock();
+            match enroll.live.get(&txn) {
+                Some(rec) => {
+                    if rec.pseudo {
+                        return Err(CoreError::InvalidState {
+                            txn,
+                            state: TxnState::PseudoCommitted,
+                            action: "commit",
+                        });
+                    }
+                    rec.shards.clone()
+                }
+                None => return Err(Self::missing_txn_error(&enroll, txn, "commit")),
+            }
+        };
+        match enrolled.len() {
+            0 => {
+                // The transaction never touched an object: a trivially
+                // empty commit.
+                if self.claim(txn, TermFate::Committed).is_some() {
+                    self.count_termination(TermFate::Committed);
+                }
+                Ok(CommitOutcome::Committed)
+            }
+            1 => {
+                let shard = enrolled[0];
+                let (result, fx) = {
+                    let mut kernel = self.lock_shard(shard);
+                    let result = kernel.commit(txn);
+                    let fx = drain_fx(&mut kernel);
+                    (result, fx)
+                };
+                match &result {
+                    Ok(CommitOutcome::Committed) => {
+                        if self.claim(txn, TermFate::Committed).is_some() {
+                            self.count_termination(TermFate::Committed);
+                        }
+                    }
+                    Ok(CommitOutcome::PseudoCommitted { .. }) => {
+                        if let Some(rec) = self.enroll.lock().live.get_mut(&txn) {
+                            rec.pseudo = true;
+                        }
+                        self.lifecycle.pseudo_commits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {}
+                }
+                self.absorb(shard, None, fx);
+                result
+            }
+            _ => self.commit_multi(txn, &enrolled),
+        }
+    }
+
+    fn commit_multi(&self, txn: TxnId, enrolled: &[u32]) -> Result<CommitOutcome, CoreError> {
+        let mut fxs: Vec<(u32, ShardFx)> = Vec::new();
+        let outcome = {
+            let _termination = self.termination.lock();
+            // Phase 1: collect per-shard votes (local commit-dependency
+            // out-neighbours). The transaction stays Active throughout —
+            // it is coordinated, so it can neither be picked as a cycle
+            // victim nor be terminated by anyone but this (its own
+            // session's) thread.
+            let mut deps: Vec<TxnId> = Vec::new();
+            for &s in enrolled {
+                let kernel = self.peek_shard(s);
+                match kernel.txn_state(txn) {
+                    Some(TxnState::Active) => deps.extend(kernel.commit_dependencies_of(txn)),
+                    Some(state) => {
+                        return Err(CoreError::InvalidState {
+                            txn,
+                            state,
+                            action: "commit",
+                        })
+                    }
+                    None => return Err(CoreError::UnknownTransaction(txn)),
+                }
+            }
+            deps.sort_unstable();
+            deps.dedup();
+            if deps.is_empty() {
+                // Phase 2a: unanimous — apply the actual commit shard by
+                // shard (the termination lock keeps the per-shard commit
+                // orders of concurrent multi-shard commits consistent).
+                for &s in enrolled {
+                    let mut kernel = self.lock_shard(s);
+                    kernel.commit_coordinated(txn);
+                    let fx = drain_fx(&mut kernel);
+                    drop(kernel);
+                    fxs.push((s, fx));
+                }
+                if self.claim(txn, TermFate::Committed).is_some() {
+                    self.count_termination(TermFate::Committed);
+                }
+                CommitOutcome::Committed
+            } else {
+                // Phase 2b: outstanding dependencies — pseudo-commit in
+                // every shard; re-voted when a shard's local out-degree
+                // drops to zero.
+                for &s in enrolled {
+                    let mut kernel = self.lock_shard(s);
+                    let marked = kernel.pseudo_commit_coordinated(txn);
+                    debug_assert!(marked, "coordinated pseudo-commit of a non-active txn");
+                }
+                if let Some(rec) = self.enroll.lock().live.get_mut(&txn) {
+                    rec.pseudo = true;
+                }
+                self.lifecycle.pseudo_commits.fetch_add(1, Ordering::Relaxed);
+                CommitOutcome::PseudoCommitted { waiting_on: deps }
+            }
+        };
+        for (shard, fx) in fxs {
+            self.absorb(shard, None, fx);
+        }
+        Ok(outcome)
+    }
+
+    /// Explicitly abort an active or blocked transaction (all shards).
+    pub fn abort(&self, txn: TxnId) -> Result<(), CoreError> {
+        let enrolled: Vec<u32> = {
+            let enroll = self.enroll.lock();
+            match enroll.live.get(&txn) {
+                Some(rec) => {
+                    if rec.pseudo {
+                        return Err(CoreError::InvalidState {
+                            txn,
+                            state: TxnState::PseudoCommitted,
+                            action: "abort",
+                        });
+                    }
+                    rec.shards.clone()
+                }
+                None => return Err(Self::missing_txn_error(&enroll, txn, "abort")),
+            }
+        };
+        match enrolled.len() {
+            0 => {
+                if self.claim(txn, TermFate::Aborted(AbortReason::Explicit)).is_some() {
+                    self.count_termination(TermFate::Aborted(AbortReason::Explicit));
+                }
+                Ok(())
+            }
+            1 => {
+                let shard = enrolled[0];
+                let (result, fx) = {
+                    let mut kernel = self.lock_shard(shard);
+                    let result = kernel.abort(txn);
+                    let fx = drain_fx(&mut kernel);
+                    (result, fx)
+                };
+                if result.is_ok()
+                    && self.claim(txn, TermFate::Aborted(AbortReason::Explicit)).is_some()
+                {
+                    self.count_termination(TermFate::Aborted(AbortReason::Explicit));
+                }
+                self.absorb(shard, None, fx);
+                result
+            }
+            _ => {
+                let mut fxs: Vec<(u32, ShardFx)> = Vec::new();
+                {
+                    let _termination = self.termination.lock();
+                    for &s in &enrolled {
+                        let mut kernel = self.lock_shard(s);
+                        kernel.abort_coordinated(txn, AbortReason::Explicit);
+                        let fx = drain_fx(&mut kernel);
+                        drop(kernel);
+                        fxs.push((s, fx));
+                    }
+                }
+                if self.claim(txn, TermFate::Aborted(AbortReason::Explicit)).is_some() {
+                    self.count_termination(TermFate::Aborted(AbortReason::Explicit));
+                }
+                for (shard, fx) in fxs {
+                    self.absorb(shard, None, fx);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Coordination internals
+    // ------------------------------------------------------------------
+
+    /// Claim a termination: atomically move the transaction from the live
+    /// to the finished map. Exactly one caller wins; it is responsible for
+    /// the lifecycle counters and for completing the termination in the
+    /// transaction's other shards.
+    fn claim(&self, txn: TxnId, fate: TermFate) -> Option<Vec<u32>> {
+        let mut enroll = self.enroll.lock();
+        let rec = enroll.live.remove(&txn)?;
+        let state = match fate {
+            TermFate::Committed => TxnState::Committed,
+            TermFate::Aborted(_) => TxnState::Aborted,
+        };
+        enroll.finished.insert(txn, state);
+        Some(rec.shards)
+    }
+
+    fn count_termination(&self, fate: TermFate) {
+        let counter = match fate {
+            TermFate::Committed => &self.lifecycle.commits,
+            TermFate::Aborted(AbortReason::DeadlockCycle) => &self.lifecycle.aborts_deadlock,
+            TermFate::Aborted(AbortReason::CommitDependencyCycle) => {
+                &self.lifecycle.aborts_commit_cycle
+            }
+            TermFate::Aborted(AbortReason::VictimSelected) => &self.lifecycle.aborts_victim,
+            TermFate::Aborted(AbortReason::Explicit) => &self.lifecycle.aborts_explicit,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Process the side effects of a shard pass to fixpoint: forward the
+    /// events, complete cross-shard terminations (a kernel only ever
+    /// terminates a transaction locally), and re-run commit votes for
+    /// coordinated transactions whose local dependencies cleared.
+    fn absorb(&self, origin: u32, requester: Option<(TxnId, AbortReason)>, fx: ShardFx) {
+        // Fast path: nothing happened (no events, no coordination, no
+        // requester abort) — the common case for every commuting request.
+        if requester.is_none() && fx.events.is_empty() && fx.ready.is_empty() {
+            return;
+        }
+        let mut pending: Vec<(u32, ShardFx)> = vec![(origin, fx)];
+        let mut terminations: Vec<(TxnId, TermFate, u32)> = Vec::new();
+        let mut ready: Vec<TxnId> = Vec::new();
+        if let Some((txn, reason)) = requester {
+            terminations.push((txn, TermFate::Aborted(reason), origin));
+        }
+        loop {
+            while let Some((shard, fx)) = pending.pop() {
+                for event in &fx.events {
+                    match event {
+                        KernelEvent::Aborted { txn, reason } => {
+                            terminations.push((*txn, TermFate::Aborted(*reason), shard));
+                        }
+                        KernelEvent::Committed { txn } => {
+                            terminations.push((*txn, TermFate::Committed, shard));
+                        }
+                        KernelEvent::Unblocked {
+                            txn,
+                            outcome: RequestOutcome::Aborted { reason },
+                        } => {
+                            terminations.push((*txn, TermFate::Aborted(*reason), shard));
+                        }
+                        KernelEvent::Unblocked { .. } => {}
+                    }
+                }
+                ready.extend(fx.ready);
+                self.publish_events(fx.events);
+            }
+            if let Some((txn, fate, origin_shard)) = terminations.pop() {
+                let Some(shards) = self.claim(txn, fate) else {
+                    continue; // already completed by another path
+                };
+                self.count_termination(fate);
+                if let TermFate::Aborted(reason) = fate {
+                    // Aborts of multi-shard transactions originate in one
+                    // shard (the requester's own thread, or a retry in the
+                    // shard holding its pending request); complete them in
+                    // the other shards.
+                    for s in shards {
+                        if s == origin_shard {
+                            continue;
+                        }
+                        let mut kernel = self.lock_shard(s);
+                        if kernel.abort_coordinated(txn, reason) {
+                            let fx = drain_fx(&mut kernel);
+                            drop(kernel);
+                            pending.push((s, fx));
+                        }
+                    }
+                }
+                continue;
+            }
+            if let Some(txn) = ready.pop() {
+                pending.extend(self.vote(txn));
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Re-run the commit vote for a coordinated pseudo-committed
+    /// transaction; on a unanimous (empty) dependency union, apply its
+    /// actual commit shard by shard. Returns the side effects of the
+    /// applications.
+    fn vote(&self, txn: TxnId) -> Vec<(u32, ShardFx)> {
+        let _termination = self.termination.lock();
+        let shards: Vec<u32> = {
+            let enroll = self.enroll.lock();
+            match enroll.live.get(&txn) {
+                Some(rec) if rec.pseudo => rec.shards.clone(),
+                _ => return Vec::new(), // already terminated or not pseudo yet
+            }
+        };
+        for &s in &shards {
+            if !self.peek_shard(s).commit_dependencies_of(txn).is_empty() {
+                return Vec::new(); // still waiting; a later settle re-votes
+            }
+        }
+        let mut fxs = Vec::new();
+        for &s in &shards {
+            let mut kernel = self.lock_shard(s);
+            kernel.commit_coordinated(txn);
+            let fx = drain_fx(&mut kernel);
+            drop(kernel);
+            fxs.push((s, fx));
+        }
+        if self.claim(txn, TermFate::Committed).is_some() {
+            self.count_termination(TermFate::Committed);
+            self.publish_events(vec![KernelEvent::Committed { txn }]);
+        }
+        fxs
+    }
+
+    // ------------------------------------------------------------------
+    // Observability and validation
+    // ------------------------------------------------------------------
+
+    /// Overwrite the summed transaction-lifecycle counters with the
+    /// coordinator's globally deduplicated counts.
+    fn apply_lifecycle(&self, aggregate: &mut KernelStats) {
+        aggregate.transactions_begun = self.lifecycle.begun.load(Ordering::Relaxed);
+        aggregate.commits = self.lifecycle.commits.load(Ordering::Relaxed);
+        aggregate.pseudo_commits = self.lifecycle.pseudo_commits.load(Ordering::Relaxed);
+        aggregate.aborts_deadlock = self.lifecycle.aborts_deadlock.load(Ordering::Relaxed);
+        aggregate.aborts_commit_cycle =
+            self.lifecycle.aborts_commit_cycle.load(Ordering::Relaxed);
+        aggregate.aborts_victim = self.lifecycle.aborts_victim.load(Ordering::Relaxed);
+        aggregate.aborts_explicit = self.lifecycle.aborts_explicit.load(Ordering::Relaxed);
+    }
+
+    /// Globally deduplicated counters: operation-level counters summed
+    /// across shards, transaction-lifecycle counters from the coordinator.
+    pub fn stats(&self) -> KernelStats {
+        let mut aggregate = KernelStats::default();
+        for cell in &self.shards {
+            aggregate.accumulate(cell.kernel.lock().stats());
+        }
+        self.apply_lifecycle(&mut aggregate);
+        aggregate
+    }
+
+    /// The aggregate plus the per-shard breakdown. The aggregate's
+    /// operation-level counters are computed from the very per-shard
+    /// readings reported alongside (one lock pass), so the breakdown
+    /// always sums to the aggregate even while workers are running.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let shards: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| ShardStats {
+                shard: i,
+                lock_acquisitions: cell.lock_acquisitions.load(Ordering::Relaxed),
+                stats: cell.kernel.lock().stats().clone(),
+            })
+            .collect();
+        let mut aggregate = KernelStats::default();
+        for shard in &shards {
+            aggregate.accumulate(&shard.stats);
+        }
+        self.apply_lifecycle(&mut aggregate);
+        StatsSnapshot {
+            aggregate,
+            shards,
+            global_cycle_checks: self.global.cycle_checks(),
+        }
+    }
+
+    /// Cycle checks across all local graphs plus the escalation graph.
+    pub fn cycle_checks(&self) -> u64 {
+        let local: u64 = self
+            .shards
+            .iter()
+            .map(|cell| cell.kernel.lock().cycle_checks())
+            .sum();
+        local + self.global.cycle_checks()
+    }
+
+    /// Check every shard's internal invariants plus the escalation graph's
+    /// acyclicity.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, cell) in self.shards.iter().enumerate() {
+            cell.kernel
+                .lock()
+                .check_invariants()
+                .map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        if self.global.has_cycle() {
+            return Err("cross-shard escalation graph contains a cycle".to_owned());
+        }
+        Ok(())
+    }
+
+    /// Run the commit-order serializability checker on every shard
+    /// (requires history recording).
+    pub fn verify_serializable(&self) -> Result<(), String> {
+        for (i, cell) in self.shards.iter().enumerate() {
+            let kernel = cell.kernel.lock();
+            crate::history::verify_commit_order_serializable(&kernel)
+                .map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Run the commit-order dependency checker on every shard.
+    pub fn verify_commit_dependencies(&self) -> Result<(), String> {
+        for (i, cell) in self.shards.iter().enumerate() {
+            let kernel = cell.kernel.lock();
+            crate::history::verify_commit_order_respects_dependencies(&kernel)
+                .map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbcc_adt::{AdtOp, Counter, CounterOp, Stack, StackOp, Value};
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        for shards in [1usize, 2, 7, 8] {
+            for name in ["a", "jobs", "obj123", ""] {
+                let s = shard_of_name(name, shards);
+                assert_eq!(s, shard_of_name(name, shards), "deterministic");
+                assert!((s as usize) < shards);
+            }
+        }
+        // With one shard everything routes to shard 0.
+        assert_eq!(shard_of_name("anything", 1), 0);
+    }
+
+    #[test]
+    fn config_builder_and_env_default() {
+        let config = DatabaseConfig::new(SchedulerConfig::default());
+        assert!(config.shards >= 1);
+        let config = config.with_shards(4);
+        assert_eq!(config.shards, 4);
+        assert_eq!(DatabaseConfig::default().scheduler, SchedulerConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = DatabaseConfig::new(SchedulerConfig::default()).with_shards(0);
+    }
+
+    #[test]
+    fn registration_routes_by_name_hash_and_ids_stay_dense() {
+        let kernel = ShardedKernel::new(
+            DatabaseConfig::new(SchedulerConfig::default()).with_shards(4),
+        );
+        for i in 0..16 {
+            let name = format!("obj{i}");
+            let (id, loc) = kernel.register(name.clone(), Counter::new()).unwrap();
+            assert_eq!(id, ObjectId(i as u32), "global ids are dense");
+            assert_eq!(loc.shard, shard_of_name(&name, 4));
+            assert_eq!(kernel.object_id(&name), Some(id));
+            assert_eq!(kernel.object_loc(id), Some(loc));
+        }
+        assert_eq!(kernel.object_count(), 16);
+        assert!(kernel.register("obj0", Counter::new()).is_err(), "duplicate name");
+        assert!(kernel.object_loc(ObjectId(99)).is_none());
+    }
+
+    #[test]
+    fn opless_transaction_commits_and_counts_once() {
+        let kernel = ShardedKernel::new(DatabaseConfig::default());
+        let t = kernel.begin();
+        assert_eq!(kernel.txn_state(t), Some(TxnState::Active));
+        assert_eq!(kernel.commit(t).unwrap(), CommitOutcome::Committed);
+        assert_eq!(kernel.txn_state(t), Some(TxnState::Committed));
+        let stats = kernel.stats();
+        assert_eq!(stats.transactions_begun, 1);
+        assert_eq!(stats.commits, 1);
+        // Terminated transactions reject further actions with the same
+        // errors the unsharded kernel produces.
+        assert!(matches!(
+            kernel.commit(t),
+            Err(CoreError::InvalidState { state: TxnState::Committed, .. })
+        ));
+        assert!(matches!(
+            kernel.abort(t),
+            Err(CoreError::InvalidState { .. })
+        ));
+        assert!(matches!(
+            kernel.commit(TxnId(42)),
+            Err(CoreError::UnknownTransaction(_))
+        ));
+    }
+
+    #[test]
+    fn single_shard_requests_never_touch_the_escalation_graph() {
+        let kernel = ShardedKernel::new(
+            DatabaseConfig::new(SchedulerConfig::default()).with_shards(4),
+        );
+        let (a, _) = kernel.register("a", Stack::new()).unwrap();
+        let t1 = kernel.begin();
+        let t2 = kernel.begin();
+        assert!(kernel
+            .request(t1, a, StackOp::Push(Value::Int(1)).to_call())
+            .unwrap()
+            .is_executed());
+        // Recoverable push: a commit-dep edge, entirely intra-shard.
+        assert!(kernel
+            .request(t2, a, StackOp::Push(Value::Int(2)).to_call())
+            .unwrap()
+            .is_executed());
+        let snapshot = kernel.stats_snapshot();
+        assert_eq!(snapshot.aggregate.escalated_edges, 0);
+        assert_eq!(snapshot.aggregate.escalated_checks, 0);
+        assert_eq!(snapshot.global_cycle_checks, 0);
+        assert!(snapshot.aggregate.graph_edges >= 1);
+        assert_eq!(snapshot.shards.len(), 4);
+        let _ = kernel.commit(t1).unwrap();
+        let _ = kernel.commit(t2).unwrap();
+        kernel.check_invariants().unwrap();
+        assert!(format!("{kernel:?}").contains("ShardedKernel"));
+    }
+
+    #[test]
+    fn stats_snapshot_reports_per_shard_lock_traffic() {
+        let kernel = ShardedKernel::new(
+            DatabaseConfig::new(SchedulerConfig::default()).with_shards(2),
+        );
+        // Find names on both shards.
+        let mut names: Vec<Option<String>> = vec![None, None];
+        let mut i = 0;
+        while names.iter().any(Option::is_none) {
+            let candidate = format!("n{i}");
+            let shard = shard_of_name(&candidate, 2) as usize;
+            if names[shard].is_none() {
+                names[shard] = Some(candidate);
+            }
+            i += 1;
+        }
+        let (a, loc_a) = kernel
+            .register(names[0].clone().unwrap(), Counter::new())
+            .unwrap();
+        let (b, loc_b) = kernel
+            .register(names[1].clone().unwrap(), Counter::new())
+            .unwrap();
+        assert_ne!(loc_a.shard, loc_b.shard);
+        let t = kernel.begin();
+        assert!(kernel.request(t, a, CounterOp::Increment(1).to_call()).unwrap().is_executed());
+        assert!(kernel.request(t, b, CounterOp::Increment(1).to_call()).unwrap().is_executed());
+        let _ = kernel.commit(t).unwrap();
+        let snapshot = kernel.stats_snapshot();
+        assert!(snapshot.shards[0].lock_acquisitions >= 1);
+        assert!(snapshot.shards[1].lock_acquisitions >= 1);
+        assert_eq!(snapshot.aggregate.operations_executed, 2);
+        assert_eq!(snapshot.aggregate.commits, 1);
+        // Per-shard lifecycle counters count local applications: the
+        // multi-shard commit shows up in both kernels.
+        let per_shard_commits: u64 =
+            snapshot.shards.iter().map(|s| s.stats.commits).sum();
+        assert_eq!(per_shard_commits, 2);
+        assert!(!snapshot.shard_summary().is_empty());
+    }
+}

@@ -50,9 +50,44 @@ pub struct KernelStats {
     pub aborts_victim: u64,
     /// Explicit, application-requested aborts.
     pub aborts_explicit: u64,
+    /// Dependency-graph edges added to this kernel's **local** graph
+    /// (wait-for and commit-dependency combined, post-deduplication).
+    pub graph_edges: u64,
+    /// Edges that were additionally mirrored into the cross-shard
+    /// escalation graph because the kernel was entangled at insertion time
+    /// (always zero for an unsharded kernel; see [`crate::shard`]).
+    pub escalated_edges: u64,
+    /// Cycle checks that had to consult the cross-shard escalation graph
+    /// after the local graph found no cycle (always zero for an unsharded
+    /// kernel).
+    pub escalated_checks: u64,
 }
 
 impl KernelStats {
+    /// Add every counter of `other` into `self` (used to aggregate
+    /// per-shard kernels into one database-wide view; the sharding layer
+    /// afterwards overwrites the transaction-lifecycle counters with its
+    /// own globally deduplicated counts).
+    pub fn accumulate(&mut self, other: &KernelStats) {
+        self.transactions_begun += other.transactions_begun;
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.batched_calls += other.batched_calls;
+        self.operations_executed += other.operations_executed;
+        self.blocks += other.blocks;
+        self.unblocks += other.unblocks;
+        self.commit_dependencies += other.commit_dependencies;
+        self.commits += other.commits;
+        self.pseudo_commits += other.pseudo_commits;
+        self.aborts_deadlock += other.aborts_deadlock;
+        self.aborts_commit_cycle += other.aborts_commit_cycle;
+        self.aborts_victim += other.aborts_victim;
+        self.aborts_explicit += other.aborts_explicit;
+        self.graph_edges += other.graph_edges;
+        self.escalated_edges += other.escalated_edges;
+        self.escalated_checks += other.escalated_checks;
+    }
+
     /// Total aborts of every kind.
     pub fn total_aborts(&self) -> u64 {
         self.aborts_deadlock + self.aborts_commit_cycle + self.aborts_victim + self.aborts_explicit
@@ -104,9 +139,113 @@ impl KernelStats {
     }
 }
 
+/// One shard's contribution to a [`StatsSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Times this shard's kernel lock was acquired by the request,
+    /// batching, termination or coordination paths.
+    pub lock_acquisitions: u64,
+    /// The shard kernel's raw counters. Transaction-lifecycle counters
+    /// (`transactions_begun`, `commits`, aborts, …) count **local
+    /// applications**: a transaction enrolled in several shards contributes
+    /// to each of them, so their per-shard sum can exceed the aggregate.
+    pub stats: KernelStats,
+}
+
+/// Database-wide counters with a per-shard breakdown, produced by
+/// [`crate::shard::ShardedKernel::stats_snapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Globally deduplicated counters: operation-level counters are summed
+    /// across shards, transaction-lifecycle counters come from the
+    /// cross-shard coordinator (each transaction counted exactly once, no
+    /// matter how many shards it touched).
+    pub aggregate: KernelStats,
+    /// Per-shard breakdown, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Cycle checks performed on the cross-shard escalation graph (the
+    /// union of all entangled shards' edges). Always zero with one shard.
+    pub global_cycle_checks: u64,
+}
+
+impl StatsSnapshot {
+    /// Edges that stayed purely shard-local (never mirrored into the
+    /// escalation graph) across all shards.
+    pub fn local_only_edges(&self) -> u64 {
+        self.aggregate.graph_edges - self.aggregate.escalated_edges
+    }
+
+    /// One-line human-readable summary of the sharding behaviour.
+    pub fn shard_summary(&self) -> String {
+        let locks: Vec<String> = self
+            .shards
+            .iter()
+            .map(|s| s.lock_acquisitions.to_string())
+            .collect();
+        format!(
+            "shards={} locks=[{}] edges(local-only={}, escalated={}) escalated-checks={} global-cycle-checks={}",
+            self.shards.len(),
+            locks.join(","),
+            self.local_only_edges(),
+            self.aggregate.escalated_edges,
+            self.aggregate.escalated_checks,
+            self.global_cycle_checks,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn accumulate_sums_every_counter() {
+        let mut a = KernelStats::default();
+        let mut b = KernelStats::default();
+        a.requests = 3;
+        a.graph_edges = 2;
+        b.requests = 4;
+        b.commits = 1;
+        b.escalated_edges = 5;
+        a.accumulate(&b);
+        assert_eq!(a.requests, 7);
+        assert_eq!(a.commits, 1);
+        assert_eq!(a.graph_edges, 2);
+        assert_eq!(a.escalated_edges, 5);
+    }
+
+    #[test]
+    fn snapshot_summary_and_local_edges() {
+        let snap = StatsSnapshot {
+            aggregate: KernelStats {
+                graph_edges: 10,
+                escalated_edges: 4,
+                escalated_checks: 2,
+                ..KernelStats::default()
+            },
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    lock_acquisitions: 7,
+                    stats: KernelStats::default(),
+                },
+                ShardStats {
+                    shard: 1,
+                    lock_acquisitions: 9,
+                    stats: KernelStats::default(),
+                },
+            ],
+            global_cycle_checks: 3,
+        };
+        assert_eq!(snap.local_only_edges(), 6);
+        let text = snap.shard_summary();
+        assert!(text.contains("shards=2"));
+        assert!(text.contains("locks=[7,9]"));
+        assert!(text.contains("escalated=4"));
+        assert!(text.contains("global-cycle-checks=3"));
+    }
 
     #[test]
     fn totals_and_ratios() {

@@ -132,6 +132,12 @@ pub struct TxnRecord {
     pub times_blocked: u64,
     /// Commit order index, assigned at actual commit.
     pub commit_index: Option<u64>,
+    /// `true` when the transaction's termination is driven by an external
+    /// cross-shard coordinator (see [`crate::shard`]): the kernel must not
+    /// cascade-commit it on its own (its commit dependencies may span other
+    /// shards) and must never select it as a cycle victim (another shard
+    /// could be voting on its commit concurrently).
+    pub coordinated: bool,
 }
 
 impl TxnRecord {
@@ -145,6 +151,7 @@ impl TxnRecord {
             pending: None,
             times_blocked: 0,
             commit_index: None,
+            coordinated: false,
         }
     }
 

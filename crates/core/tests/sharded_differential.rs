@@ -1,0 +1,644 @@
+//! Differential tests for the sharded kernel: a [`ShardedKernel`] driven
+//! with any shard count must be **behaviourally equivalent** to a single
+//! [`SchedulerKernel`] fed the same schedule — same per-operation results,
+//! same blocking/abort decisions, same transaction fates, same final
+//! committed object states, matching statistics (sharding bookkeeping
+//! aside), and serializable executions on every shard.
+//!
+//! Both systems assign dense transaction ids in `begin` order and dense
+//! (global) object ids in registration order, so traces are directly
+//! comparable. The driver mirrors `batch_differential.rs`: chunked
+//! scripts, round-robin turns, blocked transactions parked until the
+//! kernel settles them.
+//!
+//! The property runs under `VictimPolicy::Requester` (the paper's
+//! Figure-2 choice): under `Youngest` the sharded kernel deliberately
+//! narrows victim selection (multi-shard transactions are never chosen on
+//! another session's behalf), which is a documented divergence, not a bug.
+
+use proptest::prelude::*;
+use sbcc_adt::{
+    AdtOp, Counter, CounterOp, OpCall, Page, PageOp, Set, SetOp, Stack, StackOp, TableObject,
+    TableOp, Value,
+};
+use sbcc_core::{
+    shard_of_name, BatchCall, BatchStop, ConflictPolicy, DatabaseConfig, KernelEvent,
+    KernelStats, ObjectId, RequestOutcome, SchedulerConfig, SchedulerKernel, ShardedKernel,
+    TxnId, TxnState,
+};
+use std::collections::{HashMap, VecDeque};
+
+const N_OBJECTS: usize = 5;
+
+/// Either kernel behind one driver interface.
+enum Driver {
+    Single(SchedulerKernel),
+    Sharded(ShardedKernel),
+}
+
+impl Driver {
+    fn new(config: SchedulerConfig, shards: Option<usize>) -> Self {
+        match shards {
+            None => Driver::Single(SchedulerKernel::new(config)),
+            Some(n) => Driver::Sharded(ShardedKernel::new(DatabaseConfig {
+                scheduler: config,
+                shards: n,
+            })),
+        }
+    }
+
+    fn register_objects(&mut self) -> Vec<ObjectId> {
+        // Same names, same order => same dense global ids in both systems.
+        match self {
+            Driver::Single(k) => vec![
+                k.register("stack", Stack::new()).unwrap(),
+                k.register("set", Set::new()).unwrap(),
+                k.register("counter", Counter::new()).unwrap(),
+                k.register("table", TableObject::new()).unwrap(),
+                k.register("page", Page::new()).unwrap(),
+            ],
+            Driver::Sharded(k) => vec![
+                k.register("stack", Stack::new()).unwrap().0,
+                k.register("set", Set::new()).unwrap().0,
+                k.register("counter", Counter::new()).unwrap().0,
+                k.register("table", TableObject::new()).unwrap().0,
+                k.register("page", Page::new()).unwrap().0,
+            ],
+        }
+    }
+
+    fn begin(&mut self) -> TxnId {
+        match self {
+            Driver::Single(k) => k.begin(),
+            Driver::Sharded(k) => k.begin(),
+        }
+    }
+
+    fn request(&mut self, txn: TxnId, object: ObjectId, call: OpCall) -> RequestOutcome {
+        match self {
+            Driver::Single(k) => k.request(txn, object, call).unwrap(),
+            Driver::Sharded(k) => k.request(txn, object, call).unwrap(),
+        }
+    }
+
+    fn request_batch(
+        &mut self,
+        txn: TxnId,
+        calls: Vec<BatchCall>,
+    ) -> sbcc_core::BatchOutcome {
+        match self {
+            Driver::Single(k) => k.request_batch(txn, calls).unwrap(),
+            Driver::Sharded(k) => k.request_batch(txn, calls).unwrap(),
+        }
+    }
+
+    fn commit(&mut self, txn: TxnId) -> sbcc_core::CommitOutcome {
+        match self {
+            Driver::Single(k) => k.commit(txn).unwrap(),
+            Driver::Sharded(k) => k.commit(txn).unwrap(),
+        }
+    }
+
+    fn drain_events(&mut self) -> Vec<KernelEvent> {
+        match self {
+            Driver::Single(k) => k.drain_events(),
+            Driver::Sharded(k) => k.drain_events(),
+        }
+    }
+
+    fn txn_state(&self, txn: TxnId) -> Option<TxnState> {
+        match self {
+            Driver::Single(k) => k.txn_state(txn),
+            Driver::Sharded(k) => k.txn_state(txn),
+        }
+    }
+
+    fn stats(&self) -> KernelStats {
+        match self {
+            Driver::Single(k) => k.stats().clone(),
+            Driver::Sharded(k) => k.stats(),
+        }
+    }
+
+    fn committed_state_eq(&self, object: ObjectId, other: &Driver) -> bool {
+        let Driver::Single(single) = other else {
+            panic!("comparison baseline must be the single kernel");
+        };
+        let baseline = single
+            .object_committed_state(object)
+            .expect("object registered");
+        match self {
+            Driver::Single(k) => k
+                .object_committed_state(object)
+                .expect("object registered")
+                .state_eq(baseline),
+            Driver::Sharded(k) => k
+                .with_object_committed(object, |state| state.state_eq(baseline))
+                .expect("object registered"),
+        }
+    }
+
+    fn validate(&mut self) -> Result<(), String> {
+        match self {
+            Driver::Single(k) => {
+                k.check_invariants()?;
+                sbcc_core::verify_commit_order_serializable(k)?;
+                sbcc_core::verify_commit_order_respects_dependencies(k)
+            }
+            Driver::Sharded(k) => {
+                k.check_invariants()?;
+                k.verify_serializable()?;
+                k.verify_commit_dependencies()
+            }
+        }
+    }
+}
+
+fn arb_call_for(object: usize) -> BoxedStrategy<OpCall> {
+    match object {
+        0 => prop_oneof![
+            (0i64..5).prop_map(|v| StackOp::Push(Value::Int(v)).to_call()),
+            Just(StackOp::Pop.to_call()),
+            Just(StackOp::Top.to_call()),
+        ]
+        .boxed(),
+        1 => prop_oneof![
+            (0i64..4).prop_map(|v| SetOp::Insert(Value::Int(v)).to_call()),
+            (0i64..4).prop_map(|v| SetOp::Delete(Value::Int(v)).to_call()),
+            (0i64..4).prop_map(|v| SetOp::Member(Value::Int(v)).to_call()),
+        ]
+        .boxed(),
+        2 => prop_oneof![
+            (1i64..5).prop_map(|v| CounterOp::Increment(v).to_call()),
+            (1i64..5).prop_map(|v| CounterOp::Decrement(v).to_call()),
+            Just(CounterOp::Read.to_call()),
+        ]
+        .boxed(),
+        3 => prop_oneof![
+            (0i64..4, 0i64..50)
+                .prop_map(|(k, v)| TableOp::Insert(Value::Int(k), Value::Int(v)).to_call()),
+            (0i64..4).prop_map(|k| TableOp::Delete(Value::Int(k)).to_call()),
+            (0i64..4).prop_map(|k| TableOp::Lookup(Value::Int(k)).to_call()),
+        ]
+        .boxed(),
+        _ => prop_oneof![
+            Just(PageOp::Read.to_call()),
+            (0i64..10).prop_map(|v| PageOp::Write(Value::Int(v)).to_call()),
+        ]
+        .boxed(),
+    }
+}
+
+fn arb_chunk() -> impl Strategy<Value = Vec<(usize, OpCall)>> {
+    proptest::collection::vec(
+        (0..N_OBJECTS).prop_flat_map(|o| arb_call_for(o).prop_map(move |c| (o, c))),
+        1..6,
+    )
+}
+
+fn arb_chunked_scripts() -> impl Strategy<Value = Vec<Vec<Vec<(usize, OpCall)>>>> {
+    proptest::collection::vec(proptest::collection::vec(arb_chunk(), 1..4), 2..5)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DriverState {
+    Running,
+    Waiting,
+    Done,
+}
+
+/// Drive a kernel with the chunked scripts; `batched` submits each chunk
+/// through `request_batch` (exercising the per-shard batch split) instead
+/// of call by call.
+fn run_chunked(
+    scripts: &[Vec<Vec<(usize, OpCall)>>],
+    config: SchedulerConfig,
+    shards: Option<usize>,
+    batched: bool,
+) -> (
+    HashMap<(usize, usize), String>,
+    Vec<String>,
+    Vec<TxnState>,
+    Driver,
+) {
+    let mut driver = Driver::new(config, shards);
+    let objects = driver.register_objects();
+
+    let txns: Vec<TxnId> = scripts.iter().map(|_| driver.begin()).collect();
+    let index_of: HashMap<TxnId, usize> = txns.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+
+    let mut chunks: Vec<VecDeque<Vec<(usize, OpCall)>>> = scripts
+        .iter()
+        .map(|s| s.iter().cloned().collect())
+        .collect();
+    let mut current: Vec<Vec<(usize, OpCall)>> = vec![Vec::new(); scripts.len()];
+    let mut state = vec![DriverState::Running; scripts.len()];
+    let mut next_op = vec![0usize; scripts.len()];
+    let mut results: HashMap<(usize, usize), String> = HashMap::new();
+    let mut decisions: Vec<String> = Vec::new();
+
+    macro_rules! pump_events {
+        () => {
+            for event in driver.drain_events() {
+                match event {
+                    KernelEvent::Unblocked { txn, outcome } => {
+                        let i = index_of[&txn];
+                        match outcome {
+                            RequestOutcome::Executed { result, .. } => {
+                                results.insert((i, next_op[i]), format!("{result}"));
+                                next_op[i] += 1;
+                                state[i] = DriverState::Running;
+                                decisions.push(format!("unblocked {i}"));
+                            }
+                            RequestOutcome::Aborted { reason } => {
+                                state[i] = DriverState::Done;
+                                decisions.push(format!("retry-aborted {i}: {reason}"));
+                            }
+                            RequestOutcome::Blocked { .. } => unreachable!(),
+                        }
+                    }
+                    KernelEvent::Aborted { txn, reason } => {
+                        let i = index_of[&txn];
+                        state[i] = DriverState::Done;
+                        decisions.push(format!("victim-aborted {i}: {reason}"));
+                    }
+                    KernelEvent::Committed { txn } => {
+                        decisions.push(format!("cascade-committed {}", index_of[&txn]));
+                    }
+                }
+            }
+        };
+    }
+
+    let mut safety = 0usize;
+    loop {
+        safety += 1;
+        assert!(safety < 100_000, "driver failed to make progress");
+        let mut any_running = false;
+        for i in 0..scripts.len() {
+            if state[i] != DriverState::Running {
+                continue;
+            }
+            any_running = true;
+            if current[i].is_empty() {
+                match chunks[i].pop_front() {
+                    Some(chunk) => current[i] = chunk,
+                    None => {
+                        let outcome = driver.commit(txns[i]);
+                        decisions.push(format!(
+                            "commit {i}: pseudo={}",
+                            outcome.is_pseudo_commit()
+                        ));
+                        state[i] = DriverState::Done;
+                        pump_events!();
+                        continue;
+                    }
+                }
+            }
+            if batched {
+                let calls: Vec<BatchCall> = current[i]
+                    .drain(..)
+                    .map(|(object, call)| BatchCall::new(objects[object], call))
+                    .collect();
+                let outcome = driver.request_batch(txns[i], calls);
+                pump_events!();
+                for result in &outcome.executed {
+                    results.insert((i, next_op[i]), format!("{result}"));
+                    next_op[i] += 1;
+                }
+                match outcome.stopped {
+                    None => {}
+                    Some(BatchStop::Blocked {
+                        waiting_on, rest, ..
+                    }) => {
+                        decisions.push(format!("blocked {i} on {waiting_on:?}"));
+                        state[i] = DriverState::Waiting;
+                        current[i] = rest
+                            .into_iter()
+                            .map(|bc| {
+                                let object = objects
+                                    .iter()
+                                    .position(|o| *o == bc.object)
+                                    .expect("known object");
+                                (object, bc.call)
+                            })
+                            .collect();
+                    }
+                    Some(BatchStop::Aborted { reason, .. }) => {
+                        decisions.push(format!("aborted {i}: {reason}"));
+                        state[i] = DriverState::Done;
+                    }
+                }
+            } else {
+                while !current[i].is_empty() {
+                    let (object, call) = current[i].remove(0);
+                    let outcome = driver.request(txns[i], objects[object], call);
+                    pump_events!();
+                    match outcome {
+                        RequestOutcome::Executed { result, .. } => {
+                            results.insert((i, next_op[i]), format!("{result}"));
+                            next_op[i] += 1;
+                        }
+                        RequestOutcome::Blocked { waiting_on } => {
+                            decisions.push(format!("blocked {i} on {waiting_on:?}"));
+                            state[i] = DriverState::Waiting;
+                            break;
+                        }
+                        RequestOutcome::Aborted { reason } => {
+                            decisions.push(format!("aborted {i}: {reason}"));
+                            state[i] = DriverState::Done;
+                            current[i].clear();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if !any_running {
+            break;
+        }
+    }
+
+    let fates: Vec<TxnState> = txns
+        .iter()
+        .map(|t| driver.txn_state(*t).expect("transaction recorded"))
+        .collect();
+    (results, decisions, fates, driver)
+}
+
+/// Strip the counters that legitimately differ between the systems:
+/// `batches` (a cross-shard batch counts one kernel pass per touched
+/// shard), the edge mirrors (a commit-dep pair deduplicated globally in
+/// the single kernel may exist in two shards' graphs), and escalation
+/// bookkeeping (zero by construction in the single kernel).
+fn comparable(stats: &KernelStats) -> KernelStats {
+    KernelStats {
+        batches: 0,
+        batched_calls: 0,
+        graph_edges: 0,
+        escalated_edges: 0,
+        escalated_checks: 0,
+        ..stats.clone()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline property: for every shard count, the sharded kernel
+    /// admits, blocks and aborts exactly like the single kernel on the
+    /// same schedule, produces the same results and final states, and
+    /// every shard's execution is commit-order serializable.
+    #[test]
+    fn sharded_equals_single_kernel(
+        scripts in arb_chunked_scripts(),
+        shards in 2usize..5,
+        fair in any::<bool>(),
+        policy_choice in any::<bool>(),
+        batched in any::<bool>(),
+    ) {
+        let policy = if policy_choice {
+            ConflictPolicy::Recoverability
+        } else {
+            ConflictPolicy::CommutativityOnly
+        };
+        let config = SchedulerConfig::default()
+            .with_policy(policy)
+            .with_fair_scheduling(fair);
+
+        let (r_one, d_one, f_one, mut one) =
+            run_chunked(&scripts, config.clone(), None, batched);
+        let (r_sh, d_sh, f_sh, mut sh) =
+            run_chunked(&scripts, config, Some(shards), batched);
+
+        prop_assert_eq!(r_one, r_sh, "per-operation results diverge");
+        prop_assert_eq!(d_one, d_sh, "scheduling decisions diverge");
+        prop_assert_eq!(f_one, f_sh, "transaction fates diverge");
+        prop_assert_eq!(
+            comparable(&one.stats()),
+            comparable(&sh.stats()),
+            "kernel statistics diverge"
+        );
+        for object in (0..N_OBJECTS as u32).map(ObjectId) {
+            prop_assert!(
+                sh.committed_state_eq(object, &one),
+                "final committed state of {} differs",
+                object
+            );
+        }
+        one.validate().map_err(TestCaseError::fail)?;
+        sh.validate().map_err(TestCaseError::fail)?;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard regression scenarios (deterministic)
+// ---------------------------------------------------------------------
+
+/// Two object names guaranteed to land on distinct shards of a
+/// `shards`-way kernel.
+fn names_on_distinct_shards(shards: usize) -> (String, String) {
+    let a = "a0".to_string();
+    let sa = shard_of_name(&a, shards);
+    let mut i = 1;
+    loop {
+        let b = format!("a{i}");
+        if shard_of_name(&b, shards) != sa {
+            return (a, b);
+        }
+        i += 1;
+    }
+}
+
+fn sharded(shards: usize) -> ShardedKernel {
+    ShardedKernel::new(DatabaseConfig::new(SchedulerConfig::default()).with_shards(shards))
+}
+
+/// The escalation regression: a wait-for cycle whose two edges live in
+/// two *different* shard graphs — invisible to either local graph alone —
+/// must still be refused.
+#[test]
+fn cross_shard_cycle_is_refused() {
+    let kernel = sharded(2);
+    let (name_a, name_b) = names_on_distinct_shards(2);
+    let (a, loc_a) = kernel.register(&name_a, Stack::new()).unwrap();
+    let (b, loc_b) = kernel.register(&name_b, Stack::new()).unwrap();
+    assert_ne!(loc_a.shard, loc_b.shard);
+
+    let t1 = kernel.begin();
+    let t2 = kernel.begin();
+    // T1 holds an uncommitted push on A (shard x); T2 on B (shard y).
+    assert!(kernel
+        .request(t1, a, StackOp::Push(Value::Int(1)).to_call())
+        .unwrap()
+        .is_executed());
+    assert!(kernel
+        .request(t2, b, StackOp::Push(Value::Int(2)).to_call())
+        .unwrap()
+        .is_executed());
+    // T2's pop on A conflicts with T1's push: edge T2 -> T1 in shard x.
+    assert!(kernel
+        .request(t2, a, StackOp::Pop.to_call())
+        .unwrap()
+        .is_blocked());
+    // T1's pop on B would add T1 -> T2 in shard y. Each local graph holds
+    // one edge — no local cycle — but the union cycles; the escalated
+    // check must refuse it by aborting the requester.
+    let outcome = kernel.request(t1, b, StackOp::Pop.to_call()).unwrap();
+    assert!(
+        outcome.is_aborted(),
+        "cross-shard wait-for cycle must abort the requester, got {outcome:?}"
+    );
+    let snapshot = kernel.stats_snapshot();
+    assert!(
+        snapshot.aggregate.escalated_checks >= 1,
+        "the refusal must have come from the escalation graph"
+    );
+    assert!(snapshot.aggregate.escalated_edges >= 1);
+
+    // T1's abort releases T2's blocked pop, which now executes.
+    let events = kernel.drain_events();
+    assert!(events.iter().any(|e| matches!(
+        e,
+        KernelEvent::Unblocked { txn, outcome: RequestOutcome::Executed { .. } } if *txn == t2
+    )));
+    assert!(kernel.commit(t2).unwrap().is_full_commit());
+    kernel.check_invariants().unwrap();
+    kernel.verify_serializable().unwrap();
+}
+
+/// Cross-shard commit-dependency cycles (the recoverable analogue of the
+/// wait-for case) are refused too.
+#[test]
+fn cross_shard_commit_dependency_cycle_is_refused() {
+    let kernel = sharded(2);
+    let (name_a, name_b) = names_on_distinct_shards(2);
+    let (a, _) = kernel.register(&name_a, Stack::new()).unwrap();
+    let (b, _) = kernel.register(&name_b, Stack::new()).unwrap();
+
+    let t1 = kernel.begin();
+    let t2 = kernel.begin();
+    assert!(kernel
+        .request(t1, a, StackOp::Push(Value::Int(1)).to_call())
+        .unwrap()
+        .is_executed());
+    assert!(kernel
+        .request(t2, b, StackOp::Push(Value::Int(2)).to_call())
+        .unwrap()
+        .is_executed());
+    // T2's push on A is recoverable after T1's: commit-dep T2 -> T1 in
+    // shard x.
+    match kernel
+        .request(t2, a, StackOp::Push(Value::Int(3)).to_call())
+        .unwrap()
+    {
+        RequestOutcome::Executed { commit_deps, .. } => assert_eq!(commit_deps, vec![t1]),
+        other => panic!("expected recoverable execution, got {other:?}"),
+    }
+    // T1's push on B would create commit-dep T1 -> T2 in shard y, closing
+    // a dependency cycle that only the union sees.
+    let outcome = kernel.request(t1, b, StackOp::Push(Value::Int(4)).to_call()).unwrap();
+    assert!(
+        matches!(
+            &outcome,
+            RequestOutcome::Aborted {
+                reason: sbcc_core::AbortReason::CommitDependencyCycle
+            }
+        ),
+        "expected a commit-dependency-cycle abort, got {outcome:?}"
+    );
+    assert!(kernel.commit(t2).unwrap().is_full_commit());
+    kernel.check_invariants().unwrap();
+    kernel.verify_serializable().unwrap();
+}
+
+/// The cross-shard commit protocol: a transaction with commit
+/// dependencies in two different shards pseudo-commits, and actually
+/// commits only once the *union* of its per-shard votes clears — not when
+/// the first shard's local dependencies are gone.
+#[test]
+fn cross_shard_pseudo_commit_waits_for_every_shard() {
+    let kernel = sharded(2);
+    let (name_a, name_b) = names_on_distinct_shards(2);
+    let (a, _) = kernel.register(&name_a, Stack::new()).unwrap();
+    let (b, _) = kernel.register(&name_b, Stack::new()).unwrap();
+
+    let h1 = kernel.begin(); // holder in shard x
+    let h2 = kernel.begin(); // holder in shard y
+    let t = kernel.begin(); // spans both
+    assert!(kernel
+        .request(h1, a, StackOp::Push(Value::Int(1)).to_call())
+        .unwrap()
+        .is_executed());
+    assert!(kernel
+        .request(h2, b, StackOp::Push(Value::Int(2)).to_call())
+        .unwrap()
+        .is_executed());
+    // T pushes behind both holders: recoverable, one commit dep per shard.
+    assert!(kernel
+        .request(t, a, StackOp::Push(Value::Int(3)).to_call())
+        .unwrap()
+        .is_executed());
+    assert!(kernel
+        .request(t, b, StackOp::Push(Value::Int(4)).to_call())
+        .unwrap()
+        .is_executed());
+
+    match kernel.commit(t).unwrap() {
+        sbcc_core::CommitOutcome::PseudoCommitted { waiting_on } => {
+            assert_eq!(waiting_on, vec![h1, h2], "the union of per-shard votes");
+        }
+        other => panic!("expected a pseudo-commit, got {other:?}"),
+    }
+    assert_eq!(kernel.txn_state(t), Some(TxnState::PseudoCommitted));
+
+    // First holder commits: T's shard-x vote clears, but shard y still
+    // holds a dependency — T must stay pseudo-committed.
+    assert!(kernel.commit(h1).unwrap().is_full_commit());
+    assert_eq!(kernel.txn_state(t), Some(TxnState::PseudoCommitted));
+
+    // Second holder commits: the re-vote is unanimous and T commits.
+    assert!(kernel.commit(h2).unwrap().is_full_commit());
+    assert_eq!(kernel.txn_state(t), Some(TxnState::Committed));
+    let events = kernel.drain_events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, KernelEvent::Committed { txn } if *txn == t)));
+    kernel.check_invariants().unwrap();
+    kernel.verify_serializable().unwrap();
+    kernel.verify_commit_dependencies().unwrap();
+}
+
+/// An abort of a multi-shard transaction undoes its operations in every
+/// shard.
+#[test]
+fn cross_shard_abort_undoes_everything() {
+    let kernel = sharded(3);
+    let (name_a, name_b) = names_on_distinct_shards(3);
+    let (a, _) = kernel.register(&name_a, Counter::new()).unwrap();
+    let (b, _) = kernel.register(&name_b, Counter::new()).unwrap();
+
+    let t = kernel.begin();
+    assert!(kernel
+        .request(t, a, CounterOp::Increment(5).to_call())
+        .unwrap()
+        .is_executed());
+    assert!(kernel
+        .request(t, b, CounterOp::Increment(7).to_call())
+        .unwrap()
+        .is_executed());
+    kernel.abort(t).unwrap();
+    assert_eq!(kernel.txn_state(t), Some(TxnState::Aborted));
+
+    let reader = kernel.begin();
+    for obj in [a, b] {
+        match kernel.request(reader, obj, CounterOp::Read.to_call()).unwrap() {
+            RequestOutcome::Executed { result, .. } => {
+                assert_eq!(result, sbcc_adt::OpResult::Value(Value::Int(0)));
+            }
+            other => panic!("read should execute, got {other:?}"),
+        }
+    }
+    assert!(kernel.commit(reader).unwrap().is_full_commit());
+    kernel.check_invariants().unwrap();
+}

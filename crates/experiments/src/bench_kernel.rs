@@ -19,11 +19,21 @@
 //! * `session_{percall,batched}_4thr` — the same comparison at the
 //!   [`sbcc_core::Database`] session level with 4 threads hammering one
 //!   database: batching additionally amortises the lock acquisition and
-//!   wakeup round-trip per submission.
+//!   wakeup round-trip per submission;
+//! * `sharded_disjoint_{n}shards_4thr` — 4 threads, each with its own
+//!   private set of counters (a disjoint-footprint mix): with one shard
+//!   every session serialises on the single kernel lock, with several the
+//!   threads run on different shard locks and never contend — the
+//!   shards-vs-1 ratio is the sharding subsystem's headline number;
+//! * `sharded_hotspot_{n}shards_4thr` — the adversarial counterpart: all
+//!   4 threads increment one hot counter, which lives in exactly one
+//!   shard regardless of the shard count, so this measures the
+//!   coordination overhead sharding adds when it cannot help.
 
 use sbcc_adt::{Counter, CounterOp, Stack, StackOp, TableObject, TableOp, Value};
 use sbcc_core::{
-    BatchCall, ConflictPolicy, CycleDetector, Database, SchedulerConfig, SchedulerKernel,
+    BatchCall, ConflictPolicy, CycleDetector, Database, DatabaseConfig, SchedulerConfig,
+    SchedulerKernel,
 };
 use sbcc_graph::{DependencyGraph, EdgeKind};
 use std::time::{Duration, Instant};
@@ -207,6 +217,81 @@ fn session_workload(batched: bool, threads: usize, txns_per_thread: u64, ops_per
     done.into_iter().map(|h| h.join().expect("bench thread")).sum()
 }
 
+/// The sharding comparison workload: `threads` threads drive a **standing
+/// population** of live sessions (`live_per_round` open transactions per
+/// thread per round, each executing `ops_per_txn` commuting increments,
+/// then all committed) against one [`Database`] built with `shards`
+/// kernel shards.
+///
+/// * `disjoint = true`: each thread owns 8 private counters (named so no
+///   other thread touches them) — the footprints are disjoint, so every
+///   session is single-shard and intra-shard admission never takes a
+///   global lock. Two single-kernel costs scale with the *database-wide*
+///   live population and shrink to the *per-shard* population under
+///   sharding: the termination settle scan (zero-out-degree sweep over
+///   the kernel's whole dependency graph on every commit) and, on
+///   multi-core hardware, the serialisation of every session on one
+///   kernel lock. The shards-vs-1 ratio is the sharding subsystem's
+///   headline number.
+/// * `disjoint = false`: every thread hits the *same* hot counter; all
+///   transactions enroll in the one shard that owns it no matter how many
+///   shards exist, so both costs stay global — this measures the overhead
+///   the coordinator adds on a workload sharding cannot help.
+pub fn sharded_session_workload(
+    shards: usize,
+    threads: usize,
+    disjoint: bool,
+    rounds: u64,
+    live_per_round: u64,
+    ops_per_txn: u64,
+) -> u64 {
+    let db = Database::with_config(
+        DatabaseConfig::new(SchedulerConfig::default().with_history(false)).with_shards(shards),
+    );
+    let objects_per_thread = 8usize;
+    let handles: Vec<Vec<sbcc_core::Handle<Counter>>> = if disjoint {
+        (0..threads)
+            .map(|t| {
+                (0..objects_per_thread)
+                    .map(|o| db.register(format!("ctr_t{t}_o{o}"), Counter::new()))
+                    .collect()
+            })
+            .collect()
+    } else {
+        let hot = db.register("hot", Counter::new());
+        (0..threads).map(|_| vec![hot.clone()]).collect()
+    };
+    let workers: Vec<std::thread::JoinHandle<u64>> = handles
+        .into_iter()
+        .map(|counters| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                let mut ops = 0u64;
+                for _ in 0..rounds {
+                    let mut sessions = Vec::with_capacity(live_per_round as usize);
+                    for i in 0..live_per_round {
+                        let txn = db.begin();
+                        let counter = &counters[i as usize % counters.len()];
+                        for _ in 0..ops_per_txn {
+                            txn.exec(counter, CounterOp::Increment(1)).unwrap();
+                            ops += 1;
+                        }
+                        sessions.push(txn);
+                    }
+                    // Commit the whole standing population: every commit
+                    // pays the settle sweep over the live transactions
+                    // co-located in its kernel.
+                    for txn in sessions {
+                        txn.commit().unwrap();
+                    }
+                }
+                ops
+            })
+        })
+        .collect();
+    workers.into_iter().map(|h| h.join().expect("bench thread")).sum()
+}
+
 fn graph_checks(detector: CycleDetector) -> u64 {
     let n = 1000u64;
     let mut g: DependencyGraph<u64> = DependencyGraph::new();
@@ -299,6 +384,23 @@ pub fn run_all(quick: bool) -> Vec<BenchResult> {
             || session_workload(batched, threads, sess_txns, sess_ops),
         ));
     }
+    // The sharding sweep: disjoint footprints (where shards should scale)
+    // and the single-object hotspot (where they only add coordination).
+    let (sh_rounds, sh_live, sh_ops) = if quick { (1, 32, 3) } else { (2, 128, 3) };
+    for shards in [1usize, 2, 4, 8] {
+        results.push(measure(
+            &format!("sharded_disjoint_{shards}shards_4thr"),
+            budget,
+            || sharded_session_workload(shards, threads, true, sh_rounds, sh_live, sh_ops),
+        ));
+    }
+    for shards in [1usize, 4] {
+        results.push(measure(
+            &format!("sharded_hotspot_{shards}shards_4thr"),
+            budget,
+            || sharded_session_workload(shards, threads, false, sh_rounds, sh_live, sh_ops),
+        ));
+    }
     results
 }
 
@@ -329,7 +431,7 @@ mod tests {
     #[test]
     fn quick_run_produces_all_entries_and_valid_json() {
         let results = run_all(true);
-        assert_eq!(results.len(), 11);
+        assert_eq!(results.len(), 17);
         for r in &results {
             assert!(r.ops > 0, "{} did work", r.name);
             assert!(r.ops_per_sec > 0.0);
@@ -340,6 +442,8 @@ mod tests {
         assert!(json.contains("graph_checks_incremental"));
         assert!(json.contains("submission_batched"));
         assert!(json.contains("session_percall_4thr"));
+        assert!(json.contains("sharded_disjoint_4shards_4thr"));
+        assert!(json.contains("sharded_hotspot_1shards_4thr"));
         // Crude JSON sanity: balanced braces/brackets, one object per line.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -378,6 +482,23 @@ mod tests {
             session_workload(false, 2, 8, 8),
             session_workload(true, 2, 8, 8),
             "batched and per-call sessions must execute identical workloads"
+        );
+    }
+
+    #[test]
+    fn sharded_workloads_do_identical_work_at_every_shard_count() {
+        let baseline = sharded_session_workload(1, 2, true, 1, 12, 3);
+        for shards in [2usize, 4, 8] {
+            assert_eq!(
+                sharded_session_workload(shards, 2, true, 1, 12, 3),
+                baseline,
+                "disjoint workload at {shards} shards"
+            );
+        }
+        assert_eq!(
+            sharded_session_workload(1, 2, false, 1, 12, 3),
+            sharded_session_workload(4, 2, false, 1, 12, 3),
+            "hotspot workload is shard-count independent"
         );
     }
 }

@@ -381,6 +381,23 @@ impl<N: NodeId> DependencyGraph<N> {
             .collect()
     }
 
+    /// Visit every distinct `(from, to, kind)` edge together with its
+    /// multiplicity. Used by the sharding layer to bulk-mirror a shard's
+    /// local graph into the cross-shard escalation graph when the shard
+    /// becomes entangled. Iteration order is unspecified.
+    pub fn for_each_edge(&self, mut f: impl FnMut(N, N, EdgeKind, u32)) {
+        for (from, adj) in &self.nodes {
+            for (to, counts) in &adj.out {
+                if counts.wait_for > 0 {
+                    f(*from, *to, EdgeKind::WaitFor, counts.wait_for);
+                }
+                if counts.commit_dep > 0 {
+                    f(*from, *to, EdgeKind::CommitDep, counts.commit_dep);
+                }
+            }
+        }
+    }
+
     /// Remove one logical edge `from -> to` of the given kind (decrement the
     /// multiplicity). Returns `true` if such an edge existed.
     pub fn remove_edge(&mut self, from: N, to: N, kind: EdgeKind) -> bool {
@@ -502,14 +519,19 @@ impl<N: NodeId> DependencyGraph<N> {
             .unwrap_or(0)
     }
 
-    /// Nodes whose out-degree (any kind) is zero. The commit protocol
-    /// commits pseudo-committed transactions exactly when they appear here.
+    /// Nodes whose out-degree (any kind) is zero, in ascending node order.
+    /// The commit protocol commits pseudo-committed transactions exactly
+    /// when they appear here; the deterministic order keeps cascade-commit
+    /// sequences (and everything downstream of their events) reproducible.
     pub fn zero_out_degree_nodes(&self) -> Vec<N> {
-        self.nodes
+        let mut nodes: Vec<N> = self
+            .nodes
             .iter()
             .filter(|(_, a)| a.out.is_empty())
             .map(|(n, _)| *n)
-            .collect()
+            .collect();
+        nodes.sort_unstable();
+        nodes
     }
 
     /// How many times a cycle check (`would_close_cycle*`, `has_cycle`,
@@ -631,13 +653,19 @@ impl<N: NodeId> DependencyGraph<N> {
     /// the returned path is exactly the set of transactions participating in
     /// the cycle the request would close — which is what victim-selection
     /// policies other than "abort the requester" need to inspect.
+    ///
+    /// The search explores starts and neighbours in ascending node order,
+    /// so the returned path — and any victim chosen from it — is
+    /// deterministic for a given graph.
     pub fn path_from_any(&self, starts: &[N], goal: N) -> Option<Vec<N>> {
         let mut parent: HashMap<N, N> = HashMap::new();
         let mut visited: HashSet<N> = HashSet::new();
         let mut stack: Vec<N> = Vec::new();
-        for s in starts {
-            if visited.insert(*s) {
-                stack.push(*s);
+        let mut ordered_starts: Vec<N> = starts.to_vec();
+        ordered_starts.sort_unstable();
+        for s in ordered_starts {
+            if visited.insert(s) {
+                stack.push(s);
             }
         }
         while let Some(n) = stack.pop() {
@@ -654,13 +682,17 @@ impl<N: NodeId> DependencyGraph<N> {
             let Some(adj) = self.nodes.get(&n) else {
                 continue;
             };
-            for (next, counts) in &adj.out {
-                if counts.is_empty() {
-                    continue;
-                }
-                if visited.insert(*next) {
-                    parent.insert(*next, n);
-                    stack.push(*next);
+            let mut nexts: Vec<N> = adj
+                .out
+                .iter()
+                .filter(|(_, counts)| !counts.is_empty())
+                .map(|(next, _)| *next)
+                .collect();
+            nexts.sort_unstable();
+            for next in nexts {
+                if visited.insert(next) {
+                    parent.insert(next, n);
+                    stack.push(next);
                 }
             }
         }

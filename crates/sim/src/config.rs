@@ -138,6 +138,16 @@ pub struct SimParams {
     pub target_completions: u64,
     /// Random seed (runs are deterministic for a fixed seed).
     pub seed: u64,
+    /// Number of scheduler-kernel shards
+    /// ([`sbcc_core::shard::ShardedKernel`]). One shard reproduces the
+    /// paper's single state machine exactly; more shards model the sharded
+    /// kernel's admission behaviour (cross-shard transactions acquire the
+    /// same dependencies, cycles spanning shards are refused through the
+    /// escalation graph). The simulator charges no time for shard
+    /// coordination, so simulated throughput measures admission behaviour,
+    /// not lock contention — use `repro --bench-kernel` for the wall-clock
+    /// story.
+    pub shards: usize,
 }
 
 impl Default for SimParams {
@@ -162,6 +172,7 @@ impl Default for SimParams {
             batch_submission: false,
             target_completions: 10_000,
             seed: 42,
+            shards: 1,
         }
     }
 }
@@ -215,6 +226,18 @@ impl SimParams {
     /// Builder-style: enable or disable batched submission.
     pub fn with_batch_submission(mut self, batched: bool) -> Self {
         self.batch_submission = batched;
+        self
+    }
+
+    /// Builder-style: set the kernel shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Builder-style: set the victim policy.
+    pub fn with_victim(mut self, victim: VictimPolicy) -> Self {
+        self.victim = victim;
         self
     }
 
@@ -272,23 +295,21 @@ impl SimParams {
                 return Err("resource_units must be positive".into());
             }
         }
-        if self.victim != VictimPolicy::Requester {
-            // The paper's protocol (Figure 2) aborts the requester; the
-            // closed-network driver relies on that: a transaction is only
-            // ever aborted during its own request, never while it has an
-            // in-flight service event. Youngest-victim selection remains
-            // available (and tested) at the kernel level.
-            return Err(
-                "the simulator only models VictimPolicy::Requester (the paper's choice)".into(),
-            );
+        if self.shards == 0 {
+            return Err("shards must be positive".into());
         }
+        // Both victim policies are modelled: the closed-network driver
+        // handles asynchronous victim aborts (a transaction aborted while
+        // it has an in-flight service event) by generation-stamping service
+        // events and purging the victim from the resource queues, so
+        // `VictimPolicy::Youngest` runs at scale.
         Ok(())
     }
 
     /// One-line description used by the experiment harness.
     pub fn describe(&self) -> String {
         format!(
-            "{} | {} | mpl={} | {} | fair={} | {} | {} completions",
+            "{} | {} | mpl={} | {} | fair={} | {} | {} shard(s) | {} completions",
             self.data_model.label(),
             self.policy,
             self.mpl_level,
@@ -299,6 +320,7 @@ impl SimParams {
             } else {
                 "per-call"
             },
+            self.shards,
             self.target_completions
         )
     }
@@ -399,7 +421,7 @@ mod tests {
             (Box::new(|p: &mut SimParams| {
                 p.resource_mode = ResourceMode::Finite { resource_units: 0 }
             }), "resources"),
-            (Box::new(|p: &mut SimParams| p.victim = VictimPolicy::Youngest), "victim"),
+            (Box::new(|p: &mut SimParams| p.shards = 0), "shards"),
         ] {
             let mut p = base.clone();
             mutate(&mut p);

@@ -4,7 +4,7 @@
 use crate::config::{DataModel, SimParams};
 use crate::rng::SimRng;
 use sbcc_adt::{AbstractObject, OpCall};
-use sbcc_core::{ObjectId, SchedulerKernel};
+use sbcc_core::{ObjectId, SchedulerKernel, ShardedKernel};
 
 /// Kind index of a read in the read/write model.
 pub const RW_READ: usize = 0;
@@ -43,20 +43,39 @@ impl WorkloadGenerator {
     pub fn populate(&self, kernel: &mut SchedulerKernel, rng: &mut SimRng) -> Vec<ObjectId> {
         let mut ids = Vec::with_capacity(self.db_size);
         for i in 0..self.db_size {
-            let object = match self.data_model {
-                DataModel::ReadWrite { .. } => AbstractObject::read_write(),
-                DataModel::AbstractAdt {
-                    ops_per_object,
-                    p_c,
-                    p_r,
-                } => AbstractObject::random(ops_per_object, p_c, p_r, rng.inner()),
-            };
+            let object = self.make_object(rng);
             let id = kernel
                 .register_object(format!("obj{i}"), Box::new(object))
                 .expect("object names are unique");
             ids.push(id);
         }
         ids
+    }
+
+    /// [`Self::populate`] against a sharded kernel: same names, same
+    /// registration order, and therefore the same (global) object ids —
+    /// only the shard placement differs, by the name hash.
+    pub fn populate_sharded(&self, kernel: &ShardedKernel, rng: &mut SimRng) -> Vec<ObjectId> {
+        let mut ids = Vec::with_capacity(self.db_size);
+        for i in 0..self.db_size {
+            let object = self.make_object(rng);
+            let (id, _loc) = kernel
+                .register_object(format!("obj{i}"), Box::new(object))
+                .expect("object names are unique");
+            ids.push(id);
+        }
+        ids
+    }
+
+    fn make_object(&self, rng: &mut SimRng) -> AbstractObject {
+        match self.data_model {
+            DataModel::ReadWrite { .. } => AbstractObject::read_write(),
+            DataModel::AbstractAdt {
+                ops_per_object,
+                p_c,
+                p_r,
+            } => AbstractObject::random(ops_per_object, p_c, p_r, rng.inner()),
+        }
     }
 
     /// Generate a transaction script: a uniformly distributed number of

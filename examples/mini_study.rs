@@ -54,11 +54,46 @@ fn main() {
     // The same point with batched submission: each transaction hands its
     // whole script to the kernel as one group (admitted prefix serviced as
     // one burst) instead of one round-trip per operation.
-    let batched = Simulator::new(params.with_batch_submission(true)).run();
+    let batched = Simulator::new(params.clone().with_batch_submission(true)).run();
     println!("\nSame point, batched submission:");
     println!("  {batched}");
     println!(
         "  batched vs per-call throughput: {:.1} vs {:.1} tps",
         batched.throughput, result.throughput
     );
+
+    // Victim-policy comparison at the same point: the closed-network
+    // driver now handles asynchronous victim aborts, so Youngest runs at
+    // scale (its victims can be mid-service when the cycle is detected).
+    let youngest = Simulator::new(params.clone().with_victim(VictimPolicy::Youngest)).run();
+    println!("\nSame point, youngest-victim selection:");
+    println!("  {youngest}");
+    println!(
+        "  restart ratio requester vs youngest: {:.3} vs {:.3}",
+        result.restart_ratio, youngest.restart_ratio
+    );
+
+    // Shard-count sweep: the sharded kernel admits identically (the
+    // differential suite pins that), so simulated throughput stays flat —
+    // what changes is the admission bookkeeping, reported here via the
+    // per-shard snapshot. Wall-clock scaling lives in `repro
+    // --bench-kernel` (`sharded_*` workloads).
+    println!("\nShard-count sweep (mpl = 50, recoverability):");
+    println!(
+        "{:>8} {:>12} {:>14} {:>18} {:>18}",
+        "shards", "tps", "blocking", "escalated edges", "escalated checks"
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let mut sim = Simulator::new(params.clone().with_shards(shards));
+        let r = sim.run();
+        let snap = sim.stats_snapshot();
+        println!(
+            "{:>8} {:>12.1} {:>14.3} {:>18} {:>18}",
+            shards,
+            r.throughput,
+            r.blocking_ratio,
+            snap.aggregate.escalated_edges,
+            snap.aggregate.escalated_checks,
+        );
+    }
 }

@@ -61,9 +61,9 @@ pub mod prelude {
     };
     pub use crate::core::{
         AbortReason, Batch, BatchCall, BatchOutcome, BatchStop, CommitOutcome, ConflictPolicy,
-        CoreError, Database, Handle, KernelEvent, KernelStats, ObjectHandle, ObjectId,
-        RecoveryStrategy, RequestOutcome, SchedulerConfig, SchedulerKernel, Transaction, TxnId,
-        TxnState, VictimPolicy,
+        CoreError, Database, DatabaseConfig, Handle, KernelEvent, KernelStats, ObjectHandle,
+        ObjectId, RecoveryStrategy, RequestOutcome, SchedulerConfig, SchedulerKernel,
+        ShardedKernel, StatsSnapshot, Transaction, TxnId, TxnState, VictimPolicy,
     };
     pub use crate::graph::{DependencyGraph, EdgeKind};
     pub use crate::sim::{DataModel, ResourceMode, SimParams, SimulationResult, Simulator};

@@ -75,8 +75,17 @@ fn database_round_trip_across_all_data_types() {
     db.verify_commit_dependencies().unwrap();
     db.check_invariants().unwrap();
     let stats = db.stats();
-    assert_eq!(stats.batches, 1);
+    // One batch pass per *touched shard*: exactly 1 with a single shard,
+    // up to 6 when SBCC_SHARDS spreads the six objects across kernels.
+    assert!(
+        (1..=6).contains(&stats.batches),
+        "unexpected batch pass count {}",
+        stats.batches
+    );
     assert_eq!(stats.batched_calls, 6);
+    if db.shard_count() == 1 {
+        assert_eq!(stats.batches, 1, "single shard admits the batch in one pass");
+    }
 }
 
 #[test]
