@@ -33,8 +33,9 @@
 //! are partitioned across `shards` independent scheduler kernels by a hash
 //! of their registration name, so sessions whose footprints live in
 //! different shards never contend on a lock. [`Database::new`] takes the
-//! shard count from the `SBCC_SHARDS` environment variable (default 1);
-//! [`Database::with_config`] sets it explicitly:
+//! shard count from the `SBCC_SHARDS` environment variable (default 1;
+//! `SBCC_SHARDS=auto` resolves to one shard per core, see
+//! [`crate::ShardCount`]); [`Database::with_config`] sets it explicitly:
 //!
 //! ```
 //! use sbcc_core::{Database, DatabaseConfig, SchedulerConfig};
@@ -72,12 +73,20 @@
 //!
 //! A blocked request parks the calling OS thread until a conflicting
 //! transaction terminates. Wakeups are **per transaction**: each parked
-//! invocation registers a private wakeup slot (its own mutex + condvar),
-//! and the kernel's event stream delivers an outcome directly into the slot
-//! of exactly the transaction it concerns. A commit therefore wakes only
-//! the threads whose transactions it actually unblocked — there is no
-//! global broadcast that stampedes every parked thread on every
-//! termination.
+//! invocation registers a private waiter slot, and the kernel's event
+//! stream delivers an outcome directly into the slot of exactly the
+//! transaction it concerns. A commit therefore wakes only the threads
+//! whose transactions it actually unblocked — there is no global
+//! broadcast that stampedes every parked thread on every termination.
+//!
+//! The slot is **two-variant**: a sync session sleeps on its condvar,
+//! while an async session ([`crate::aio`]) registers a
+//! [`std::task::Waker`] in the same slot and suspends its future. The
+//! fill path serves both, so the kernel, batching and event-delivery
+//! layers are completely agnostic to how a waiter sleeps — if parking a
+//! thread per blocked transaction is your bottleneck, switch to
+//! [`crate::aio::AsyncDatabase`] (migration table in the [`crate::aio`]
+//! module docs) and multiplex thousands of sessions on one thread.
 //!
 //! An outcome that settles while no thread is parked (possible after a
 //! non-blocking [`Transaction::try_exec_call`], or when the kernel's
@@ -218,30 +227,86 @@ impl<A: AdtSpec> Handle<A> {
     }
 }
 
-/// One parked invocation's private rendezvous: the delivering thread stores
-/// the outcome and signals; only the owning thread waits on it.
+/// One waiting invocation's private rendezvous: the delivering thread
+/// stores the outcome and wakes the owner — *however the owner sleeps*.
+///
+/// The slot is the two-variant waiter the async front-end rides on:
+///
+/// * a **sync** session parks its OS thread on the condvar
+///   ([`WaiterSlot::await_outcome`]);
+/// * an **async** session stores a [`Waker`] and suspends its future
+///   ([`WaiterSlot::poll_outcome`]).
+///
+/// [`WaiterSlot::fill`] serves both at once (it signals the condvar *and*
+/// wakes a registered waker), so every shard wakeup path stays completely
+/// agnostic to which front-end is waiting. A slot has exactly one owner;
+/// only the delivery side is shared.
 #[derive(Default)]
-struct WakeupSlot {
-    outcome: Mutex<Option<RequestOutcome>>,
+pub(crate) struct WaiterSlot {
+    state: Mutex<SlotState>,
     cond: Condvar,
 }
 
-impl WakeupSlot {
-    /// Deliver an outcome and wake the (single) owning waiter.
+#[derive(Default)]
+struct SlotState {
+    outcome: Option<RequestOutcome>,
+    /// The waker of the async task awaiting this slot, when the owner is a
+    /// future rather than a parked thread. Re-registered on every poll, so
+    /// a task that migrates executors between polls still wakes correctly.
+    waker: Option<std::task::Waker>,
+}
+
+impl WaiterSlot {
+    /// Deliver an outcome and wake the (single) owner, whether it is a
+    /// parked thread or a suspended future.
     fn fill(&self, outcome: RequestOutcome) {
-        *self.outcome.lock() = Some(outcome);
+        let waker = {
+            let mut state = self.state.lock();
+            state.outcome = Some(outcome);
+            state.waker.take()
+        };
         self.cond.notify_one();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
     }
 
-    /// Park until an outcome is delivered.
+    /// Park the calling OS thread until an outcome is delivered (the sync
+    /// variant).
     fn await_outcome(&self) -> RequestOutcome {
-        let mut slot = self.outcome.lock();
+        let mut state = self.state.lock();
         loop {
-            if let Some(outcome) = slot.take() {
+            if let Some(outcome) = state.outcome.take() {
                 return outcome;
             }
-            self.cond.wait(&mut slot);
+            self.cond.wait(&mut state);
         }
+    }
+
+    /// The async variant: return the outcome if it has been delivered,
+    /// otherwise register `cx`'s waker and suspend.
+    ///
+    /// The outcome check and the waker registration happen under the same
+    /// lock [`WaiterSlot::fill`] takes, so the wake-before-poll race is
+    /// closed: a fill that ran before this poll left the outcome behind
+    /// (returned now), and a fill racing this poll either sees the freshly
+    /// stored waker or lost the lock to us and its outcome is already
+    /// visible.
+    pub(crate) fn poll_outcome(&self, cx: &mut std::task::Context<'_>) -> std::task::Poll<RequestOutcome> {
+        let mut state = self.state.lock();
+        match state.outcome.take() {
+            Some(outcome) => std::task::Poll::Ready(outcome),
+            None => {
+                state.waker = Some(cx.waker().clone());
+                std::task::Poll::Pending
+            }
+        }
+    }
+
+    /// Take the outcome if one has been delivered (used when a cancelled
+    /// async waiter unregisters itself).
+    pub(crate) fn try_take(&self) -> Option<RequestOutcome> {
+        self.state.lock().outcome.take()
     }
 }
 
@@ -256,9 +321,64 @@ struct SessionState {
     /// [`Transaction::settle_pending`] or discarded by the transaction's
     /// next submission or termination.
     delivered: HashMap<TxnId, RequestOutcome>,
-    /// The wakeup slot of every currently parked invocation, by
-    /// transaction.
-    waiters: HashMap<TxnId, Arc<WakeupSlot>>,
+    /// The waiter slot of every currently waiting invocation (parked
+    /// thread or suspended future), by transaction.
+    waiters: HashMap<TxnId, Arc<WaiterSlot>>,
+}
+
+/// The session-local bookkeeping shared by the sync [`Transaction`] guard
+/// and the async [`crate::aio::AsyncTransaction`]: the transaction id, the
+/// enrollment cache and the pending-request flag. Both front-ends drive
+/// the same [`Database`] internals through this one core, so the kernel,
+/// batching and event-delivery paths never know which of the two is
+/// calling.
+pub(crate) struct SessionCore {
+    id: TxnId,
+    /// Session-local cache of the shards this transaction is enrolled in.
+    /// Lets the steady-state exec path skip the cross-shard coordinator
+    /// (the cache is sound because enrollment only ever grows while the
+    /// transaction is live). A `RefCell` suffices: sessions are `!Sync`.
+    enrolled: RefCell<Vec<u32>>,
+    /// `true` while a non-blocking submission is blocked inside a shard
+    /// kernel with its outcome unclaimed. The session layer uses it to
+    /// enforce the single-kernel contract across shards (no further
+    /// submissions while blocked — another shard's kernel would not know)
+    /// and to settle without racing the outcome delivery.
+    pending: std::cell::Cell<bool>,
+}
+
+impl std::fmt::Debug for SessionCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionCore")
+            .field("id", &self.id)
+            .field("pending", &self.pending.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionCore {
+    fn new(id: TxnId) -> Self {
+        SessionCore {
+            id,
+            enrolled: RefCell::new(Vec::new()),
+            pending: std::cell::Cell::new(false),
+        }
+    }
+
+    /// The transaction this session drives.
+    pub(crate) fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Whether a blocked submission's outcome is still unclaimed.
+    pub(crate) fn pending(&self) -> bool {
+        self.pending.get()
+    }
+
+    /// Set or clear the pending flag.
+    pub(crate) fn set_pending(&self, pending: bool) {
+        self.pending.set(pending);
+    }
 }
 
 struct Shared {
@@ -308,7 +428,8 @@ impl std::fmt::Debug for Database {
 impl Database {
     /// Create a database with the given scheduler configuration. The shard
     /// count is taken from the `SBCC_SHARDS` environment variable
-    /// (default 1); use [`Database::with_config`] to set it explicitly.
+    /// (default 1, `auto` = one shard per core); use
+    /// [`Database::with_config`] to set it explicitly.
     pub fn new(config: SchedulerConfig) -> Self {
         Database::with_config(DatabaseConfig::new(config))
     }
@@ -380,15 +501,18 @@ impl Database {
     /// The returned guard aborts the transaction when dropped without an
     /// explicit [`Transaction::commit`] or [`Transaction::abort`].
     pub fn begin(&self) -> Transaction {
-        let id = self.shared.kernel.begin();
         Transaction {
+            core: self.begin_session(),
             db: self.clone(),
-            id,
             finished: false,
-            enrolled: RefCell::new(Vec::new()),
-            pending: std::cell::Cell::new(false),
             _not_sync: PhantomData,
         }
+    }
+
+    /// Begin a transaction and hand back the bare session core (shared
+    /// entry point of the sync and async front-ends).
+    pub(crate) fn begin_session(&self) -> SessionCore {
+        SessionCore::new(self.shared.kernel.begin())
     }
 
     /// Run a transaction body, committing on success and transparently
@@ -526,7 +650,11 @@ impl Database {
     /// unsharded kernel returns — without this gate, a request routed to a
     /// *different* shard would be admitted there, because only the shard
     /// holding the pending request knows the transaction is blocked.
-    fn admit_submission(&self, txn: &Transaction, action: &'static str) -> Result<(), CoreError> {
+    pub(crate) fn admit_submission(
+        &self,
+        txn: &SessionCore,
+        action: &'static str,
+    ) -> Result<(), CoreError> {
         let id = txn.id;
         let delivered = self.shared.take_delivered(id);
         if txn.pending.get() {
@@ -565,7 +693,7 @@ impl Database {
     /// takes is the owning shard's.
     fn ensure_session_enrolled(
         &self,
-        txn: &Transaction,
+        txn: &SessionCore,
         shard: u32,
         action: &'static str,
     ) -> Result<(), CoreError> {
@@ -577,7 +705,7 @@ impl Database {
         Ok(())
     }
 
-    fn check_loc(&self, loc: ObjectLoc) -> Result<(), CoreError> {
+    pub(crate) fn check_loc(&self, loc: ObjectLoc) -> Result<(), CoreError> {
         if (loc.shard as usize) < self.shared.kernel.shard_count() {
             Ok(())
         } else {
@@ -591,7 +719,7 @@ impl Database {
 
     fn exec_call_raw(
         &self,
-        txn: &Transaction,
+        txn: &SessionCore,
         loc: ObjectLoc,
         call: OpCall,
     ) -> Result<OpResult, CoreError> {
@@ -601,57 +729,92 @@ impl Database {
         self.ensure_session_enrolled(txn, loc.shard, "request an operation")?;
         let outcome = self.shared.kernel.request_enrolled(id, loc, call)?;
         self.deliver_events();
-        match outcome {
-            RequestOutcome::Executed { result, .. } => Ok(result),
-            RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn: id, reason }),
-            RequestOutcome::Blocked { .. } => match self.park_for_outcome(id) {
-                RequestOutcome::Executed { result, .. } => Ok(result),
-                RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn: id, reason }),
-                RequestOutcome::Blocked { .. } => {
-                    unreachable!("blocked outcomes are never delivered")
-                }
-            },
+        let outcome = match outcome {
+            RequestOutcome::Blocked { .. } => self.park_for_outcome(id),
+            settled => settled,
+        };
+        outcome.into_result(id)
+    }
+
+    /// Claim the settled outcome for `txn`'s pending request if it has
+    /// already been delivered, or register a fresh [`WaiterSlot`] to wait
+    /// on.
+    ///
+    /// This is the database's **single rendezvous seam**: every waiting
+    /// path — per-call exec, grouped submission, `settle_pending`, their
+    /// async counterparts, and every shard-originated wakeup — funnels
+    /// through this one claim/register pair. The sync front-end parks the
+    /// OS thread on the returned slot ([`Database::park_for_outcome`]);
+    /// the async front-end polls it ([`WaiterSlot::poll_outcome`]).
+    pub(crate) fn claim_or_wait(&self, txn: TxnId) -> Result<RequestOutcome, Arc<WaiterSlot>> {
+        let mut sessions = self.shared.sessions.lock();
+        // The request may already have been settled by side effects of
+        // the submission itself (the kernel retries blocked requests
+        // to fixpoint before returning) or by another thread's
+        // termination racing this claim.
+        match sessions.delivered.remove(&txn) {
+            Some(outcome) => {
+                self.shared
+                    .delivered_count
+                    .fetch_sub(1, std::sync::atomic::Ordering::Release);
+                Ok(outcome)
+            }
+            None => {
+                // Wait on a private slot: whichever thread later drains
+                // the kernel event that settles this transaction fills
+                // the slot and wakes only this session. One slot per
+                // transaction — the sync session is `!Sync` and the async
+                // session's `waiting` flag rejects a second awaiter, so an
+                // existing entry here would be a front-end bug that
+                // orphans the first waiter.
+                let slot = Arc::new(WaiterSlot::default());
+                let previous = sessions.waiters.insert(txn, slot.clone());
+                debug_assert!(
+                    previous.is_none(),
+                    "second waiter slot registered for {txn}"
+                );
+                Err(slot)
+            }
         }
     }
 
-    /// Take the settled outcome for `txn`'s pending request, parking the
-    /// calling thread if it has not settled yet.
-    ///
-    /// This is the database's **single rendezvous seam**: every blocking
-    /// path — per-call exec, grouped submission, `settle_pending`, and
-    /// every shard-originated wakeup — funnels through this one
-    /// slot-fill/slot-await pair, so an async front-end only needs a
-    /// `Waker`-backed slot beside the condvar-backed one.
-    fn park_for_outcome(&self, txn: TxnId) -> RequestOutcome {
-        let slot = {
+    /// Unregister an async waiter that is being cancelled (its future was
+    /// dropped before the outcome arrived). Returns the outcome if the
+    /// delivery raced the cancellation and already filled the slot.
+    pub(crate) fn cancel_wait(
+        &self,
+        txn: TxnId,
+        slot: &Arc<WaiterSlot>,
+    ) -> Option<RequestOutcome> {
+        {
             let mut sessions = self.shared.sessions.lock();
-            // The request may already have been settled by side effects of
-            // the submission itself (the kernel retries blocked requests
-            // to fixpoint before returning) or by another thread's
-            // termination racing this park.
-            match sessions.delivered.remove(&txn) {
-                Some(outcome) => {
-                    self.shared
-                        .delivered_count
-                        .fetch_sub(1, std::sync::atomic::Ordering::Release);
-                    return outcome;
-                }
-                None => {
-                    // Park on a private slot: whichever thread later drains
-                    // the kernel event that settles this transaction fills
-                    // the slot and wakes only us.
-                    let slot = Arc::new(WakeupSlot::default());
-                    sessions.waiters.insert(txn, slot.clone());
-                    slot
+            if let Some(registered) = sessions.waiters.get(&txn) {
+                // Only remove *our* slot: the session may already have
+                // registered a new waiter for a later submission.
+                if Arc::ptr_eq(registered, slot) {
+                    sessions.waiters.remove(&txn);
+                    return None;
                 }
             }
-        };
-        slot.await_outcome()
+        }
+        // The deliverer removed the slot from the map before the lock was
+        // acquired; the outcome (if any) is inside the slot itself.
+        slot.try_take()
     }
 
-    fn try_exec_call_raw(
+    /// Take the settled outcome for `txn`'s pending request, parking the
+    /// calling OS thread if it has not settled yet (the sync half of the
+    /// rendezvous seam; [`crate::aio`] awaits the same slot instead).
+    fn park_for_outcome(&self, txn: TxnId) -> RequestOutcome {
+        match self.claim_or_wait(txn) {
+            Ok(outcome) => outcome,
+            Err(slot) => slot.await_outcome(),
+        }
+    }
+
+    pub(crate) fn try_exec_call_raw(
         &self,
-        txn: &Transaction,
+        txn: &SessionCore,
         loc: ObjectLoc,
         call: OpCall,
     ) -> Result<RequestOutcome, CoreError> {
@@ -667,7 +830,7 @@ impl Database {
         Ok(outcome)
     }
 
-    fn settle_pending_raw(&self, txn: &Transaction) -> Result<OpResult, CoreError> {
+    fn settle_pending_raw(&self, txn: &SessionCore) -> Result<OpResult, CoreError> {
         let id = txn.id;
         if !txn.pending.get() {
             return Err(CoreError::NoPendingOperation(id));
@@ -683,83 +846,109 @@ impl Database {
             None => self.park_for_outcome(id),
         };
         txn.pending.set(false);
+        outcome.into_result(id)
+    }
+
+    /// One kernel pass over a grouped submission's remaining calls:
+    /// admit, enroll, classify in one index walk per touched shard (see
+    /// [`ShardedKernel::request_batch_located`] and
+    /// [`crate::SchedulerKernel::request_batch`]).
+    ///
+    /// On [`BatchPass::MustWait`] the blocking terminator is the
+    /// transaction's pending request inside the kernel; the caller waits
+    /// for it to settle (parking or awaiting) and feeds the outcome back
+    /// through [`Database::batch_resume`]. This split is what lets the
+    /// sync and async batch loops share every line of batch logic and
+    /// differ only in *how* they sleep.
+    pub(crate) fn batch_pass(
+        &self,
+        txn: &SessionCore,
+        run: &mut BatchRun,
+    ) -> Result<BatchPass, CoreError> {
+        let id = txn.id;
+        self.admit_submission(txn, "submit a batch")?;
+        // Enrollment through the session cache: steady state takes no
+        // coordinator lock, exactly like the per-call exec path.
+        for loc in &run.locs {
+            self.check_loc(*loc)?;
+            self.ensure_session_enrolled(txn, loc.shard, "submit a batch")?;
+        }
+        let locs_kept = run.locs.clone();
+        let outcome = self.shared.kernel.request_batch_enrolled(
+            id,
+            std::mem::take(&mut run.calls),
+            std::mem::take(&mut run.locs),
+        )?;
+        self.deliver_events();
+        run.results.extend(outcome.executed);
+        match outcome.stopped {
+            None => Ok(BatchPass::Complete),
+            Some(BatchStop::Aborted { reason, .. }) => {
+                Err(CoreError::Aborted { txn: id, reason })
+            }
+            Some(BatchStop::Blocked { rest, index, .. }) => {
+                // The unprocessed suffix keeps its original locations
+                // (`rest` is always a suffix of the submitted batch).
+                run.locs = locs_kept[index + 1..].to_vec();
+                debug_assert_eq!(run.locs.len(), rest.len());
+                run.calls = rest;
+                Ok(BatchPass::MustWait)
+            }
+        }
+    }
+
+    /// Feed the settled outcome of a batch's blocking terminator back into
+    /// the run. Returns `Ok(true)` when the batch is complete, `Ok(false)`
+    /// when the remaining suffix needs another [`Database::batch_pass`].
+    pub(crate) fn batch_resume(
+        &self,
+        txn: &SessionCore,
+        run: &mut BatchRun,
+        outcome: RequestOutcome,
+    ) -> Result<bool, CoreError> {
         match outcome {
-            RequestOutcome::Executed { result, .. } => Ok(result),
-            RequestOutcome::Aborted { reason } => Err(CoreError::Aborted { txn: id, reason }),
-            RequestOutcome::Blocked { .. } => unreachable!("blocked outcomes are never delivered"),
+            RequestOutcome::Executed { result, .. } => {
+                run.results.push(result);
+                Ok(run.calls.is_empty())
+            }
+            RequestOutcome::Aborted { reason } => {
+                Err(CoreError::Aborted { txn: txn.id, reason })
+            }
+            RequestOutcome::Blocked { .. } => {
+                unreachable!("blocked outcomes are never delivered")
+            }
         }
     }
 
     /// Submit a group of calls, blocking as often as needed until every
-    /// call has executed (or the transaction aborts). Each kernel pass
-    /// classifies the remaining group in one index walk per touched shard;
-    /// see [`ShardedKernel::request_batch_located`] and
-    /// [`crate::SchedulerKernel::request_batch`].
+    /// call has executed (or the transaction aborts).
     fn submit_batch_raw(
         &self,
-        txn: &Transaction,
-        mut calls: Vec<BatchCall>,
-        mut locs: Vec<ObjectLoc>,
+        txn: &SessionCore,
+        group: BatchCalls,
     ) -> Result<Vec<OpResult>, CoreError> {
-        let id = txn.id;
-        for loc in &locs {
-            self.check_loc(*loc)?;
-        }
-        let mut results = Vec::with_capacity(calls.len());
+        let mut run = BatchRun::new(group);
         loop {
-            self.admit_submission(txn, "submit a batch")?;
-            // Enrollment through the session cache: steady state takes no
-            // coordinator lock, exactly like the per-call exec path.
-            for loc in &locs {
-                self.ensure_session_enrolled(txn, loc.shard, "submit a batch")?;
-            }
-            let locs_kept = locs.clone();
-            let outcome = self.shared.kernel.request_batch_enrolled(
-                id,
-                std::mem::take(&mut calls),
-                std::mem::take(&mut locs),
-            )?;
-            self.deliver_events();
-            results.extend(outcome.executed);
-            match outcome.stopped {
-                None => return Ok(results),
-                Some(BatchStop::Aborted { reason, .. }) => {
-                    return Err(CoreError::Aborted { txn: id, reason })
-                }
-                Some(BatchStop::Blocked { rest, index, .. }) => {
-                    match self.park_for_outcome(id) {
-                        RequestOutcome::Executed { result, .. } => {
-                            results.push(result);
-                            if rest.is_empty() {
-                                return Ok(results);
-                            }
-                            // The unprocessed suffix keeps its original
-                            // locations (`rest` is always a suffix of the
-                            // submitted batch).
-                            locs = locs_kept[index + 1..].to_vec();
-                            debug_assert_eq!(locs.len(), rest.len());
-                            calls = rest;
-                        }
-                        RequestOutcome::Aborted { reason } => {
-                            return Err(CoreError::Aborted { txn: id, reason })
-                        }
-                        RequestOutcome::Blocked { .. } => {
-                            unreachable!("blocked outcomes are never delivered")
-                        }
+            match self.batch_pass(txn, &mut run)? {
+                BatchPass::Complete => return Ok(run.into_results()),
+                BatchPass::MustWait => {
+                    let outcome = self.park_for_outcome(txn.id);
+                    if self.batch_resume(txn, &mut run, outcome)? {
+                        return Ok(run.into_results());
                     }
                 }
             }
         }
     }
 
-    fn commit_raw(&self, txn: TxnId) -> Result<CommitOutcome, CoreError> {
+    pub(crate) fn commit_raw(&self, txn: TxnId) -> Result<CommitOutcome, CoreError> {
         let _ = self.shared.take_delivered(txn);
         let outcome = self.shared.kernel.commit(txn)?;
         self.deliver_events();
         Ok(outcome)
     }
 
-    fn abort_raw(&self, txn: TxnId) -> Result<(), CoreError> {
+    pub(crate) fn abort_raw(&self, txn: TxnId) -> Result<(), CoreError> {
         let _ = self.shared.take_delivered(txn);
         let result = self.shared.kernel.abort(txn);
         self.deliver_events();
@@ -771,32 +960,49 @@ impl Database {
         if events.is_empty() {
             return;
         }
-        let mut sessions = self.shared.sessions.lock();
-        for event in events {
-            let (txn, outcome) = match event {
-                KernelEvent::Unblocked { txn, outcome } => (txn, outcome),
-                // The transaction may be parked in an `exec*` call; deliver
-                // the abort so it can return an error.
-                KernelEvent::Aborted { txn, reason } => {
-                    (txn, RequestOutcome::Aborted { reason })
-                }
-                KernelEvent::Committed { .. } => {
-                    // Cascaded commits are observable through `outcome_of`.
-                    continue;
-                }
-            };
-            match sessions.waiters.remove(&txn) {
-                // Exactly the thread blocked on this transaction wakes;
-                // every other parked invocation stays asleep.
-                Some(slot) => slot.fill(outcome),
-                None => {
-                    if sessions.delivered.insert(txn, outcome).is_none() {
-                        self.shared
-                            .delivered_count
-                            .fetch_add(1, std::sync::atomic::Ordering::Release);
+        // Claim the waiter slots under the sessions lock, but *fill* them
+        // (which signals condvars and runs arbitrary `Waker::wake` code of
+        // whatever executor the async front-end sits on) only after the
+        // lock is released — a waker that takes its own scheduling lock
+        // must never be invoked under the database-wide sessions mutex,
+        // or an executor polling into `claim_or_wait` on another thread
+        // deadlocks ABBA-style. A claimed slot is owned exclusively by
+        // this delivery (a cancelled waiter that misses the map falls
+        // back to `WaiterSlot::try_take` and discards), so the deferred
+        // fill loses no outcome.
+        let mut fills: Vec<(Arc<WaiterSlot>, RequestOutcome)> = Vec::new();
+        {
+            let mut sessions = self.shared.sessions.lock();
+            for event in events {
+                let (txn, outcome) = match event {
+                    KernelEvent::Unblocked { txn, outcome } => (txn, outcome),
+                    // The transaction may be parked in an `exec*` call;
+                    // deliver the abort so it can return an error.
+                    KernelEvent::Aborted { txn, reason } => {
+                        (txn, RequestOutcome::Aborted { reason })
+                    }
+                    KernelEvent::Committed { .. } => {
+                        // Cascaded commits are observable through
+                        // `outcome_of`.
+                        continue;
+                    }
+                };
+                match sessions.waiters.remove(&txn) {
+                    Some(slot) => fills.push((slot, outcome)),
+                    None => {
+                        if sessions.delivered.insert(txn, outcome).is_none() {
+                            self.shared
+                                .delivered_count
+                                .fetch_add(1, std::sync::atomic::Ordering::Release);
+                        }
                     }
                 }
             }
+        }
+        // Exactly the waiters blocked on these transactions wake; every
+        // other parked invocation stays asleep.
+        for (slot, outcome) in fills {
+            slot.fill(outcome);
         }
     }
 }
@@ -817,20 +1023,10 @@ impl Database {
 #[derive(Debug)]
 pub struct Transaction {
     db: Database,
-    id: TxnId,
+    /// The session bookkeeping shared with the async front-end (id,
+    /// enrollment cache, pending-request flag); see [`SessionCore`].
+    core: SessionCore,
     finished: bool,
-    /// Session-local cache of the shards this transaction is enrolled in.
-    /// Lets the steady-state exec path skip the cross-shard coordinator
-    /// (the cache is sound because enrollment only ever grows while the
-    /// transaction is live). A `RefCell` suffices: the session is `!Sync`.
-    enrolled: RefCell<Vec<u32>>,
-    /// `true` while a [`Transaction::try_exec_call`] submission is blocked
-    /// inside a shard kernel with its outcome unclaimed. The session layer
-    /// uses it to enforce the single-kernel contract across shards (no
-    /// further submissions while blocked — another shard's kernel would
-    /// not know) and to make [`Transaction::settle_pending`] park without
-    /// racing the outcome delivery.
-    pending: std::cell::Cell<bool>,
     /// Suppresses `Sync` (a `Cell` is `Send + !Sync`) without affecting
     /// `Send`; see the type-level docs.
     _not_sync: PhantomData<std::cell::Cell<()>>,
@@ -840,12 +1036,12 @@ impl Transaction {
     /// The raw transaction id (for diagnostics and the inspection APIs on
     /// [`Database`]).
     pub fn id(&self) -> TxnId {
-        self.id
+        self.core.id()
     }
 
     /// The transaction's current scheduler state.
     pub fn state(&self) -> Option<TxnState> {
-        self.db.txn_state(self.id)
+        self.db.txn_state(self.id())
     }
 
     /// Execute a typed operation, blocking while it conflicts with
@@ -862,7 +1058,7 @@ impl Transaction {
     ///
     /// Typed [`Handle`]s coerce to [`ObjectHandle`], so this accepts both.
     pub fn exec_call(&self, object: &ObjectHandle, call: OpCall) -> Result<OpResult, CoreError> {
-        self.db.exec_call_raw(self, object.loc(), call)
+        self.db.exec_call_raw(&self.core, object.loc(), call)
     }
 
     /// Submit an operation without blocking: returns the raw kernel
@@ -876,7 +1072,7 @@ impl Transaction {
         object: &ObjectHandle,
         call: OpCall,
     ) -> Result<RequestOutcome, CoreError> {
-        self.db.try_exec_call_raw(self, object.loc(), call)
+        self.db.try_exec_call_raw(&self.core, object.loc(), call)
     }
 
     /// Claim the outcome of a previously blocked submission
@@ -885,16 +1081,12 @@ impl Transaction {
     /// settles if it has not yet. Returns
     /// [`CoreError::NoPendingOperation`] when there is nothing in flight.
     pub fn settle_pending(&self) -> Result<OpResult, CoreError> {
-        self.db.settle_pending_raw(self)
+        self.db.settle_pending_raw(&self.core)
     }
 
     /// Start building a grouped submission. See [`Batch`].
     pub fn batch(&self) -> Batch<'_> {
-        Batch {
-            txn: self,
-            calls: Vec::new(),
-            locs: Vec::new(),
-        }
+        Batch::new(self)
     }
 
     /// Commit the transaction (actual or pseudo-commit, per the protocol).
@@ -905,7 +1097,7 @@ impl Transaction {
     /// in that case the guard still aborts on drop, so the failed session
     /// cannot leak a live transaction that would block others forever.
     pub fn commit(mut self) -> Result<CommitOutcome, CoreError> {
-        let result = self.db.commit_raw(self.id);
+        let result = self.db.commit_raw(self.id());
         self.finished = result.is_ok();
         result
     }
@@ -913,7 +1105,7 @@ impl Transaction {
     /// Explicitly abort the transaction. Consumes the session.
     pub fn abort(mut self) -> Result<(), CoreError> {
         self.finished = true;
-        self.db.abort_raw(self.id)
+        self.db.abort_raw(self.id())
     }
 }
 
@@ -923,9 +1115,81 @@ impl Drop for Transaction {
             // Best effort: the transaction may already be terminated (e.g.
             // aborted by the scheduler, or pseudo-committed, which by
             // construction cannot abort) — those errors are ignored.
-            let _ = self.db.abort_raw(self.id);
+            let _ = self.db.abort_raw(self.id());
         }
     }
+}
+
+/// The builder core shared by the sync ([`Batch`]) and async
+/// ([`crate::aio::AsyncBatch`]) batch builders: the queued calls with
+/// their shard locations, kept parallel. One implementation of the
+/// call/location bookkeeping, so the two front-ends cannot diverge.
+#[derive(Debug, Default)]
+pub(crate) struct BatchCalls {
+    calls: Vec<BatchCall>,
+    /// Shard locations, parallel to `calls` (handles carry them, so a
+    /// batch never consults the object directory).
+    locs: Vec<ObjectLoc>,
+}
+
+impl BatchCalls {
+    /// Append a call aimed at the handle's object.
+    pub(crate) fn push(&mut self, object: &ObjectHandle, call: OpCall) {
+        self.calls.push(BatchCall::new(object.id(), call));
+        self.locs.push(object.loc());
+    }
+
+    /// Number of calls queued so far.
+    pub(crate) fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// `true` when no calls are queued.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+}
+
+/// The mutable state of an in-flight grouped submission, shared by the
+/// sync ([`Batch::submit`]) and async
+/// ([`crate::aio::AsyncBatch::submit`]) batch loops: the remaining calls
+/// with their shard locations, plus the results accumulated so far.
+/// Driven by [`Database::batch_pass`] / [`Database::batch_resume`].
+#[derive(Debug)]
+pub(crate) struct BatchRun {
+    calls: Vec<BatchCall>,
+    /// Shard locations, parallel to `calls`.
+    locs: Vec<ObjectLoc>,
+    results: Vec<OpResult>,
+}
+
+impl BatchRun {
+    pub(crate) fn new(group: BatchCalls) -> Self {
+        debug_assert_eq!(group.calls.len(), group.locs.len(), "one location per call");
+        let capacity = group.calls.len();
+        BatchRun {
+            calls: group.calls,
+            locs: group.locs,
+            results: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The accumulated results (one per submitted call, in order) of a
+    /// completed run.
+    pub(crate) fn into_results(self) -> Vec<OpResult> {
+        self.results
+    }
+}
+
+/// What a [`Database::batch_pass`] left behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BatchPass {
+    /// Every remaining call executed; the run is complete.
+    Complete,
+    /// A call blocked and is now the transaction's pending request; wait
+    /// for it to settle, then feed the outcome to
+    /// [`Database::batch_resume`].
+    MustWait,
 }
 
 /// Builder for a grouped submission: several operation calls — often
@@ -944,13 +1208,17 @@ impl Drop for Transaction {
 #[derive(Debug)]
 pub struct Batch<'t> {
     txn: &'t Transaction,
-    calls: Vec<BatchCall>,
-    /// Shard locations, parallel to `calls` (handles carry them, so the
-    /// batch never consults the object directory).
-    locs: Vec<ObjectLoc>,
+    group: BatchCalls,
 }
 
 impl Batch<'_> {
+    pub(crate) fn new(txn: &Transaction) -> Batch<'_> {
+        Batch {
+            txn,
+            group: BatchCalls::default(),
+        }
+    }
+
     /// Append a typed operation (chaining form).
     pub fn op<A: AdtSpec>(mut self, object: &Handle<A>, op: A::Op) -> Self {
         self.add_op(object, op);
@@ -970,35 +1238,33 @@ impl Batch<'_> {
 
     /// Append an erased call (mutating form, for loops).
     pub fn add_call(&mut self, object: &ObjectHandle, call: OpCall) {
-        self.calls.push(BatchCall::new(object.id(), call));
-        self.locs.push(object.loc());
+        self.group.push(object, call);
     }
 
     /// Number of calls queued so far.
     pub fn len(&self) -> usize {
-        self.calls.len()
+        self.group.len()
     }
 
     /// `true` when no calls are queued.
     pub fn is_empty(&self) -> bool {
-        self.calls.is_empty()
+        self.group.is_empty()
     }
 
     /// Submit the group, blocking until **every** call has executed.
     /// Returns one result per call, in submission order, or the abort
     /// error if the scheduler aborts the transaction along the way.
     pub fn submit(self) -> Result<Vec<OpResult>, CoreError> {
-        if self.calls.is_empty() {
+        if self.group.is_empty() {
             return Ok(Vec::new());
         }
-        self.txn.db.submit_batch_raw(self.txn, self.calls, self.locs)
+        self.txn.db.submit_batch_raw(&self.txn.core, self.group)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::events::AbortReason;
     use crate::policy::ConflictPolicy;
     use sbcc_adt::{Stack, StackOp, TableObject, TableOp, Value};
     use std::time::Duration;

@@ -98,6 +98,29 @@ impl RequestOutcome {
             _ => None,
         }
     }
+
+    /// Convert a **settled** outcome into the session-level result: the
+    /// one mapping every sync and async exec/settle path shares.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`RequestOutcome::Blocked`] — blocked outcomes are never
+    /// delivered to a session (the rendezvous only ever fills with the
+    /// settled retry), so reaching one here is a front-end bug.
+    pub(crate) fn into_result(
+        self,
+        txn: TxnId,
+    ) -> Result<OpResult, crate::errors::CoreError> {
+        match self {
+            RequestOutcome::Executed { result, .. } => Ok(result),
+            RequestOutcome::Aborted { reason } => {
+                Err(crate::errors::CoreError::Aborted { txn, reason })
+            }
+            RequestOutcome::Blocked { .. } => {
+                unreachable!("blocked outcomes are never delivered")
+            }
+        }
+    }
 }
 
 /// Outcome of a commit request.

@@ -21,12 +21,24 @@
 //!   and the [`Database::run`] retry runner (see the [`db`] module docs
 //!   for the full session model and the migration table from the old
 //!   free-function API).
+//! * [`aio::AsyncDatabase`] — the **async** session front-end over the
+//!   same database: operations are futures that suspend instead of
+//!   parking OS threads, so one executor thread multiplexes thousands of
+//!   in-flight transactions. Ships an executor-agnostic API plus a
+//!   minimal [`aio::block_on`] / [`aio::LocalExecutor`] harness (see the
+//!   [`aio`] module docs for the sync-vs-async migration table).
 //! * [`HistoryRecorder`] and the `verify_*` checkers — off-line validation
 //!   that executions are serializable in commit order and respect the
 //!   dynamic commit dependencies.
 //! * [`ConflictPolicy::CommutativityOnly`] — the baseline scheduler the
 //!   paper compares against, sharing every other mechanism so performance
 //!   comparisons isolate exactly the conflict predicate.
+//!
+//! A map of how these layers fit together — graph substrate, kernel,
+//! shard coordinator, the two session front-ends, simulator and
+//! experiments — lives in `ARCHITECTURE.md` at the repository root,
+//! together with the life of one transaction through
+//! admission/blocking/commit.
 //!
 //! ## Example
 //!
@@ -63,6 +75,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aio;
 pub mod db;
 pub mod errors;
 pub mod events;
@@ -74,6 +87,7 @@ pub mod shard;
 pub mod stats;
 pub mod txn;
 
+pub use aio::{AsyncBatch, AsyncDatabase, AsyncTransaction, LocalExecutor};
 pub use db::{Batch, Database, Handle, ObjectHandle, Transaction};
 pub use errors::CoreError;
 pub use events::{
@@ -86,6 +100,8 @@ pub use history::{
 pub use kernel::SchedulerKernel;
 pub use object::{BlockedRequest, Classification, LogEntry, ManagedObject, ObjectId};
 pub use policy::{ConflictPolicy, CycleDetector, RecoveryStrategy, SchedulerConfig, VictimPolicy};
-pub use shard::{shard_of_name, DatabaseConfig, GlobalGraph, ObjectLoc, ShardedKernel};
+pub use shard::{
+    shard_of_name, DatabaseConfig, GlobalGraph, ObjectLoc, ShardCount, ShardedKernel,
+};
 pub use stats::{KernelStats, ShardStats, StatsSnapshot};
 pub use txn::{BatchCall, ExecutedOp, PendingRequest, TxnId, TxnRecord, TxnState};

@@ -87,8 +87,85 @@ use std::sync::Arc;
 
 /// Environment variable overriding the default shard count of
 /// [`DatabaseConfig`] (used by CI to run the test suites single- and
-/// multi-sharded).
+/// multi-sharded). Accepts a positive integer or `auto`
+/// ([`ShardCount::Auto`], one shard per available core).
 pub const SHARDS_ENV: &str = "SBCC_SHARDS";
+
+/// The shard count of a [`DatabaseConfig`]: either a fixed number of
+/// kernels or `Auto`, which resolves to the machine's available
+/// parallelism at [`ShardedKernel::new`] time.
+///
+/// `Auto` is the right default for servers: with one shard per core,
+/// disjoint-footprint sessions spread across per-shard locks and the
+/// per-termination settle sweep only walks the shard-local live
+/// population. Both builder and environment variable accept it:
+///
+/// ```
+/// use sbcc_core::{DatabaseConfig, SchedulerConfig, ShardCount};
+/// let config = DatabaseConfig::new(SchedulerConfig::default())
+///     .with_shards(ShardCount::Auto);
+/// assert!(config.shards.resolve() >= 1);
+/// // `with_shards` still takes plain integers too:
+/// let fixed = DatabaseConfig::new(SchedulerConfig::default()).with_shards(4);
+/// assert_eq!(fixed.shards, ShardCount::Fixed(4));
+/// assert_eq!("auto".parse::<ShardCount>(), Ok(ShardCount::Auto));
+/// assert_eq!("8".parse::<ShardCount>(), Ok(ShardCount::Fixed(8)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardCount {
+    /// Exactly this many shards ( ≥ 1 ). One shard reproduces the
+    /// unsharded kernel's behaviour exactly.
+    Fixed(usize),
+    /// One shard per available core
+    /// ([`std::thread::available_parallelism`], falling back to 1 when the
+    /// platform cannot report it).
+    Auto,
+}
+
+impl ShardCount {
+    /// The concrete number of shards this setting stands for, resolved
+    /// against the current machine.
+    pub fn resolve(self) -> usize {
+        match self {
+            ShardCount::Fixed(n) => n,
+            ShardCount::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+impl From<usize> for ShardCount {
+    fn from(n: usize) -> Self {
+        ShardCount::Fixed(n)
+    }
+}
+
+impl std::fmt::Display for ShardCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardCount::Fixed(n) => write!(f, "{n}"),
+            ShardCount::Auto => f.write_str("auto"),
+        }
+    }
+}
+
+impl std::str::FromStr for ShardCount {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("auto") {
+            return Ok(ShardCount::Auto);
+        }
+        match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(ShardCount::Fixed(n)),
+            _ => Err(format!(
+                "expected a positive shard count or \"auto\", got {s:?}"
+            )),
+        }
+    }
+}
 
 /// Database-level configuration: the per-shard scheduler configuration plus
 /// the shard count.
@@ -96,9 +173,9 @@ pub const SHARDS_ENV: &str = "SBCC_SHARDS";
 pub struct DatabaseConfig {
     /// Scheduler configuration applied to every shard kernel.
     pub scheduler: SchedulerConfig,
-    /// Number of independent scheduler kernels ( ≥ 1 ). One shard
-    /// reproduces the unsharded kernel's behaviour exactly.
-    pub shards: usize,
+    /// Number of independent scheduler kernels (fixed ≥ 1, or
+    /// [`ShardCount::Auto`] for one per core).
+    pub shards: ShardCount,
 }
 
 impl Default for DatabaseConfig {
@@ -109,7 +186,8 @@ impl Default for DatabaseConfig {
 
 impl DatabaseConfig {
     /// Configuration with the shard count taken from the `SBCC_SHARDS`
-    /// environment variable (default 1).
+    /// environment variable (default 1; `auto` selects
+    /// [`ShardCount::Auto`]).
     pub fn new(scheduler: SchedulerConfig) -> Self {
         DatabaseConfig {
             scheduler,
@@ -117,25 +195,29 @@ impl DatabaseConfig {
         }
     }
 
-    /// Builder-style: set the shard count.
+    /// Builder-style: set the shard count. Accepts a plain `usize` or a
+    /// [`ShardCount`] (`.with_shards(ShardCount::Auto)`).
     ///
     /// # Panics
     ///
-    /// Panics if `shards` is zero.
-    pub fn with_shards(mut self, shards: usize) -> Self {
-        assert!(shards >= 1, "at least one shard is required");
+    /// Panics if the count is a fixed zero.
+    pub fn with_shards(mut self, shards: impl Into<ShardCount>) -> Self {
+        let shards = shards.into();
+        assert!(
+            shards != ShardCount::Fixed(0),
+            "at least one shard is required"
+        );
         self.shards = shards;
         self
     }
 
     /// The shard count requested through the `SBCC_SHARDS` environment
-    /// variable, defaulting to 1 when unset or unparsable.
-    pub fn shards_from_env() -> usize {
+    /// variable, defaulting to one shard when unset or unparsable.
+    pub fn shards_from_env() -> ShardCount {
         std::env::var(SHARDS_ENV)
             .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|n| *n >= 1)
-            .unwrap_or(1)
+            .and_then(|v| v.parse::<ShardCount>().ok())
+            .unwrap_or(ShardCount::Fixed(1))
     }
 }
 
@@ -340,11 +422,13 @@ impl std::fmt::Debug for ShardedKernel {
 
 impl ShardedKernel {
     /// Build a sharded kernel: `config.shards` kernels sharing one
-    /// escalation graph.
+    /// escalation graph ([`ShardCount::Auto`] resolves to the available
+    /// parallelism here).
     pub fn new(config: DatabaseConfig) -> Self {
-        assert!(config.shards >= 1, "at least one shard is required");
+        let shard_count = config.shards.resolve();
+        assert!(shard_count >= 1, "at least one shard is required");
         let global = Arc::new(GlobalGraph::new());
-        let shards = (0..config.shards)
+        let shards = (0..shard_count)
             .map(|_| {
                 let mut kernel = SchedulerKernel::new(config.scheduler.clone());
                 kernel.attach_escalation(global.clone());
@@ -1268,10 +1352,36 @@ mod tests {
     #[test]
     fn config_builder_and_env_default() {
         let config = DatabaseConfig::new(SchedulerConfig::default());
-        assert!(config.shards >= 1);
+        assert!(config.shards.resolve() >= 1);
         let config = config.with_shards(4);
-        assert_eq!(config.shards, 4);
+        assert_eq!(config.shards, ShardCount::Fixed(4));
         assert_eq!(DatabaseConfig::default().scheduler, SchedulerConfig::default());
+    }
+
+    #[test]
+    fn shard_count_parses_and_resolves() {
+        assert_eq!("4".parse::<ShardCount>(), Ok(ShardCount::Fixed(4)));
+        assert_eq!(" auto ".parse::<ShardCount>(), Ok(ShardCount::Auto));
+        assert_eq!("AUTO".parse::<ShardCount>(), Ok(ShardCount::Auto));
+        assert!("0".parse::<ShardCount>().is_err());
+        assert!("".parse::<ShardCount>().is_err());
+        assert!("-3".parse::<ShardCount>().is_err());
+        assert_eq!(ShardCount::Fixed(7).resolve(), 7);
+        assert_eq!(ShardCount::from(3), ShardCount::Fixed(3));
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(ShardCount::Auto.resolve(), cores);
+        assert_eq!(ShardCount::Auto.to_string(), "auto");
+        assert_eq!(ShardCount::Fixed(2).to_string(), "2");
+    }
+
+    #[test]
+    fn auto_shards_build_one_kernel_per_core() {
+        let kernel = ShardedKernel::new(
+            DatabaseConfig::new(SchedulerConfig::default()).with_shards(ShardCount::Auto),
+        );
+        assert_eq!(kernel.shard_count(), ShardCount::Auto.resolve());
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl Driver {
             None => Driver::Single(SchedulerKernel::new(config)),
             Some(n) => Driver::Sharded(ShardedKernel::new(DatabaseConfig {
                 scheduler: config,
-                shards: n,
+                shards: n.into(),
             })),
         }
     }

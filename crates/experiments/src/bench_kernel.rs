@@ -28,13 +28,25 @@
 //! * `sharded_hotspot_{n}shards_4thr` — the adversarial counterpart: all
 //!   4 threads increment one hot counter, which lives in exactly one
 //!   shard regardless of the shard count, so this measures the
-//!   coordination overhead sharding adds when it cannot help.
+//!   coordination overhead sharding adds when it cannot help;
+//! * `async_mux_{n}txn_{s}shards_1thr` — a **single executor thread**
+//!   multiplexing `n` concurrent async sessions (`sbcc_core::aio`) that
+//!   yield between commuting increments, so the whole population is live
+//!   at once: measures the async session + executor overhead and how the
+//!   per-shard settle sweep scales with the standing population;
+//! * `async_contended_stack_1thr` — producers hold uncommitted pushes
+//!   while consumers pop and suspend; every pop exercises the
+//!   `Waker`-backed half of the waiter-slot rendezvous on one thread
+//!   (the sync API cannot run this workload single-threaded at all).
 
 use sbcc_adt::{Counter, CounterOp, Stack, StackOp, TableObject, TableOp, Value};
+use sbcc_core::aio::{yield_now, AsyncDatabase, LocalExecutor};
 use sbcc_core::{
     BatchCall, ConflictPolicy, CycleDetector, Database, DatabaseConfig, SchedulerConfig,
     SchedulerKernel,
 };
+use std::cell::Cell;
+use std::rc::Rc;
 use sbcc_graph::{DependencyGraph, EdgeKind};
 use std::time::{Duration, Instant};
 
@@ -292,6 +304,93 @@ pub fn sharded_session_workload(
     workers.into_iter().map(|h| h.join().expect("bench thread")).sum()
 }
 
+/// The async-multiplexing workload: one [`LocalExecutor`] thread drives
+/// `txns` concurrent [`AsyncDatabase`] sessions, each executing
+/// `ops_per_txn` commuting increments on a shared counter pool with a
+/// cooperative yield between operations — so the entire population stays
+/// live simultaneously (like `sharded_session_workload`'s standing
+/// population, but on ONE thread instead of one thread per session).
+pub fn async_mux_workload(shards: usize, txns: usize, ops_per_txn: u64) -> u64 {
+    let db = AsyncDatabase::with_config(
+        DatabaseConfig::new(SchedulerConfig::default().with_history(false)).with_shards(shards),
+    );
+    let counters: Vec<_> = (0..64)
+        .map(|i| db.register(format!("ctr{i}"), Counter::new()))
+        .collect();
+    let executor = LocalExecutor::new();
+    let total = Rc::new(Cell::new(0u64));
+    for i in 0..txns {
+        let db = db.clone();
+        let counter = counters[i % counters.len()].clone();
+        let total = total.clone();
+        executor.spawn(async move {
+            let txn = db.begin();
+            for _ in 0..ops_per_txn {
+                txn.exec(&counter, CounterOp::Increment(1)).await.unwrap();
+                // Hand the thread to the next session: keeps all `txns`
+                // sessions in flight at once.
+                yield_now().await;
+            }
+            txn.commit().await.unwrap();
+            total.set(total.get() + ops_per_txn);
+        });
+    }
+    executor.run();
+    // Count increments only, like `sharded_session_workload`, so the
+    // async-vs-threaded ops/sec comparison is like-for-like.
+    total.get()
+}
+
+/// The async conflict workload: `pairs` producers push onto a small
+/// stack pool and stay uncommitted until every consumer has had the
+/// chance to block behind them; `pairs` consumers pop, suspend inside
+/// the kernel, and are woken through their `Waker`-backed slots when
+/// the producers commit. All on one executor thread.
+pub fn async_contended_workload(pairs: usize) -> u64 {
+    let db = AsyncDatabase::with_config(
+        DatabaseConfig::new(SchedulerConfig::default().with_history(false)).with_shards(1),
+    );
+    let stacks: Vec<_> = (0..8)
+        .map(|i| db.register(format!("stack{i}"), Stack::new()))
+        .collect();
+    let executor = LocalExecutor::new();
+    let produced = Rc::new(Cell::new(0usize));
+    for i in 0..pairs {
+        let db = db.clone();
+        let stack = stacks[i % stacks.len()].clone();
+        let produced = produced.clone();
+        executor.spawn(async move {
+            let txn = db.begin();
+            txn.exec(&stack, StackOp::Push(Value::Int(i as i64)))
+                .await
+                .unwrap();
+            produced.set(produced.get() + 1);
+            // Stay live until every producer holds its push (and the
+            // consumers spawned after us have blocked behind them).
+            while produced.get() < pairs {
+                yield_now().await;
+            }
+            yield_now().await;
+            txn.commit().await.unwrap();
+        });
+    }
+    for i in 0..pairs {
+        let db = db.clone();
+        let stack = stacks[i % stacks.len()].clone();
+        executor.spawn(async move {
+            db.run(|txn| {
+                let stack = stack.clone();
+                async move { txn.exec(&stack, StackOp::Pop).await }
+            })
+            .await
+            .unwrap();
+        });
+    }
+    executor.run();
+    let stats = db.stats();
+    stats.operations_executed + stats.commits
+}
+
 fn graph_checks(detector: CycleDetector) -> u64 {
     let n = 1000u64;
     let mut g: DependencyGraph<u64> = DependencyGraph::new();
@@ -401,6 +500,20 @@ pub fn run_all(quick: bool) -> Vec<BenchResult> {
             || sharded_session_workload(shards, threads, false, sh_rounds, sh_live, sh_ops),
         ));
     }
+    // The async front-end: a standing population multiplexed on one
+    // executor thread (shard sweep), plus the blocking/wakeup workload.
+    let (amux_txns, amux_ops) = if quick { (64, 3) } else { (512, 4) };
+    for shards in [1usize, 4] {
+        results.push(measure(
+            &format!("async_mux_{amux_txns}txn_{shards}shards_1thr"),
+            budget,
+            || async_mux_workload(shards, amux_txns, amux_ops),
+        ));
+    }
+    let apairs = if quick { 48 } else { 256 };
+    results.push(measure("async_contended_stack_1thr", budget, || {
+        async_contended_workload(apairs)
+    }));
     results
 }
 
@@ -431,7 +544,7 @@ mod tests {
     #[test]
     fn quick_run_produces_all_entries_and_valid_json() {
         let results = run_all(true);
-        assert_eq!(results.len(), 17);
+        assert_eq!(results.len(), 20);
         for r in &results {
             assert!(r.ops > 0, "{} did work", r.name);
             assert!(r.ops_per_sec > 0.0);
@@ -444,6 +557,9 @@ mod tests {
         assert!(json.contains("session_percall_4thr"));
         assert!(json.contains("sharded_disjoint_4shards_4thr"));
         assert!(json.contains("sharded_hotspot_1shards_4thr"));
+        assert!(json.contains("async_mux_64txn_1shards_1thr"));
+        assert!(json.contains("async_mux_64txn_4shards_1thr"));
+        assert!(json.contains("async_contended_stack_1thr"));
         // Crude JSON sanity: balanced braces/brackets, one object per line.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -483,6 +599,18 @@ mod tests {
             session_workload(true, 2, 8, 8),
             "batched and per-call sessions must execute identical workloads"
         );
+    }
+
+    #[test]
+    fn async_workloads_do_identical_work_and_really_block() {
+        assert_eq!(
+            async_mux_workload(1, 32, 3),
+            async_mux_workload(4, 32, 3),
+            "the async mux workload is shard-count independent in volume"
+        );
+        // pairs pushes + pairs pops + 2*pairs commits (retries permitting,
+        // at least that much work happens).
+        assert!(async_contended_workload(16) >= 16 * 4);
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl Simulator {
             .with_history(false);
         let kernel = ShardedKernel::new(DatabaseConfig {
             scheduler: config,
-            shards: params.shards,
+            shards: params.shards.into(),
         });
         let workload = WorkloadGenerator::new(&params);
         let objects = workload.populate_sharded(&kernel, &mut rng);

@@ -12,9 +12,18 @@
 //!   edges, cycle and deadlock detection).
 //! * [`core`] — the concurrency-control kernel: object managers, the
 //!   Figure-2 scheduling algorithm, pseudo-commit / commit protocol,
-//!   recovery strategies, and a thread-safe [`core::Database`] front-end.
+//!   recovery strategies, a thread-safe [`core::Database`] front-end, and
+//!   the async session front-end [`core::aio`] (futures instead of parked
+//!   threads: one runtime thread multiplexes thousands of in-flight
+//!   transactions — see `examples/async_front_end.rs`).
 //! * [`sim`] — the closed-queuing-network simulator and workload generators
 //!   used to reproduce the paper's evaluation (Figures 4–18).
+//!
+//! `ARCHITECTURE.md` at the repository root maps how these layers fit
+//! together (graph → kernel → shard coordinator → sync/async front-ends →
+//! sim/experiments) and walks one transaction through
+//! admission/blocking/commit, including the cross-shard escalation path
+//! and pseudo-commit votes.
 //!
 //! ## Quickstart
 //!
@@ -60,10 +69,11 @@ pub mod prelude {
         Set, SetOp, Stack, StackOp, TableEntry, TableObject, TableOp, Value,
     };
     pub use crate::core::{
-        AbortReason, Batch, BatchCall, BatchOutcome, BatchStop, CommitOutcome, ConflictPolicy,
-        CoreError, Database, DatabaseConfig, Handle, KernelEvent, KernelStats, ObjectHandle,
-        ObjectId, RecoveryStrategy, RequestOutcome, SchedulerConfig, SchedulerKernel,
-        ShardedKernel, StatsSnapshot, Transaction, TxnId, TxnState, VictimPolicy,
+        AbortReason, AsyncBatch, AsyncDatabase, AsyncTransaction, Batch, BatchCall, BatchOutcome,
+        BatchStop, CommitOutcome, ConflictPolicy, CoreError, Database, DatabaseConfig, Handle,
+        KernelEvent, KernelStats, LocalExecutor, ObjectHandle, ObjectId, RecoveryStrategy,
+        RequestOutcome, SchedulerConfig, SchedulerKernel, ShardCount, ShardedKernel,
+        StatsSnapshot, Transaction, TxnId, TxnState, VictimPolicy,
     };
     pub use crate::graph::{DependencyGraph, EdgeKind};
     pub use crate::sim::{DataModel, ResourceMode, SimParams, SimulationResult, Simulator};
