@@ -14,7 +14,7 @@
 //! the numbers measure exactly the algorithmic difference.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use sbcc_graph::{DependencyGraph, EdgeKind};
+use sbcc_graph::{DependencyGraph, EdgeKind, ReorderStrategy};
 use std::time::Duration;
 
 fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
@@ -160,5 +160,86 @@ fn bench_graph_maintenance(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_would_close_cycle, bench_graph_maintenance);
+/// Build the dense chain through order-violating inserts: every node first
+/// (labels ascend with id), then the chain edges from the **old end**
+/// backwards — each insert points from a lower-labeled node to a
+/// higher-labeled one and triggers a reorder with a small (1–2 node)
+/// affected region. This is the repair hot path the gap labels exist for.
+fn build_chain_backwards(n: u64, reorder: ReorderStrategy) -> DependencyGraph<u64> {
+    let mut g: DependencyGraph<u64> = DependencyGraph::new();
+    g.set_reorder_strategy(reorder);
+    for i in 0..n {
+        g.add_node(i);
+    }
+    for i in (0..n - 1).rev() {
+        g.add_edge(i, i + 1, EdgeKind::CommitDep);
+    }
+    g
+}
+
+/// Disjoint 8-node clusters, each repaired by one 7-node-region violation:
+/// the canonical small-violation workload — regions always fit the inline
+/// scratch, so the gap-labeled repair performs **zero** heap allocations
+/// (asserted every iteration).
+fn build_smallviol_clusters(clusters: u64, reorder: ReorderStrategy) -> DependencyGraph<u64> {
+    let mut g: DependencyGraph<u64> = DependencyGraph::new();
+    g.set_reorder_strategy(reorder);
+    for c in 0..clusters {
+        let base = c * 8;
+        for n in base..base + 8 {
+            g.add_node(n);
+        }
+        for i in base + 2..base + 8 {
+            g.add_edge(i, i - 1, EdgeKind::CommitDep);
+        }
+        g.add_edge(base, base + 7, EdgeKind::WaitFor);
+    }
+    g
+}
+
+/// Old-vs-new reorder comparison on violation storms: the gap-labeled
+/// repair relabels only the forward region into the gap below the source
+/// (allocation-free while the region fits the inline scratch), the dense
+/// baseline additionally walks the backward region and allocates its
+/// region vectors, visited set and label pool on every violation.
+fn bench_reorder_strategies(c: &mut Criterion) {
+    for reorder in [ReorderStrategy::GapLabel, ReorderStrategy::DenseRedistribute] {
+        let mut group = c.benchmark_group(format!("reorder_{reorder}"));
+        configure(&mut group);
+        for n in [200u64, 1000] {
+            group.bench_function(format!("dense_chain_{n}_backwards_inserts"), |b| {
+                b.iter(|| {
+                    let g = build_chain_backwards(black_box(n), reorder);
+                    let t = g.order_telemetry();
+                    // Most inserts violate; a gap-exhaustion renumbering in
+                    // between can put a few of the rest in order already.
+                    assert!(t.violations >= n / 2, "inserts must exercise the reorder");
+                    g.node_count()
+                })
+            });
+        }
+        group.bench_function("smallviol_64_clusters", |b| {
+            b.iter(|| {
+                let g = build_smallviol_clusters(black_box(64), reorder);
+                let t = g.order_telemetry();
+                assert_eq!(t.violations, 64);
+                if reorder == ReorderStrategy::GapLabel {
+                    assert_eq!(
+                        t.slow_path_allocs, 0,
+                        "small-violation repairs must stay allocation-free"
+                    );
+                }
+                g.node_count()
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_would_close_cycle,
+    bench_graph_maintenance,
+    bench_reorder_strategies
+);
 criterion_main!(benches);

@@ -4,7 +4,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sbcc_adt::{Counter, CounterOp, Stack, StackOp, TableObject, TableOp, Value};
-use sbcc_core::{ConflictPolicy, CycleDetector, RecoveryStrategy, SchedulerConfig, SchedulerKernel};
+use sbcc_core::{
+    ConflictPolicy, CycleDetector, RecoveryStrategy, ReorderStrategy, SchedulerConfig,
+    SchedulerKernel,
+};
 use std::time::Duration;
 
 fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
@@ -151,6 +154,49 @@ fn bench_dense_chain_detectors(c: &mut Criterion) {
     group.finish();
 }
 
+/// [`run_dense_chain`] with the pushes submitted in **reverse** begin
+/// order: every commit-dependency edge then points from an older (lower
+/// labeled) transaction to newer ones, so every push triggers a
+/// Pearce–Kelly order-violation repair over the chain built so far — the
+/// dense_chain workload variant that actually exercises the reorder.
+fn run_dense_chain_rev(n: u64, reorder: ReorderStrategy) -> u64 {
+    let mut kernel = SchedulerKernel::new(
+        SchedulerConfig::default()
+            .with_reorder(reorder)
+            .with_history(false),
+    );
+    let stack = kernel.register("stack", Stack::new()).unwrap();
+    let txns: Vec<_> = (0..n).map(|_| kernel.begin()).collect();
+    for (i, t) in txns.iter().enumerate().rev() {
+        let r = kernel
+            .request_op(*t, stack, &StackOp::Push(Value::Int(i as i64)))
+            .unwrap();
+        assert!(r.is_executed());
+    }
+    for t in txns.iter() {
+        let _ = kernel.commit(*t);
+    }
+    let _ = kernel.drain_events();
+    assert!(kernel.reorder_telemetry().violations >= n / 2);
+    kernel.stats().commits
+}
+
+/// Gap-labeled vs dense reorder on the violation-heavy dense chain: the
+/// two repairs make identical scheduling decisions (differential proptests
+/// pin it), so the gap is pure reorder maintenance cost.
+fn bench_dense_chain_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_dense_chain");
+    configure(&mut group);
+    for n in [64u64, 384] {
+        for reorder in [ReorderStrategy::GapLabel, ReorderStrategy::DenseRedistribute] {
+            group.bench_function(format!("{n}_txns_reversed_{reorder}"), |b| {
+                b.iter(|| run_dense_chain_rev(black_box(n), black_box(reorder)))
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Batched vs per-call submission on the contended submission workload
 /// (96 live transactions, 8 operations each, everything admissible): the
 /// two modes make identical scheduling decisions — the differential suite
@@ -196,6 +242,7 @@ criterion_group!(
     bench_kernel_policies,
     bench_cycle_detectors,
     bench_dense_chain_detectors,
+    bench_dense_chain_reorder,
     bench_submission_modes,
     bench_hotspot_counter
 );

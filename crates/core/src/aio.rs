@@ -225,14 +225,17 @@ impl AsyncDatabase {
     /// Run a transaction body, committing on success and transparently
     /// **retrying from scratch** when the scheduler aborts the transaction
     /// (deadlock cycle, commit-dependency cycle, or victim selection) —
-    /// the async analogue of [`Database::run`].
+    /// the async analogue of [`Database::run`], which documents the exact
+    /// retry classes both front-ends share in one table (see *Retry
+    /// classes* there; this runner adds no class of its own).
     ///
     /// The closure receives a fresh [`AsyncTransaction`] per attempt and
     /// should move it into an `async move` block; the runner keeps a
     /// clone and commits once the body returns `Ok` (the body must not
     /// commit or abort itself). A cancellation abort (a dropped operation
-    /// future, see the [module docs](self)) is retried like any other
-    /// scheduler abort.
+    /// future, see the [module docs](self)) surfaces as the
+    /// `InvalidState { state: Aborted }` row of that table and is retried
+    /// like any other scheduler abort.
     ///
     /// ```
     /// use sbcc_core::aio::{block_on, AsyncDatabase};

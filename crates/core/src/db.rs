@@ -524,12 +524,71 @@ impl Database {
     /// transaction the closure chose to propagate — is returned as-is, and
     /// the attempt's transaction is aborted by its guard.
     ///
+    /// # Retry classes
+    ///
+    /// This table is the retry contract, shared verbatim by the async
+    /// front-end ([`crate::aio::AsyncDatabase::run`]): exactly these
+    /// errors, observed for **the current attempt's own transaction**,
+    /// restart the body with a fresh transaction; everything else is
+    /// returned to the caller as-is.
+    ///
+    /// | Class | Surfaced as | Retried? |
+    /// |---|---|---|
+    /// | Deadlock refusal: blocking would close a wait-for cycle | [`CoreError::Aborted`] with [`AbortReason::DeadlockCycle`](crate::AbortReason::DeadlockCycle) from a body operation | yes |
+    /// | Commit-dependency refusal: a recoverable execution would close a commit-dependency cycle (the paper's Lemma-4 guard) | [`CoreError::Aborted`] with [`AbortReason::CommitDependencyCycle`](crate::AbortReason::CommitDependencyCycle) | yes |
+    /// | Victim selection: another session's request chose this transaction as its cycle victim (only under [`crate::VictimPolicy::Youngest`]) | [`CoreError::Aborted`] with [`AbortReason::VictimSelected`](crate::AbortReason::VictimSelected) | yes |
+    /// | Victim abort racing its own outcome delivery (a cross-shard race introduced with the sharded kernel): the victim's session observes the terminated state before the abort event carrying the reason reaches it | [`CoreError::InvalidState`] with `state:` [`TxnState::Aborted`] for the attempt's own transaction, from a body operation **or** from the final commit | yes |
+    /// | Explicit aborts, validation errors, aborts of *other* transactions the body propagates | any other [`CoreError`] | no — returned as-is |
+    ///
+    /// The `InvalidState { state: Aborted }` row is safe to classify as a
+    /// scheduler abort because the guard API gives the closure no way to
+    /// abort its own transaction and keep running — only the scheduler can
+    /// have terminated it out from under a live attempt.
+    ///
     /// Like an aborted-and-restarted terminal in the paper's model, the
     /// retry loop runs until the body either succeeds or fails for a
     /// non-scheduler reason; under the default
     /// [`crate::VictimPolicy::Requester`] every abort removes the
     /// requester's operations, so some participant of each cycle always
     /// makes progress.
+    ///
+    /// # Example
+    ///
+    /// A commit-dependency cycle refused on the first attempt and gone on
+    /// the second — single-threaded, so the retry is fully deterministic:
+    ///
+    /// ```
+    /// use sbcc_core::{ConflictPolicy, Database, SchedulerConfig};
+    /// use sbcc_adt::{Stack, StackOp, Value};
+    ///
+    /// let db = Database::new(
+    ///     SchedulerConfig::default().with_policy(ConflictPolicy::Recoverability),
+    /// );
+    /// let a = db.register("a", Stack::new());
+    /// let b = db.register("b", Stack::new());
+    ///
+    /// // T1 holds an uncommitted push on `a`.
+    /// let t1 = db.begin();
+    /// t1.exec(&a, StackOp::Push(Value::Int(1))).unwrap();
+    ///
+    /// let mut attempts = 0;
+    /// db.run(|txn| {
+    ///     attempts += 1;
+    ///     txn.exec(&b, StackOp::Push(Value::Int(2)))?;
+    ///     if attempts == 1 {
+    ///         // T1 pushes `b` too: T1 now commit-depends on this attempt…
+    ///         t1.exec(&b, StackOp::Push(Value::Int(3)))?;
+    ///         // …so pushing `a` would close a commit-dependency cycle:
+    ///         // the scheduler aborts this attempt, and `run` retries.
+    ///         txn.exec(&a, StackOp::Push(Value::Int(4)))?;
+    ///     }
+    ///     Ok(())
+    /// })
+    /// .unwrap();
+    /// assert_eq!(attempts, 2, "one scheduler abort, one clean attempt");
+    /// assert_eq!(db.stats().aborts_commit_cycle, 1);
+    /// t1.commit().unwrap();
+    /// ```
     pub fn run<R>(
         &self,
         mut body: impl FnMut(&Transaction) -> Result<R, CoreError>,

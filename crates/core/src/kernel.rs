@@ -99,13 +99,15 @@ impl SchedulerKernel {
         } else {
             None
         };
+        let mut graph = DependencyGraph::new();
+        graph.set_reorder_strategy(config.reorder);
         SchedulerKernel {
             config,
             objects: Vec::new(),
             object_names: HashMap::new(),
             txns: HashMap::new(),
             finished: HashMap::new(),
-            graph: DependencyGraph::new(),
+            graph,
             next_txn_id: 0,
             next_seq: 0,
             next_commit_index: 0,
@@ -135,6 +137,14 @@ impl SchedulerKernel {
     /// ratio).
     pub fn cycle_checks(&self) -> u64 {
         self.graph.cycle_checks()
+    }
+
+    /// Reorder telemetry of this kernel's dependency graph: topological-
+    /// order violations seen, nodes relabeled repairing them, allocating
+    /// slow paths and gap-exhaustion renumberings (see
+    /// [`sbcc_graph::OrderTelemetry`]).
+    pub fn reorder_telemetry(&self) -> sbcc_graph::OrderTelemetry {
+        self.graph.order_telemetry()
     }
 
     /// The recorded history, when `record_history` is enabled.

@@ -100,6 +100,7 @@ pub use history::{
 pub use kernel::SchedulerKernel;
 pub use object::{BlockedRequest, Classification, LogEntry, ManagedObject, ObjectId};
 pub use policy::{ConflictPolicy, CycleDetector, RecoveryStrategy, SchedulerConfig, VictimPolicy};
+pub use sbcc_graph::{OrderTelemetry, ReorderStrategy};
 pub use shard::{
     shard_of_name, DatabaseConfig, GlobalGraph, ObjectLoc, ShardCount, ShardedKernel,
 };

@@ -1,6 +1,7 @@
 //! Scheduler configuration: conflict policy, recovery strategy, fairness and
 //! victim selection.
 
+use sbcc_graph::ReorderStrategy;
 use std::fmt;
 
 /// Which semantic relation defines a conflict.
@@ -127,6 +128,10 @@ pub struct SchedulerConfig {
     pub victim: VictimPolicy,
     /// Cycle-detection algorithm for the per-request checks.
     pub cycle_detector: CycleDetector,
+    /// How the dependency graph repairs topological-order violations
+    /// (gap-labeled by default; the dense redistribution is retained as a
+    /// benchmark baseline, exactly like [`CycleDetector::SccOracle`]).
+    pub reorder: ReorderStrategy,
     /// Record the full execution history (needed by the serializability
     /// checker; adds memory proportional to the number of operations).
     pub record_history: bool,
@@ -140,6 +145,7 @@ impl Default for SchedulerConfig {
             recovery: RecoveryStrategy::IntentionsList,
             victim: VictimPolicy::Requester,
             cycle_detector: CycleDetector::Incremental,
+            reorder: ReorderStrategy::GapLabel,
             record_history: true,
         }
     }
@@ -184,6 +190,12 @@ impl SchedulerConfig {
         self
     }
 
+    /// Builder-style: set the order-violation repair strategy.
+    pub fn with_reorder(mut self, reorder: ReorderStrategy) -> Self {
+        self.reorder = reorder;
+        self
+    }
+
     /// Builder-style: enable or disable history recording.
     pub fn with_history(mut self, record: bool) -> Self {
         self.record_history = record;
@@ -203,6 +215,7 @@ mod tests {
         assert_eq!(c.recovery, RecoveryStrategy::IntentionsList);
         assert_eq!(c.victim, VictimPolicy::Requester);
         assert_eq!(c.cycle_detector, CycleDetector::Incremental);
+        assert_eq!(c.reorder, ReorderStrategy::GapLabel);
         assert!(c.record_history);
     }
 
@@ -227,12 +240,14 @@ mod tests {
             .with_recovery(RecoveryStrategy::UndoReplay)
             .with_victim(VictimPolicy::Youngest)
             .with_cycle_detector(CycleDetector::SccOracle)
+            .with_reorder(ReorderStrategy::DenseRedistribute)
             .with_history(false);
         assert_eq!(c.policy, ConflictPolicy::CommutativityOnly);
         assert!(!c.fair_scheduling);
         assert_eq!(c.recovery, RecoveryStrategy::UndoReplay);
         assert_eq!(c.victim, VictimPolicy::Youngest);
         assert_eq!(c.cycle_detector, CycleDetector::SccOracle);
+        assert_eq!(c.reorder, ReorderStrategy::DenseRedistribute);
         assert!(!c.record_history);
     }
 

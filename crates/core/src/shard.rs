@@ -258,6 +258,18 @@ impl GlobalGraph {
         GlobalGraph::default()
     }
 
+    /// An empty escalation graph using the given violation-repair
+    /// strategy — [`ShardedKernel::new`] passes the same
+    /// [`crate::SchedulerConfig::reorder`] the shard kernels run, so an
+    /// old-vs-new comparison stays pure across the escalation path too.
+    pub fn with_reorder(reorder: sbcc_graph::ReorderStrategy) -> Self {
+        let mut graph = DependencyGraph::new();
+        graph.set_reorder_strategy(reorder);
+        GlobalGraph {
+            graph: Mutex::new(graph),
+        }
+    }
+
     pub(crate) fn add_edge(&self, from: TxnId, to: TxnId, kind: EdgeKind) {
         self.graph.lock().add_edge(from, to, kind);
     }
@@ -313,6 +325,13 @@ impl GlobalGraph {
     /// Cycle checks performed on this graph so far.
     pub fn cycle_checks(&self) -> u64 {
         self.graph.lock().cycle_checks()
+    }
+
+    /// Reorder telemetry of the escalation graph. Mirrored edges arrive in
+    /// per-shard admission order, which can violate the global graph's own
+    /// maintained order, so entangled workloads repair here too.
+    pub fn reorder_telemetry(&self) -> sbcc_graph::OrderTelemetry {
+        self.graph.lock().order_telemetry()
     }
 
     /// Number of nodes currently mirrored.
@@ -427,7 +446,7 @@ impl ShardedKernel {
     pub fn new(config: DatabaseConfig) -> Self {
         let shard_count = config.shards.resolve();
         assert!(shard_count >= 1, "at least one shard is required");
-        let global = Arc::new(GlobalGraph::new());
+        let global = Arc::new(GlobalGraph::with_reorder(config.scheduler.reorder));
         let shards = (0..shard_count)
             .map(|_| {
                 let mut kernel = SchedulerKernel::new(config.scheduler.clone());
@@ -1262,16 +1281,22 @@ impl ShardedKernel {
     /// readings reported alongside (one lock pass), so the breakdown
     /// always sums to the aggregate even while workers are running.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut reorder = sbcc_graph::OrderTelemetry::default();
         let shards: Vec<ShardStats> = self
             .shards
             .iter()
             .enumerate()
-            .map(|(i, cell)| ShardStats {
-                shard: i,
-                lock_acquisitions: cell.lock_acquisitions.load(Ordering::Relaxed),
-                stats: cell.kernel.lock().stats().clone(),
+            .map(|(i, cell)| {
+                let kernel = cell.kernel.lock();
+                reorder.accumulate(&kernel.reorder_telemetry());
+                ShardStats {
+                    shard: i,
+                    lock_acquisitions: cell.lock_acquisitions.load(Ordering::Relaxed),
+                    stats: kernel.stats().clone(),
+                }
             })
             .collect();
+        reorder.accumulate(&self.global.reorder_telemetry());
         let mut aggregate = KernelStats::default();
         for shard in &shards {
             aggregate.accumulate(&shard.stats);
@@ -1281,6 +1306,7 @@ impl ShardedKernel {
             aggregate,
             shards,
             global_cycle_checks: self.global.cycle_checks(),
+            reorder,
         }
     }
 
@@ -1406,6 +1432,37 @@ mod tests {
         assert_eq!(kernel.object_count(), 16);
         assert!(kernel.register("obj0", Counter::new()).is_err(), "duplicate name");
         assert!(kernel.object_loc(ObjectId(99)).is_none());
+    }
+
+    #[test]
+    fn escalation_graph_honours_the_configured_reorder_strategy() {
+        use sbcc_graph::ReorderStrategy;
+        // T2 is created above T1, so the edge 1 -> 2 violates the order;
+        // which repair runs must follow the configured strategy, not the
+        // graph-crate default.
+        let dense = GlobalGraph::with_reorder(ReorderStrategy::DenseRedistribute);
+        dense.add_edge(TxnId(1), TxnId(2), EdgeKind::WaitFor);
+        let t = dense.reorder_telemetry();
+        assert_eq!(t.violations, 1);
+        assert_eq!(t.slow_path_allocs, 1, "the dense repair allocates");
+
+        let gap = GlobalGraph::with_reorder(ReorderStrategy::GapLabel);
+        gap.add_edge(TxnId(1), TxnId(2), EdgeKind::WaitFor);
+        let t = gap.reorder_telemetry();
+        assert_eq!(t.violations, 1);
+        assert_eq!(t.slow_path_allocs, 0, "the gap repair does not");
+
+        // And ShardedKernel::new threads the scheduler knob through.
+        let kernel = ShardedKernel::new(
+            DatabaseConfig::new(
+                SchedulerConfig::default().with_reorder(ReorderStrategy::DenseRedistribute),
+            )
+            .with_shards(2),
+        );
+        kernel
+            .global
+            .add_edge(TxnId(1), TxnId(2), EdgeKind::WaitFor);
+        assert_eq!(kernel.global.reorder_telemetry().slow_path_allocs, 1);
     }
 
     #[test]

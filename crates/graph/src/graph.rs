@@ -13,23 +13,38 @@
 //! The scheduler runs a cycle check on *every* blocking or recoverable
 //! request — the paper reports this "cycle check ratio" as the dominant cost
 //! of going beyond commutativity. To make the check sub-linear the graph
-//! maintains an **incremental topological order** (Pearce–Kelly style):
+//! maintains an **incremental topological order** (Pearce–Kelly style) over
+//! sparse **gap-numbered `u64` labels**:
 //!
-//! * Every node carries a position `ord(n)`; the maintained invariant is
+//! * Every node carries a label `ord(n)`; the maintained invariant is
 //!   that for every edge `a -> b` (of either kind), `ord(b) < ord(a)` —
-//!   dependencies always sit *below* their dependants.
+//!   dependencies always sit *below* their dependants. Labels are handed
+//!   out with large gaps between them (2³² apart by default), so almost
+//!   every repair finds room without touching anything else.
 //! * [`DependencyGraph::add_edge`] checks the invariant. Inserting
 //!   `from -> to` with `ord(to) < ord(from)` already satisfies it and costs
-//!   O(1). Otherwise only the *affected region* — nodes whose position lies
-//!   between `ord(from)` and `ord(to)` and that are connected to the new
-//!   edge — is discovered by a bounded two-way search and re-numbered by
-//!   redistributing the region's existing positions (the Pearce–Kelly
-//!   reordering). Amortised, DAG-preserving inserts are near-constant.
+//!   O(1). Otherwise only the **forward affected region** — the nodes `to`
+//!   transitively depends on whose label is at or above `ord(from)` — is
+//!   discovered by a pruned search and relabeled *into the gap below
+//!   `ord(from)`*, preserving its internal order. The backward region is
+//!   never touched (its labels stay valid), and regions of up to 32 nodes
+//!   are repaired entirely in fixed inline scratch buffers — **no heap
+//!   allocation** on the common small-violation path. When the gap below
+//!   `ord(from)` is too narrow to hold the region (labels locally
+//!   exhausted), an amortised renumbering spreads all labels back out; the
+//!   gaps it creates make the next exhaustion exponentially far away.
+//!   [`OrderTelemetry`] counts violations, relabeled nodes, allocating
+//!   slow paths and renumber events so benchmarks can verify the
+//!   allocation-free claim. The pre-gap dense redistribution (which
+//!   re-packed the union of both regions into their existing positions,
+//!   allocating on every violation) is retained behind
+//!   [`ReorderStrategy::DenseRedistribute`] as a benchmark baseline.
 //! * [`DependencyGraph::would_close_cycle`] exploits the same invariant:
 //!   a path from a target `t` back to `from` can only run through nodes
-//!   with `ord > ord(from)`, so targets positioned below `from` are
-//!   dismissed in O(1) and the search for the rest is pruned to the
-//!   `(ord(from), ord(t)]` window instead of walking the whole graph.
+//!   with `ord > ord(from)` (labels strictly decrease along every edge),
+//!   so targets positioned at or below `from` are dismissed in O(1) and
+//!   the search for the rest is pruned to the `(ord(from), ord(t)]` label
+//!   window instead of walking the whole graph.
 //! * Node and edge *removals* never violate the invariant, so transaction
 //!   termination costs nothing extra.
 //!
@@ -71,6 +86,157 @@ impl fmt::Display for EdgeKind {
             EdgeKind::WaitFor => write!(f, "wait-for"),
             EdgeKind::CommitDep => write!(f, "commit-dep"),
         }
+    }
+}
+
+/// How [`DependencyGraph::add_edge`] repairs an order violation (an edge
+/// inserted from a lower-labeled node to a higher-labeled one).
+///
+/// The scheduler always runs the default [`ReorderStrategy::GapLabel`];
+/// the dense path is retained — exactly like the SCC oracle next to the
+/// incremental cycle check — so benchmarks and differential tests can run
+/// the old and new reorder side by side.
+///
+/// Set the strategy on a fresh graph (before any edge is inserted): the two
+/// repairs maintain the same invariant but assume their own label layout.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ReorderStrategy {
+    /// Sparse gap-numbered labels: relabel only the forward region into the
+    /// gap below `ord(from)`; allocation-free for regions of up to 32
+    /// nodes; amortised spread-renumbering on gap exhaustion.
+    #[default]
+    GapLabel,
+    /// The pre-gap dense reorder: discover forward *and* backward regions
+    /// and re-pack the union into its own sorted position pool. Allocates
+    /// on every violation.
+    DenseRedistribute,
+}
+
+impl fmt::Display for ReorderStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReorderStrategy::GapLabel => write!(f, "gaplabel"),
+            ReorderStrategy::DenseRedistribute => write!(f, "densereorder"),
+        }
+    }
+}
+
+/// Counters describing the topological-order maintenance work a
+/// [`DependencyGraph`] has performed (the reorder telemetry surfaced
+/// through the kernel's stats snapshot).
+///
+/// The headline claim these counters exist to verify: with
+/// [`ReorderStrategy::GapLabel`], the common small-violation repair is
+/// **allocation-free** — a bench run over small regions must report
+/// `slow_path_allocs == 0` while `violations` keeps counting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrderTelemetry {
+    /// Order violations seen: edge inserts whose target label was at or
+    /// above the source label, requiring a repair (or proving a cycle).
+    pub violations: u64,
+    /// Nodes whose label was rewritten by violation repairs (excludes
+    /// full renumberings, which are counted in `renumber_events`).
+    pub nodes_relabeled: u64,
+    /// Repairs that took an allocating slow path: the affected region
+    /// outgrew the fixed inline scratch buffers, a gap exhaustion forced a
+    /// renumbering, or the dense strategy (which always allocates) ran.
+    pub slow_path_allocs: u64,
+    /// Gap-exhaustion renumberings: the available label gap could not hold
+    /// the relabeled region, so every label was spread back out (amortised
+    /// across the exponentially many inserts the new gaps admit).
+    pub renumber_events: u64,
+}
+
+impl OrderTelemetry {
+    /// Add every counter of `other` into `self` (used to aggregate the
+    /// per-shard graphs plus the escalation graph into one view).
+    pub fn accumulate(&mut self, other: &OrderTelemetry) {
+        self.violations += other.violations;
+        self.nodes_relabeled += other.nodes_relabeled;
+        self.slow_path_allocs += other.slow_path_allocs;
+        self.renumber_events += other.renumber_events;
+    }
+}
+
+/// Default spacing between freshly assigned labels: 2³² leaves room for
+/// 32 levels of midpoint halving between any two neighbours before a
+/// renumbering is needed, while still admitting ~2³² appended nodes.
+const DEFAULT_LABEL_SPACING: u64 = 1 << 32;
+
+/// Capacity of the fixed inline scratch buffers used by the gap-label
+/// repair: regions up to this size are repaired without heap allocation.
+const INLINE_REGION: usize = 32;
+
+/// A fixed-capacity scratch buffer that spills to the heap only when the
+/// region outgrows [`INLINE_REGION`]; `spilled` reports whether that
+/// happened so the telemetry can count allocating slow paths.
+enum Scratch<T: Copy, const CAP: usize> {
+    Inline { buf: [T; CAP], len: usize },
+    Heap(Vec<T>),
+}
+
+impl<T: Copy, const CAP: usize> Scratch<T, CAP> {
+    fn new(fill: T) -> Self {
+        Scratch::Inline {
+            buf: [fill; CAP],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, value: T) {
+        match self {
+            Scratch::Inline { buf, len } => {
+                if *len < CAP {
+                    buf[*len] = value;
+                    *len += 1;
+                } else {
+                    let mut heap = Vec::with_capacity(CAP * 2);
+                    heap.extend_from_slice(&buf[..*len]);
+                    heap.push(value);
+                    *self = Scratch::Heap(heap);
+                }
+            }
+            Scratch::Heap(heap) => heap.push(value),
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        match self {
+            Scratch::Inline { buf, len } => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    Some(buf[*len])
+                }
+            }
+            Scratch::Heap(heap) => heap.pop(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Scratch::Inline { len, .. } => *len,
+            Scratch::Heap(heap) => heap.len(),
+        }
+    }
+
+    fn as_slice(&self) -> &[T] {
+        match self {
+            Scratch::Inline { buf, len } => &buf[..*len],
+            Scratch::Heap(heap) => heap,
+        }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            Scratch::Inline { buf, len } => &mut buf[..*len],
+            Scratch::Heap(heap) => heap,
+        }
+    }
+
+    fn spilled(&self) -> bool {
+        matches!(self, Scratch::Heap(_))
     }
 }
 
@@ -123,15 +289,61 @@ impl<N: NodeId> Default for Adjacency<N> {
 /// Multiple logical edges between the same ordered pair (e.g. several
 /// recoverable operations against the same holder) are reference counted,
 /// so removing one logical edge does not prematurely drop the dependency.
+///
+/// # Example
+///
+/// The scheduler's admission loop in miniature — vet an edge with
+/// [`Self::would_close_cycle`], insert it only on a negative answer, and
+/// watch the maintained order absorb an order-violating insert without
+/// allocating:
+///
+/// ```
+/// use sbcc_graph::{DependencyGraph, EdgeKind};
+///
+/// let mut g: DependencyGraph<u32> = DependencyGraph::new();
+/// // Transactions begin in id order, so their labels ascend with age.
+/// for txn in 1..=3 {
+///     g.add_node(txn);
+/// }
+/// // T2 executed a recoverable op against T1; T3 waits for T2.
+/// g.add_edge(2, 1, EdgeKind::CommitDep);
+/// g.add_edge(3, 2, EdgeKind::WaitFor);
+///
+/// // Would blocking T1 behind T3 close a cycle? (Yes: 3 → 2 → 1.)
+/// assert!(g.would_close_cycle(1, &[3]));
+/// // The reverse direction is fine, and dismissed in O(1) by label.
+/// assert!(!g.would_close_cycle(3, &[1]));
+///
+/// // Dependencies sit below their dependants in the maintained order.
+/// assert!(g.order_position(1).unwrap() < g.order_position(2).unwrap());
+/// assert!(g.order_position(2).unwrap() < g.order_position(3).unwrap());
+///
+/// // `4 -> 5` violates the order (5 is fresher, so labeled higher); the
+/// // gap-label repair relabels just one node and allocates nothing.
+/// g.add_edge(4, 5, EdgeKind::CommitDep);
+/// assert!(g.order_is_valid());
+/// let t = g.order_telemetry();
+/// assert_eq!((t.violations, t.nodes_relabeled, t.slow_path_allocs), (1, 1, 0));
+/// ```
 #[derive(Debug, Clone)]
 pub struct DependencyGraph<N: NodeId> {
     nodes: HashMap<N, Adjacency<N>>,
     cycle_checks: u64,
-    /// Topological position of every node. Invariant (while `order_valid`):
-    /// `ord[b] < ord[a]` for every edge `a -> b`.
+    /// Topological label of every node. Invariant (while `order_valid`):
+    /// `ord[b] < ord[a]` for every edge `a -> b`. Labels are sparse
+    /// (gap-numbered); unrelated nodes may share a label, which the strict
+    /// per-edge invariant tolerates.
     ord: HashMap<N, u64>,
-    /// Source of fresh (always-maximal) positions for new nodes.
+    /// The highest label handed out so far; fresh nodes take
+    /// `next_ord + spacing`.
     next_ord: u64,
+    /// Gap between freshly assigned labels (configurable for tests that
+    /// force gap exhaustion; [`DEFAULT_LABEL_SPACING`] otherwise).
+    spacing: u64,
+    /// How order violations are repaired.
+    reorder: ReorderStrategy,
+    /// Reorder telemetry (violations, relabels, allocs, renumbers).
+    telemetry: OrderTelemetry,
     /// `false` once a cycle-closing edge has been inserted; checks fall
     /// back to full searches until the order is rebuilt.
     order_valid: bool,
@@ -144,13 +356,16 @@ impl<N: NodeId> Default for DependencyGraph<N> {
 }
 
 impl<N: NodeId> DependencyGraph<N> {
-    /// An empty graph.
+    /// An empty graph using the default [`ReorderStrategy::GapLabel`].
     pub fn new() -> Self {
         DependencyGraph {
             nodes: HashMap::new(),
             cycle_checks: 0,
             ord: HashMap::new(),
             next_ord: 0,
+            spacing: DEFAULT_LABEL_SPACING,
+            reorder: ReorderStrategy::default(),
+            telemetry: OrderTelemetry::default(),
             order_valid: true,
         }
     }
@@ -186,15 +401,23 @@ impl<N: NodeId> DependencyGraph<N> {
 
     /// Insert a node with no edges; a no-op if already present.
     ///
-    /// A fresh node receives a position above every existing one — a new
-    /// transaction initially depends on nothing, so placing it last in the
-    /// topological order is always invariant-preserving.
+    /// A fresh node receives a label one gap above every existing one — a
+    /// new transaction initially depends on nothing, so placing it last in
+    /// the topological order is always invariant-preserving, and the gap
+    /// leaves room for later violation repairs to slot nodes in between.
     pub fn add_node(&mut self, n: N) {
-        if let std::collections::hash_map::Entry::Vacant(e) = self.nodes.entry(n) {
-            e.insert(Adjacency::default());
-            self.next_ord += 1;
-            self.ord.insert(n, self.next_ord);
+        if self.nodes.contains_key(&n) {
+            return;
         }
+        if self.next_ord > u64::MAX - self.spacing {
+            // Label space exhausted at the top (only reachable after ~2³²
+            // appends, or with a tiny test spacing): spread all labels
+            // back out before placing the newcomer.
+            self.renumber_spread();
+        }
+        self.nodes.insert(n, Adjacency::default());
+        self.next_ord = self.next_ord.saturating_add(self.spacing);
+        self.ord.insert(n, self.next_ord);
     }
 
     /// Remove a node together with all incident edges (both directions).
@@ -249,8 +472,15 @@ impl<N: NodeId> DependencyGraph<N> {
         *counts.get_mut(kind) += 1;
         let to_adj = self.nodes.get_mut(&to).expect("just inserted");
         to_adj.incoming.insert(from);
-        if was_new_pair && self.order_valid && self.ord[&to] > self.ord[&from] {
-            if !self.restore_order(from, to) {
+        // `>=` rather than `>`: gap relabeling may let *unrelated* nodes
+        // share a label (harmless — the invariant is per edge), so an edge
+        // between two equally labeled nodes is a violation too.
+        if was_new_pair && self.order_valid && self.ord[&to] >= self.ord[&from] {
+            let restored = match self.reorder {
+                ReorderStrategy::GapLabel => self.restore_order_gap(from, to),
+                ReorderStrategy::DenseRedistribute => self.restore_order_dense(from, to),
+            };
+            if !restored {
                 self.order_valid = false;
             }
         }
@@ -258,19 +488,120 @@ impl<N: NodeId> DependencyGraph<N> {
     }
 
     /// Re-establish `ord[b] < ord[a]` after inserting `from -> to` with
-    /// `ord(from) < ord(to)`. Returns `false` when the edge closed a cycle
-    /// (in which case positions are left untouched).
+    /// `ord(to) >= ord(from)`, by relabeling **only the forward region**
+    /// into the label gap below `ord(from)`. Returns `false` when the edge
+    /// closed a cycle (labels are left untouched).
     ///
-    /// Pearce–Kelly: discover the forward region (transitive dependencies of
-    /// `to` positioned at or above `ord(from)`) and the backward region
-    /// (transitive dependants of `from` positioned at or below `ord(to)`),
-    /// then redistribute the union's existing positions — forward region
-    /// first (it must end up below), backward region second — preserving
-    /// each region's relative order.
-    fn restore_order(&mut self, from: N, to: N) -> bool {
+    /// The forward region F is everything `to` transitively depends on with
+    /// a label at or above `lb = ord(from)` (labels strictly decrease along
+    /// edges, so any path back to `from` stays inside that window — the
+    /// same pruning [`Self::would_close_cycle`] uses). Relabeling F to
+    /// fresh labels strictly between `floor` (the highest label among F's
+    /// pruned-out dependencies) and `lb`, preserving F's internal order, is
+    /// sufficient:
+    ///
+    /// * F's external dependencies all sit at or below `floor` — still
+    ///   strictly below every new label;
+    /// * every external dependant of an F node had a label above the node's
+    ///   old label `>= lb` — still strictly above every new label;
+    /// * the backward region needs no move at all, so it is never searched.
+    ///
+    /// Regions of up to [`INLINE_REGION`] nodes are discovered and
+    /// relabeled entirely in fixed stack buffers — no heap allocation. If
+    /// the gap holds fewer than `|F|` fresh labels, the whole graph is
+    /// renumbered with fresh gaps (amortised: the new gaps admit
+    /// exponentially many further repairs).
+    fn restore_order_gap(&mut self, from: N, to: N) -> bool {
+        self.telemetry.violations += 1;
+        let lb = self.ord[&from];
+        // Discovered region in visit order, with old labels; doubles as the
+        // visited set (linear scan while inline, hash set once spilled).
+        let mut region: Scratch<(N, u64), INLINE_REGION> = Scratch::new((to, 0));
+        let mut stack: Scratch<N, INLINE_REGION> = Scratch::new(to);
+        let mut visited_spill: Option<HashSet<N>> = None;
+        let mut floor: u64 = 0;
+        region.push((to, self.ord[&to]));
+        stack.push(to);
+        while let Some(n) = stack.pop() {
+            let Some(adj) = self.nodes.get(&n) else {
+                continue;
+            };
+            for next in adj.out.keys() {
+                if *next == from {
+                    // `to` transitively depends on `from`: the new edge
+                    // closes a cycle. Labels untouched; caller falls back.
+                    if region.spilled() {
+                        self.telemetry.slow_path_allocs += 1;
+                    }
+                    return false;
+                }
+                let next_ord = self.ord[next];
+                if next_ord < lb {
+                    // Pruned external dependency: the region must stay
+                    // strictly above it.
+                    floor = floor.max(next_ord);
+                    continue;
+                }
+                let seen = match &visited_spill {
+                    Some(set) => set.contains(next),
+                    None => region.as_slice().iter().any(|(m, _)| m == next),
+                };
+                if !seen {
+                    region.push((*next, next_ord));
+                    stack.push(*next);
+                    if let Some(set) = &mut visited_spill {
+                        set.insert(*next);
+                    } else if region.spilled() {
+                        // The linear-scan membership check would now be
+                        // quadratic; switch to a hash set.
+                        visited_spill =
+                            Some(region.as_slice().iter().map(|(m, _)| *m).collect());
+                    }
+                }
+            }
+        }
+
+        let count = region.len() as u64;
+        debug_assert!(floor < lb, "pruning keeps external deps below ord(from)");
+        let stride = (lb - floor) / (count + 1);
+        if stride == 0 {
+            // Gap exhausted: the region no longer fits between its external
+            // dependencies and `ord(from)`. Spread every label back out
+            // (the search above proved the graph acyclic, so this yields a
+            // valid order that includes the already-inserted edge).
+            self.telemetry.slow_path_allocs += 1;
+            self.renumber_spread();
+            return true;
+        }
+        // Relabel the region into the gap, preserving its internal order.
+        // (Equal old labels can only belong to edge-unrelated nodes, so
+        // their tie-break order is irrelevant.)
+        region.as_mut_slice().sort_unstable_by_key(|(_, o)| *o);
+        for (i, (n, _)) in region.as_slice().iter().enumerate() {
+            self.ord.insert(*n, floor + stride * (i as u64 + 1));
+        }
+        self.telemetry.nodes_relabeled += count;
+        if region.spilled() {
+            self.telemetry.slow_path_allocs += 1;
+        }
+        true
+    }
+
+    /// The pre-gap dense Pearce–Kelly repair, retained as the benchmark
+    /// baseline behind [`ReorderStrategy::DenseRedistribute`]: discover the
+    /// forward region (transitive dependencies of `to` at or above
+    /// `ord(from)`) and the backward region (transitive dependants of
+    /// `from` at or below `ord(to)`), then redistribute the union's
+    /// existing labels — forward region first (it must end up below),
+    /// backward region second — preserving each region's relative order.
+    /// Returns `false` when the edge closed a cycle. Allocates its region
+    /// vectors, visited set and label pool on every violation.
+    fn restore_order_dense(&mut self, from: N, to: N) -> bool {
+        self.telemetry.violations += 1;
+        self.telemetry.slow_path_allocs += 1;
         let lb = self.ord[&from];
         let ub = self.ord[&to];
-        debug_assert!(lb < ub);
+        debug_assert!(lb < ub, "dense labels are distinct");
 
         // Forward region: everything `to` depends on, pruned below `lb`.
         let mut fwd: Vec<(N, u64)> = Vec::new();
@@ -315,34 +646,34 @@ impl<N: NodeId> DependencyGraph<N> {
         bwd.sort_unstable_by_key(|(_, o)| *o);
         let mut pool: Vec<u64> = fwd.iter().chain(bwd.iter()).map(|(_, o)| *o).collect();
         pool.sort_unstable();
+        self.telemetry.nodes_relabeled += pool.len() as u64;
         for ((n, _), slot) in fwd.iter().chain(bwd.iter()).zip(pool) {
             self.ord.insert(*n, slot);
         }
         true
     }
 
-    /// Attempt to rebuild the topological order from scratch (Kahn's
-    /// algorithm). Succeeds — restoring the fast pruned checks — exactly
-    /// when the graph is currently acyclic.
-    fn try_rebuild_order(&mut self) {
-        // `a -> b` makes `a` depend on `b`: a node becomes ready (and gets
-        // the next-lowest position) once all its dependencies are placed.
+    /// Kahn's algorithm over the current graph: gap-spaced labels for every
+    /// node, or `None` if the graph is cyclic. `a -> b` makes `a` depend on
+    /// `b`, so a node becomes ready (and gets the next-lowest label) once
+    /// all its dependencies are placed.
+    fn kahn_assign(&self, spacing: u64) -> Option<(HashMap<N, u64>, u64)> {
         let mut in_degree: HashMap<N, usize> = self
             .nodes
             .iter()
             .map(|(n, adj)| (*n, adj.out.len()))
             .collect();
-        // Nodes with no outgoing dependencies come first (lowest positions).
+        // Nodes with no outgoing dependencies come first (lowest labels).
         let mut ready: Vec<N> = in_degree
             .iter()
             .filter(|(_, d)| **d == 0)
             .map(|(n, _)| *n)
             .collect();
-        let mut position = 0u64;
+        let mut label = 0u64;
         let mut assigned: HashMap<N, u64> = HashMap::with_capacity(self.nodes.len());
         while let Some(n) = ready.pop() {
-            position += 1;
-            assigned.insert(n, position);
+            label += spacing;
+            assigned.insert(n, label);
             if let Some(adj) = self.nodes.get(&n) {
                 for dependant in &adj.incoming {
                     let d = in_degree.get_mut(dependant).expect("node exists");
@@ -353,10 +684,52 @@ impl<N: NodeId> DependencyGraph<N> {
                 }
             }
         }
-        if assigned.len() == self.nodes.len() {
+        (assigned.len() == self.nodes.len()).then_some((assigned, label))
+    }
+
+    /// The label spacing that keeps `node_count` gap-spaced labels inside
+    /// `u64` with room to spare.
+    fn effective_spacing(&self) -> u64 {
+        let denom = self.nodes.len() as u64 + 2;
+        self.spacing.min(u64::MAX / denom).max(1)
+    }
+
+    /// Attempt to rebuild the topological order from scratch. Succeeds —
+    /// restoring the fast pruned checks — exactly when the graph is
+    /// currently acyclic.
+    fn try_rebuild_order(&mut self) {
+        if let Some((assigned, top)) = self.kahn_assign(self.effective_spacing()) {
             self.ord = assigned;
-            self.next_ord = position;
+            self.next_ord = top;
             self.order_valid = true;
+        }
+    }
+
+    /// Amortised gap-exhaustion renumbering: reassign every label with
+    /// fresh gaps. Reached when a repair finds no room below `ord(from)`,
+    /// or when `add_node` runs out of label space at the top.
+    fn renumber_spread(&mut self) {
+        self.telemetry.renumber_events += 1;
+        match self.kahn_assign(self.effective_spacing()) {
+            Some((assigned, top)) => {
+                self.ord = assigned;
+                self.next_ord = top;
+                self.order_valid = true;
+            }
+            None => {
+                // Cyclic (only reachable from the `add_node` overflow path
+                // while the order is already invalid): labels are unused
+                // until a removal makes the graph acyclic and rebuilds, so
+                // any distinct assignment will do.
+                let spacing = self.effective_spacing();
+                let keys: Vec<N> = self.nodes.keys().copied().collect();
+                let mut label = 0u64;
+                for n in keys {
+                    label += spacing;
+                    self.ord.insert(n, label);
+                }
+                self.next_ord = label;
+            }
         }
     }
 
@@ -367,9 +740,34 @@ impl<N: NodeId> DependencyGraph<N> {
         self.order_valid
     }
 
-    /// The maintained topological position of a node (diagnostics/tests).
+    /// The maintained topological label of a node (diagnostics/tests).
+    /// Labels are sparse: only their relative order is meaningful.
     pub fn order_position(&self, n: N) -> Option<u64> {
         self.ord.get(&n).copied()
+    }
+
+    /// The reorder telemetry accumulated so far (see [`OrderTelemetry`]).
+    pub fn order_telemetry(&self) -> OrderTelemetry {
+        self.telemetry
+    }
+
+    /// The active violation-repair strategy.
+    pub fn reorder_strategy(&self) -> ReorderStrategy {
+        self.reorder
+    }
+
+    /// Select the violation-repair strategy. Call on a fresh graph (before
+    /// any edge insert): each repair assumes its own label layout.
+    pub fn set_reorder_strategy(&mut self, strategy: ReorderStrategy) {
+        self.reorder = strategy;
+    }
+
+    /// Override the gap between freshly assigned labels (clamped to at
+    /// least 1). Meant for tests and benchmarks that force gap exhaustion;
+    /// production graphs keep the default 2³² spacing. Affects labels
+    /// assigned from now on only.
+    pub fn set_label_spacing(&mut self, spacing: u64) {
+        self.spacing = spacing.max(1);
     }
 
     /// Export the graph as a plain adjacency map over distinct `(from, to)`
@@ -553,15 +951,17 @@ impl<N: NodeId> DependencyGraph<N> {
     /// The check is performed **without** mutating the graph, so the caller
     /// can decide to abort the requester instead of inserting the edges.
     ///
-    /// While the topological order is intact the search is pruned by it: a
-    /// path back to `from` can only pass through nodes positioned strictly
-    /// above `ord(from)`, so targets below `from` — the common case, since
-    /// requests usually point at *older* transactions — are dismissed
-    /// without any traversal, and the rest of the search never leaves the
-    /// affected position window. The pruning is sound for any edge-kind
-    /// `filter`, because the order is maintained over the union of both
-    /// kinds and any filtered subgraph of an ordered graph respects the
-    /// same order.
+    /// While the topological order is intact the search is pruned by it:
+    /// labels strictly decrease along every edge, so a path back to `from`
+    /// can only pass through nodes labeled strictly above `ord(from)`.
+    /// Targets at or below `from`'s label — the common case, since requests
+    /// usually point at *older* transactions — are dismissed without any
+    /// traversal (nodes other than `from` *sharing* its label cannot reach
+    /// it either, which is why the dismissal is `<=` rather than `<`), and
+    /// the rest of the search never leaves the affected label window. The
+    /// pruning is sound for any edge-kind `filter`, because the order is
+    /// maintained over the union of both kinds and any filtered subgraph of
+    /// an ordered graph respects the same order.
     pub fn would_close_cycle_filtered(
         &mut self,
         from: N,
@@ -581,9 +981,10 @@ impl<N: NodeId> DependencyGraph<N> {
             if *t == from || !self.nodes.contains_key(t) {
                 continue;
             }
-            if self.order_valid && self.ord[t] < from_ord {
-                // `t` sits below `from` in the order: every node reachable
-                // from `t` sits below `from` too, so `from` is unreachable.
+            if self.order_valid && self.ord[t] <= from_ord {
+                // `t` sits at or below `from`'s label: every node reachable
+                // from `t` sits strictly below `t`, so `from` is
+                // unreachable (`t != from` was checked above).
                 continue;
             }
             if visited.insert(*t) {
@@ -606,7 +1007,7 @@ impl<N: NodeId> DependencyGraph<N> {
                 if *next == from {
                     return true;
                 }
-                if self.order_valid && self.ord[next] < from_ord {
+                if self.order_valid && self.ord[next] <= from_ord {
                     continue;
                 }
                 if visited.insert(*next) {
@@ -656,14 +1057,29 @@ impl<N: NodeId> DependencyGraph<N> {
     ///
     /// The search explores starts and neighbours in ascending node order,
     /// so the returned path — and any victim chosen from it — is
-    /// deterministic for a given graph.
+    /// deterministic for a given graph. While the maintained order is
+    /// intact the search is additionally pruned by it: any node on a path
+    /// to `goal` must be labeled strictly above `ord(goal)`, so lower- or
+    /// equal-labeled neighbours are dead ends. Pruning cannot change the
+    /// returned path (pruned subtrees contain no node that reaches `goal`,
+    /// and only goal-reaching nodes ever sit on the reconstructed parent
+    /// chain), it just skips the dead ends the plain DFS would wade
+    /// through.
     pub fn path_from_any(&self, starts: &[N], goal: N) -> Option<Vec<N>> {
+        let goal_ord = self.order_valid.then(|| self.ord.get(&goal).copied()).flatten();
         let mut parent: HashMap<N, N> = HashMap::new();
         let mut visited: HashSet<N> = HashSet::new();
         let mut stack: Vec<N> = Vec::new();
         let mut ordered_starts: Vec<N> = starts.to_vec();
         ordered_starts.sort_unstable();
         for s in ordered_starts {
+            if s != goal {
+                if let (Some(goal_ord), Some(&s_ord)) = (goal_ord, self.ord.get(&s)) {
+                    if s_ord <= goal_ord {
+                        continue;
+                    }
+                }
+            }
             if visited.insert(s) {
                 stack.push(s);
             }
@@ -690,6 +1106,13 @@ impl<N: NodeId> DependencyGraph<N> {
                 .collect();
             nexts.sort_unstable();
             for next in nexts {
+                if next != goal {
+                    if let Some(goal_ord) = goal_ord {
+                        if self.ord[&next] <= goal_ord {
+                            continue;
+                        }
+                    }
+                }
                 if visited.insert(next) {
                     parent.insert(next, n);
                     stack.push(next);
@@ -1171,6 +1594,139 @@ mod tests {
         assert!(adj[&2].is_empty());
         assert!(adj[&9].is_empty());
         assert!(!crate::cycle::has_cycle_scc(&adj));
+    }
+
+    // ------------------------------------------------------------------
+    // Gap-label specific tests
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn small_violation_repair_is_allocation_free() {
+        let mut g = G::new();
+        // A 7-node chain hanging off node 1..=7, then a violating edge from
+        // the older node 0 into its top: the forward region (7 nodes) fits
+        // the inline scratch and the gap below ord(0) is huge. Nodes are
+        // created in ascending order first so the chain edges themselves
+        // (new depends on old) never violate.
+        for n in 0..=7u64 {
+            g.add_node(n);
+        }
+        for i in 2..=7u64 {
+            g.add_edge(i, i - 1, EdgeKind::CommitDep);
+        }
+        let before = g.order_telemetry();
+        assert_eq!(before.slow_path_allocs, 0);
+        g.add_edge(0, 7, EdgeKind::WaitFor);
+        g.debug_check_order().unwrap();
+        let t = g.order_telemetry();
+        assert_eq!(t.violations, before.violations + 1);
+        assert_eq!(t.nodes_relabeled, before.nodes_relabeled + 7);
+        assert_eq!(t.slow_path_allocs, 0, "small regions must not allocate");
+        assert_eq!(t.renumber_events, 0);
+    }
+
+    #[test]
+    fn oversized_region_takes_the_counted_slow_path() {
+        let mut g = G::new();
+        // A 40-node chain: the forward region spills the 32-slot scratch.
+        for n in 0..=40u64 {
+            g.add_node(n);
+        }
+        for i in 2..=40u64 {
+            g.add_edge(i, i - 1, EdgeKind::CommitDep);
+        }
+        g.add_edge(0, 40, EdgeKind::WaitFor);
+        g.debug_check_order().unwrap();
+        let t = g.order_telemetry();
+        assert_eq!(t.nodes_relabeled, 40);
+        assert_eq!(t.slow_path_allocs, 1, "spilled region counts one alloc");
+    }
+
+    #[test]
+    fn gap_exhaustion_triggers_spread_renumbering() {
+        let mut g = G::new();
+        g.set_label_spacing(1);
+        // Dense labels leave no gaps: ascending chain inserts violate the
+        // order every time and immediately exhaust the gap below.
+        for i in 0..40u64 {
+            g.add_edge(i, i + 1, EdgeKind::CommitDep);
+            g.debug_check_order().unwrap();
+        }
+        assert!(g.order_is_valid());
+        let t = g.order_telemetry();
+        assert_eq!(t.violations, 40);
+        assert!(t.renumber_events > 0, "dense labels must force renumbering");
+        assert!(!g.would_close_cycle(0, &[40]));
+        assert!(g.would_close_cycle(40, &[0]));
+    }
+
+    #[test]
+    fn label_space_overflow_on_append_renumbers() {
+        let mut g = G::new();
+        g.set_label_spacing(u64::MAX / 4);
+        for i in 0..16u64 {
+            g.add_node(i);
+        }
+        assert!(g.order_telemetry().renumber_events > 0);
+        // Every node still carries a distinct-by-need, consistent label.
+        g.add_edge(7, 3, EdgeKind::WaitFor);
+        g.debug_check_order().unwrap();
+    }
+
+    #[test]
+    fn dense_strategy_still_repairs_and_counts_allocs() {
+        let mut g = G::new();
+        g.set_reorder_strategy(ReorderStrategy::DenseRedistribute);
+        assert_eq!(g.reorder_strategy(), ReorderStrategy::DenseRedistribute);
+        for i in 0..30u64 {
+            g.add_edge(i, i + 1, EdgeKind::CommitDep);
+            g.debug_check_order().unwrap();
+        }
+        let t = g.order_telemetry();
+        assert_eq!(t.violations, 30);
+        assert_eq!(t.slow_path_allocs, 30, "the dense repair always allocates");
+        assert!(g.would_close_cycle(30, &[0]));
+        assert!(!g.would_close_cycle(0, &[30]));
+        // Cycle detection still leaves labels untouched and flags the order.
+        g.add_edge(30, 0, EdgeKind::WaitFor);
+        assert!(!g.order_is_valid());
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn telemetry_accumulates_and_strategy_displays() {
+        let mut a = OrderTelemetry {
+            violations: 1,
+            nodes_relabeled: 2,
+            slow_path_allocs: 3,
+            renumber_events: 4,
+        };
+        let b = OrderTelemetry {
+            violations: 10,
+            nodes_relabeled: 20,
+            slow_path_allocs: 30,
+            renumber_events: 40,
+        };
+        a.accumulate(&b);
+        assert_eq!(a.violations, 11);
+        assert_eq!(a.nodes_relabeled, 22);
+        assert_eq!(a.slow_path_allocs, 33);
+        assert_eq!(a.renumber_events, 44);
+        assert_eq!(ReorderStrategy::GapLabel.to_string(), "gaplabel");
+        assert_eq!(ReorderStrategy::DenseRedistribute.to_string(), "densereorder");
+        assert_eq!(ReorderStrategy::default(), ReorderStrategy::GapLabel);
+    }
+
+    #[test]
+    fn cycle_closing_insert_leaves_labels_untouched() {
+        let mut g = G::new();
+        g.add_edge(2, 1, EdgeKind::CommitDep);
+        g.add_edge(3, 2, EdgeKind::CommitDep);
+        let labels: Vec<_> = (1..=3).map(|n| g.order_position(n)).collect();
+        g.add_edge(1, 3, EdgeKind::WaitFor); // closes 1 -> 3 -> 2 -> 1
+        assert!(!g.order_is_valid());
+        let after: Vec<_> = (1..=3).map(|n| g.order_position(n)).collect();
+        assert_eq!(labels, after, "failed repairs must not move labels");
     }
 
     #[test]

@@ -2,10 +2,22 @@
 //! equivalent to the from-scratch SCC oracle (`has_cycle_scc`) across
 //! random edge-insert/remove sequences, and that the cycle-check counter's
 //! semantics stay monotone.
+//!
+//! Since the gap-label rework the suite additionally pins:
+//!
+//! * gap-labeled and dense-redistribute repairs agree with each other and
+//!   with the SCC oracle on every query;
+//! * the maintained labels are a genuine topological order after arbitrary
+//!   edge/remove sequences (every edge's target labeled strictly below its
+//!   source, i.e. sorting by label is a topological sort);
+//! * forced gap exhaustion (label spacing 1) stays correct and actually
+//!   takes the spread-renumbering path;
+//! * the small-violation repair allocates nothing (regression for the
+//!   allocation-free hot-path claim).
 
 use proptest::prelude::*;
 use sbcc_graph::cycle::has_cycle_scc;
-use sbcc_graph::{DependencyGraph, EdgeKind};
+use sbcc_graph::{DependencyGraph, EdgeKind, ReorderStrategy};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -120,4 +132,202 @@ proptest! {
         g.reset_cycle_checks();
         prop_assert_eq!(g.cycle_checks(), 0);
     }
+
+    #[test]
+    fn gap_and_dense_repairs_agree_with_each_other_and_the_oracle(
+        ops in proptest::collection::vec(arb_op(10), 1..60)
+    ) {
+        let mut gap: DependencyGraph<u32> = DependencyGraph::new();
+        let mut dense: DependencyGraph<u32> = DependencyGraph::new();
+        dense.set_reorder_strategy(ReorderStrategy::DenseRedistribute);
+        for op in &ops {
+            match op {
+                Op::AddEdge(a, b, k) => {
+                    gap.add_edge(*a, *b, *k);
+                    dense.add_edge(*a, *b, *k);
+                }
+                Op::RemoveEdge(a, b, k) => {
+                    gap.remove_edge(*a, *b, *k);
+                    dense.remove_edge(*a, *b, *k);
+                }
+                Op::RemoveNode(n) => {
+                    gap.remove_node(*n);
+                    dense.remove_node(*n);
+                }
+                Op::ClearOut(n, k) => {
+                    gap.clear_out_edges(*n, *k);
+                    dense.clear_out_edges(*n, *k);
+                }
+                Op::Query(from, targets) => {
+                    let via_gap = gap.would_close_cycle(*from, targets);
+                    let via_dense = dense.would_close_cycle(*from, targets);
+                    let oracle = gap.would_close_cycle_oracle(*from, targets);
+                    prop_assert_eq!(via_gap, oracle, "gap vs oracle after {:?}", ops);
+                    prop_assert_eq!(via_dense, oracle, "dense vs oracle after {:?}", ops);
+                }
+            }
+            prop_assert!(gap.debug_check_order().is_ok(), "{:?}", gap.debug_check_order());
+            prop_assert!(dense.debug_check_order().is_ok(), "{:?}", dense.debug_check_order());
+            prop_assert_eq!(gap.order_is_valid(), dense.order_is_valid());
+        }
+        // The dense repair allocates on every violation it sees.
+        let dt = dense.order_telemetry();
+        prop_assert_eq!(dt.slow_path_allocs, dt.violations);
+    }
+
+    #[test]
+    fn labels_are_a_topological_order_after_arbitrary_mutations(
+        ops in proptest::collection::vec(arb_op(12), 1..80)
+    ) {
+        let mut g: DependencyGraph<u32> = DependencyGraph::new();
+        for op in &ops {
+            match op {
+                Op::AddEdge(a, b, k) => {
+                    g.add_edge(*a, *b, *k);
+                }
+                Op::RemoveEdge(a, b, k) => {
+                    g.remove_edge(*a, *b, *k);
+                }
+                Op::RemoveNode(n) => {
+                    g.remove_node(*n);
+                }
+                Op::ClearOut(n, k) => {
+                    g.clear_out_edges(*n, *k);
+                }
+                Op::Query(from, targets) => {
+                    let _ = g.would_close_cycle(*from, targets);
+                }
+            }
+            if !g.order_is_valid() {
+                continue;
+            }
+            // Label order ≡ topological order: every edge's target sits
+            // strictly below its source, so sorting nodes by label yields a
+            // topological sort of the exported adjacency.
+            let adj = g.to_adjacency();
+            for (a, targets) in &adj {
+                let a_ord = g.order_position(*a).expect("source labeled");
+                for b in targets {
+                    let b_ord = g.order_position(*b).expect("target labeled");
+                    prop_assert!(
+                        b_ord < a_ord,
+                        "edge {:?} -> {:?} violates label order ({} >= {}) after {:?}",
+                        a, b, b_ord, a_ord, ops
+                    );
+                }
+            }
+            let mut by_label: Vec<u32> = adj.keys().copied().collect();
+            by_label.sort_unstable_by_key(|n| g.order_position(*n).expect("labeled"));
+            let rank: std::collections::HashMap<u32, usize> =
+                by_label.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+            for (a, targets) in &adj {
+                for b in targets {
+                    prop_assert!(rank[b] < rank[a], "label sort is not topological");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forced_gap_exhaustion_stays_correct(
+        ops in proptest::collection::vec(arb_op(8), 1..50)
+    ) {
+        // Spacing 1 leaves no gap anywhere: every repair that needs room
+        // must renumber, exercising the slow path on arbitrary inputs.
+        let mut g: DependencyGraph<u32> = DependencyGraph::new();
+        g.set_label_spacing(1);
+        for op in &ops {
+            match op {
+                Op::AddEdge(a, b, k) => {
+                    g.add_edge(*a, *b, *k);
+                }
+                Op::RemoveEdge(a, b, k) => {
+                    g.remove_edge(*a, *b, *k);
+                }
+                Op::RemoveNode(n) => {
+                    g.remove_node(*n);
+                }
+                Op::ClearOut(n, k) => {
+                    g.clear_out_edges(*n, *k);
+                }
+                Op::Query(from, targets) => {
+                    let incremental = g.would_close_cycle(*from, targets);
+                    let oracle = g.would_close_cycle_oracle(*from, targets);
+                    prop_assert_eq!(incremental, oracle, "diverged after {:?}", ops);
+                }
+            }
+            prop_assert!(g.debug_check_order().is_ok(), "{:?}", g.debug_check_order());
+            prop_assert_eq!(g.has_cycle(), has_cycle_scc(&g.to_adjacency()));
+        }
+        let t = g.order_telemetry();
+        prop_assert!(
+            t.renumber_events <= t.violations,
+            "renumbering only happens while repairing a violation"
+        );
+    }
+}
+
+/// Regression: the small-violation repair — the hot path the gap labels
+/// exist for — must report **zero** allocating slow paths, while the dense
+/// baseline on the same workload allocates every time.
+#[test]
+fn small_violation_path_reports_zero_allocating_slow_paths() {
+    for strategy in [ReorderStrategy::GapLabel, ReorderStrategy::DenseRedistribute] {
+        let mut g: DependencyGraph<u32> = DependencyGraph::new();
+        g.set_reorder_strategy(strategy);
+        let mut expected_violations = 0u64;
+        // 64 disjoint 8-node clusters: a 7-node dependency chain plus one
+        // violating edge from the cluster's oldest node into the chain's
+        // top. Every forward region holds exactly 7 nodes — comfortably
+        // inside the 32-slot inline scratch.
+        for cluster in 0..64u32 {
+            let base = cluster * 8;
+            for n in base..base + 8 {
+                g.add_node(n);
+            }
+            for i in base + 2..base + 8 {
+                g.add_edge(i, i - 1, EdgeKind::CommitDep);
+            }
+            g.add_edge(base, base + 7, EdgeKind::WaitFor);
+            expected_violations += 1;
+            g.debug_check_order().unwrap();
+        }
+        let t = g.order_telemetry();
+        assert_eq!(t.violations, expected_violations, "{strategy}");
+        assert_eq!(t.renumber_events, 0, "{strategy}: default gaps never exhaust here");
+        match strategy {
+            ReorderStrategy::GapLabel => {
+                assert_eq!(t.slow_path_allocs, 0, "small violations must not allocate");
+                assert_eq!(t.nodes_relabeled, expected_violations * 7);
+            }
+            ReorderStrategy::DenseRedistribute => {
+                assert_eq!(
+                    t.slow_path_allocs, expected_violations,
+                    "the dense baseline allocates per violation"
+                );
+            }
+        }
+    }
+}
+
+/// Forced exhaustion, deterministically: dense (spacing-1) labels make an
+/// ascending chain renumber on every insert, and the graph stays correct.
+#[test]
+fn forced_exhaustion_renumbers_and_preserves_reachability() {
+    let mut g: DependencyGraph<u32> = DependencyGraph::new();
+    g.set_label_spacing(1);
+    let n = 200u32;
+    for i in 0..n {
+        g.add_edge(i, i + 1, EdgeKind::CommitDep);
+    }
+    g.debug_check_order().unwrap();
+    assert!(g.order_is_valid());
+    let t = g.order_telemetry();
+    assert!(t.renumber_events > 0, "spacing 1 must exhaust");
+    assert!(g.would_close_cycle(n, &[0]));
+    assert!(!g.would_close_cycle(0, &[n]));
+    assert_eq!(
+        g.would_close_cycle(n / 2, &[n / 2 + 1]),
+        g.would_close_cycle_oracle(n / 2, &[n / 2 + 1])
+    );
 }

@@ -19,22 +19,41 @@ use std::fmt;
 pub type TestRng = StdRng;
 
 /// Runner configuration (only the `cases` knob is honoured).
+///
+/// Like real proptest, the `PROPTEST_CASES` environment variable
+/// overrides the case count — both the default and explicit
+/// [`ProptestConfig::with_cases`] values — so CI can re-run a suite at a
+/// larger case count without touching the tests.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
     /// Number of successful cases required per test.
     pub cases: u32,
 }
 
+/// Parse a `PROPTEST_CASES` value; `None` when absent or unparsable.
+fn parse_cases(raw: Option<&str>) -> Option<u32> {
+    raw?.trim().parse().ok()
+}
+
+/// The `PROPTEST_CASES` override, if set and parsable.
+fn env_cases() -> Option<u32> {
+    parse_cases(std::env::var("PROPTEST_CASES").ok().as_deref())
+}
+
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(64),
+        }
     }
 }
 
 impl ProptestConfig {
-    /// A config running `cases` cases.
+    /// A config running `cases` cases (unless `PROPTEST_CASES` overrides).
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: env_cases().unwrap_or(cases),
+        }
     }
 }
 
@@ -637,6 +656,24 @@ mod tests {
         #[test]
         fn default_config_form_works(pair in (0i64..4, 0i64..4)) {
             prop_assert!(pair.0 < 4 && pair.1 < 4);
+        }
+    }
+
+    #[test]
+    fn case_count_override_parsing() {
+        // The override logic is tested through the pure parser — mutating
+        // the process-global env var would race sibling tests on the
+        // parallel harness.
+        assert_eq!(crate::parse_cases(Some("7")), Some(7));
+        assert_eq!(crate::parse_cases(Some(" 1024 ")), Some(1024));
+        assert_eq!(crate::parse_cases(Some("not a number")), None);
+        assert_eq!(crate::parse_cases(Some("")), None);
+        assert_eq!(crate::parse_cases(None), None);
+        // Without the env var set (the harness never sets it), explicit
+        // and default case counts pass through untouched.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(ProptestConfig::default().cases, 64);
+            assert_eq!(ProptestConfig::with_cases(99).cases, 99);
         }
     }
 

@@ -1,0 +1,82 @@
+//! Markdown cross-link check: every relative link in the root documents
+//! (README, ARCHITECTURE, ROADMAP, CHANGES) must point at a file or
+//! directory that actually exists, so the docs cannot rot when a PR moves
+//! a seam. CI runs this as its own leg (`cargo test -p sbcc --test
+//! doc_links`) next to the rustdoc `-D warnings` pass, which covers the
+//! intra-doc links on the Rust side.
+
+use std::path::Path;
+
+/// Extract `](target)` link targets from markdown, ignoring code spans.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_code_block = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_code_block = !in_code_block;
+            continue;
+        }
+        if in_code_block {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            let tail = &rest[open + 2..];
+            let Some(close) = tail.find(')') else {
+                break;
+            };
+            targets.push(tail[..close].to_owned());
+            rest = &tail[close + 1..];
+        }
+    }
+    targets
+}
+
+#[test]
+fn relative_links_in_root_docs_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let docs = ["README.md", "ARCHITECTURE.md", "ROADMAP.md", "CHANGES.md"];
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for doc in docs {
+        let path = root.join(doc);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{doc} must exist at the repo root: {e}"));
+        for target in link_targets(&text) {
+            // External links and pure anchors are out of scope here.
+            if target.contains("://") || target.starts_with('#') || target.starts_with("mailto:") {
+                continue;
+            }
+            let file = target.split('#').next().unwrap_or(&target);
+            if file.is_empty() {
+                continue;
+            }
+            checked += 1;
+            if !root.join(file).exists() {
+                broken.push(format!("{doc}: ]({target})"));
+            }
+        }
+    }
+    assert!(
+        checked >= 10,
+        "the root docs should cross-link each other (found only {checked} relative links)"
+    );
+    assert!(broken.is_empty(), "broken relative links:\n{}", broken.join("\n"));
+}
+
+#[test]
+fn readme_covers_the_required_sections() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md exists");
+    for needle in [
+        "Beyond Commutativity",          // what the paper is
+        "Crate map",                     // the crate map
+        "Quickstart",                    // the quickstart
+        "cargo build --release && cargo test -q", // the tier-1 command
+        "ARCHITECTURE.md",
+        "ROADMAP.md",
+        "BENCH_kernel.json",
+    ] {
+        assert!(readme.contains(needle), "README.md must mention {needle:?}");
+    }
+}
