@@ -120,7 +120,7 @@ use crate::policy::SchedulerConfig;
 use crate::shard::DatabaseConfig;
 use crate::stats::{KernelStats, StatsSnapshot};
 use crate::txn::{TxnId, TxnState};
-use parking_lot::{Condvar, Mutex};
+use crate::chaos::sync::{Condvar, Mutex};
 use sbcc_adt::{AdtOp, AdtSpec, OpCall, OpResult, SemanticObject};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
@@ -235,7 +235,9 @@ impl AsyncDatabase {
     /// commit or abort itself). A cancellation abort (a dropped operation
     /// future, see the [module docs](self)) surfaces as the
     /// `InvalidState { state: Aborted }` row of that table and is retried
-    /// like any other scheduler abort.
+    /// like any other scheduler abort. The same
+    /// [`SchedulerConfig::max_retries`] budget applies: once exhausted the
+    /// runner returns [`CoreError::RetriesExhausted`] instead of looping.
     ///
     /// ```
     /// use sbcc_core::aio::{block_on, AsyncDatabase};
@@ -259,33 +261,41 @@ impl AsyncDatabase {
     where
         Fut: Future<Output = Result<R, CoreError>>,
     {
+        let max_retries = self.db.max_retries();
+        let mut attempts: usize = 0;
         loop {
+            attempts += 1;
             let txn = self.begin();
             let keeper = txn.clone();
             let id = keeper.id();
-            match body(txn).await {
+            let err = match body(txn).await {
                 Ok(value) => match keeper.commit().await {
                     Ok(_) => return Ok(value),
-                    // Picked as a cycle victim between the body's last
-                    // operation and the commit.
-                    Err(CoreError::InvalidState {
+                    Err(e) => e,
+                },
+                Err(e) => e,
+            };
+            // The commit-side `InvalidState { state: Aborted }` is a cycle
+            // victim picked between the body's last operation and the
+            // commit. The body-side one is the same race as in
+            // `Database::run` — a victim abort observed as a terminated
+            // state before its abort event (with the reason) reaches the
+            // session layer — and also covers cancellation aborts of this
+            // attempt's own operation futures.
+            let retryable = err.is_scheduler_abort_of(id)
+                || matches!(
+                    err,
+                    CoreError::InvalidState {
+                        txn: t,
                         state: TxnState::Aborted,
                         ..
-                    }) => continue,
-                    Err(e) => return Err(e),
-                },
-                Err(e) if e.is_scheduler_abort_of(id) => continue,
-                // Same race as in `Database::run`: a victim abort can be
-                // observed as a terminated state before its abort event
-                // (with the reason) reaches the session layer. This also
-                // covers cancellation aborts of this attempt's own
-                // operation futures.
-                Err(CoreError::InvalidState {
-                    txn: t,
-                    state: TxnState::Aborted,
-                    ..
-                }) if t == id => continue,
-                Err(e) => return Err(e),
+                    } if t == id
+                );
+            if !retryable {
+                return Err(err);
+            }
+            if attempts > max_retries {
+                return Err(CoreError::RetriesExhausted { txn: id, attempts });
             }
         }
     }
@@ -1409,5 +1419,118 @@ mod tests {
         assert!(seen.get());
         assert_eq!(db.stats().commits, 1);
         db.verify_serializable().unwrap();
+    }
+
+    /// A 4-shard database plus `n` object names probed (via
+    /// [`crate::shard::shard_of_name`]) to land on `n` distinct shards, so
+    /// the waiter-race tests below exercise the sharded claim/fill path
+    /// with genuinely cross-shard sessions.
+    fn sharded_db_with_names(n: usize) -> (AsyncDatabase, Vec<String>) {
+        const SHARDS: usize = 4;
+        let db = AsyncDatabase::with_config(
+            DatabaseConfig::new(SchedulerConfig::default()).with_shards(SHARDS),
+        );
+        let mut names = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0.. {
+            let name = format!("obj{i}");
+            if seen.insert(crate::shard::shard_of_name(&name, SHARDS)) {
+                names.push(name);
+                if names.len() == n {
+                    break;
+                }
+            }
+        }
+        (db, names)
+    }
+
+    #[test]
+    fn sharded_cancelled_settle_discards_a_raced_outcome() {
+        // The PR-4 cancellation/delivery race, re-run on the sharded path:
+        // the pending request lives in one shard while the session is also
+        // enrolled in another, so the cancellation abort must fan out
+        // through the coordinator and undo both shards' effects.
+        let (db, names) = sharded_db_with_names(2);
+        let contested = db.register(&names[0], Stack::new());
+        let other = db.register(&names[1], Stack::new());
+        let t1 = db.database().begin();
+        t1.exec(&contested, StackOp::Push(Value::Int(4))).unwrap();
+
+        let t2 = db.begin();
+        let id2 = t2.id();
+        // Enroll in a second shard before blocking in the first.
+        block_on(t2.exec(&other, StackOp::Push(Value::Int(8)))).unwrap();
+        assert!(t2
+            .try_exec_call(&contested, StackOp::Pop.to_call())
+            .unwrap()
+            .is_blocked());
+        {
+            let fut = t2.settle_pending();
+            let mut fut = Box::pin(fut);
+            let mut cx = Context::from_waker(Waker::noop());
+            assert!(fut.as_mut().poll(&mut cx).is_pending());
+            // The holder commits: T2's pop executes and fills the slot...
+            t1.commit().unwrap();
+            // ...but the future is dropped without being polled again.
+        }
+        assert_eq!(db.txn_state(id2), Some(TxnState::Aborted));
+        // The cancellation abort undid the work in *both* shards.
+        let t3 = db.database().begin();
+        assert_eq!(
+            t3.exec(&contested, StackOp::Top).unwrap(),
+            OpResult::Value(Value::Int(4)),
+            "cancelled pop undone in the contested shard"
+        );
+        assert_eq!(
+            t3.exec(&other, StackOp::Top).unwrap(),
+            OpResult::Null,
+            "cancelled push undone in the other shard"
+        );
+        t3.commit().unwrap();
+        db.verify_serializable().unwrap();
+        db.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn sharded_second_concurrent_awaiter_is_rejected_not_orphaned() {
+        // Second-awaiter rejection at 4 shards: the pending-request gate
+        // lives in the session layer, so a clone awaiting from the same
+        // session must be rejected even when the pending request is parked
+        // in a different shard than the clone last touched.
+        let (db, names) = sharded_db_with_names(2);
+        let contested = db.register(&names[0], Stack::new());
+        let other = db.register(&names[1], Stack::new());
+        let t1 = db.database().begin();
+        t1.exec(&contested, StackOp::Push(Value::Int(9))).unwrap();
+
+        let t2 = db.begin();
+        let t2b = t2.clone();
+        block_on(t2.exec(&other, StackOp::Push(Value::Int(1)))).unwrap();
+        assert!(t2
+            .try_exec_call(&contested, StackOp::Pop.to_call())
+            .unwrap()
+            .is_blocked());
+        let first = t2.settle_pending();
+        let mut first = Box::pin(first);
+        let mut cx = Context::from_waker(Waker::noop());
+        assert!(first.as_mut().poll(&mut cx).is_pending());
+        // The clone's competing await is rejected up front...
+        assert!(matches!(
+            block_on(t2b.settle_pending()),
+            Err(CoreError::InvalidState {
+                state: TxnState::Blocked,
+                ..
+            })
+        ));
+        // ...and the original waiter still receives its outcome.
+        t1.commit().unwrap();
+        match first.as_mut().poll(&mut cx) {
+            Poll::Ready(Ok(r)) => assert_eq!(r, OpResult::Value(Value::Int(9))),
+            other => panic!("first awaiter must win, got {other:?}"),
+        }
+        drop(first);
+        block_on(t2.commit()).unwrap();
+        db.verify_serializable().unwrap();
+        db.check_invariants().unwrap();
     }
 }

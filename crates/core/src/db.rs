@@ -126,6 +126,7 @@
 //! assert_eq!(top, OpResult::Value(Value::Int(42)));
 //! ```
 
+use crate::chaos::{self, sync::Condvar, sync::Mutex, ChaosPoint};
 use crate::errors::CoreError;
 use crate::events::{BatchStop, CommitOutcome, KernelEvent, RequestOutcome};
 use crate::object::ObjectId;
@@ -133,7 +134,6 @@ use crate::policy::SchedulerConfig;
 use crate::shard::{DatabaseConfig, ObjectLoc, ShardedKernel};
 use crate::stats::{KernelStats, StatsSnapshot};
 use crate::txn::{BatchCall, TxnId, TxnState};
-use parking_lot::{Condvar, Mutex};
 use sbcc_adt::{AdtOp, AdtSpec, OpCall, OpResult, SemanticObject};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -539,6 +539,7 @@ impl Database {
     /// | Victim selection: another session's request chose this transaction as its cycle victim (only under [`crate::VictimPolicy::Youngest`]) | [`CoreError::Aborted`] with [`AbortReason::VictimSelected`](crate::AbortReason::VictimSelected) | yes |
     /// | Victim abort racing its own outcome delivery (a cross-shard race introduced with the sharded kernel): the victim's session observes the terminated state before the abort event carrying the reason reaches it | [`CoreError::InvalidState`] with `state:` [`TxnState::Aborted`] for the attempt's own transaction, from a body operation **or** from the final commit | yes |
     /// | Explicit aborts, validation errors, aborts of *other* transactions the body propagates | any other [`CoreError`] | no — returned as-is |
+    /// | Retry budget exhausted: a retryable class above recurred more than [`SchedulerConfig::max_retries`] times | [`CoreError::RetriesExhausted`] | no — the livelock guardrail |
     ///
     /// The `InvalidState { state: Aborted }` row is safe to classify as a
     /// scheduler abort because the guard API gives the closure no way to
@@ -550,7 +551,12 @@ impl Database {
     /// non-scheduler reason; under the default
     /// [`crate::VictimPolicy::Requester`] every abort removes the
     /// requester's operations, so some participant of each cycle always
-    /// makes progress.
+    /// makes progress. As a guardrail against adversarial schedules (and
+    /// against fault-injection harnesses deliberately aborting every
+    /// attempt), the loop gives up after
+    /// [`SchedulerConfig::max_retries`] retries with
+    /// [`CoreError::RetriesExhausted`]; the default budget (10 000) is far
+    /// beyond anything a healthy workload reaches.
     ///
     /// # Example
     ///
@@ -593,38 +599,51 @@ impl Database {
         &self,
         mut body: impl FnMut(&Transaction) -> Result<R, CoreError>,
     ) -> Result<R, CoreError> {
+        let max_retries = self.max_retries();
+        let mut attempts: usize = 0;
         loop {
+            attempts += 1;
             let txn = self.begin();
             let id = txn.id();
-            match body(&txn) {
+            let err = match body(&txn) {
                 Ok(value) => match txn.commit() {
                     Ok(_) => return Ok(value),
-                    // The transaction was picked as a cycle victim between
-                    // the body's last operation and the commit.
-                    Err(CoreError::InvalidState {
+                    Err(e) => e,
+                },
+                Err(e) => e,
+            };
+            // The commit-side `InvalidState { state: Aborted }` means the
+            // transaction was picked as a cycle victim between the body's
+            // last operation and the commit. The body-side one is a victim
+            // abort racing the delivery of its outcome: another session's
+            // thread aborts this attempt's transaction inside a shard, and
+            // this thread's next submission observes the terminated state
+            // *before* the abort event (with its reason) reaches the
+            // session layer. The attempt's own transaction can only be
+            // `Aborted` without this closure's involvement by the
+            // scheduler — the guard API offers the closure no way to abort
+            // it — so both are scheduler aborts and retried like one.
+            let retryable = err.is_scheduler_abort_of(id)
+                || matches!(
+                    err,
+                    CoreError::InvalidState {
+                        txn: t,
                         state: TxnState::Aborted,
                         ..
-                    }) => continue,
-                    Err(e) => return Err(e),
-                },
-                Err(e) if e.is_scheduler_abort_of(id) => continue,
-                // A victim abort can race the delivery of its outcome:
-                // another session's thread aborts this attempt's
-                // transaction inside a shard, and this thread's next
-                // submission observes the terminated state *before* the
-                // abort event (with its reason) reaches the session layer.
-                // The attempt's own transaction can only be `Aborted`
-                // without this closure's involvement by the scheduler —
-                // the guard API offers the closure no way to abort it —
-                // so this is a scheduler abort and is retried like one.
-                Err(CoreError::InvalidState {
-                    txn: t,
-                    state: TxnState::Aborted,
-                    ..
-                }) if t == id => continue,
-                Err(e) => return Err(e),
+                    } if t == id
+                );
+            if !retryable {
+                return Err(err);
+            }
+            if attempts > max_retries {
+                return Err(CoreError::RetriesExhausted { txn: id, attempts });
             }
         }
+    }
+
+    /// The configured retry budget shared by both closure runners.
+    pub(crate) fn max_retries(&self) -> usize {
+        self.shared.kernel.config().scheduler.max_retries
     }
 
     /// The current state of a transaction.
@@ -786,9 +805,15 @@ impl Database {
         self.check_loc(loc)?;
         self.admit_submission(txn, "request an operation")?;
         self.ensure_session_enrolled(txn, loc.shard, "request an operation")?;
-        let outcome = self.shared.kernel.request_enrolled(id, loc, call)?;
+        // Deliver before `?`: a rejected request can still have mutated the
+        // kernel (a `Requester`-policy conflict aborts the requester, which
+        // releases its claims and settles other sessions' waiters), so the
+        // generated events must be drained on the error path too. Skipping
+        // delivery here strands those waiters until the *next* kernel entry
+        // — which never comes if this thread was the last one in.
+        let outcome = self.shared.kernel.request_enrolled(id, loc, call);
         self.deliver_events();
-        let outcome = match outcome {
+        let outcome = match outcome? {
             RequestOutcome::Blocked { .. } => self.park_for_outcome(id),
             settled => settled,
         };
@@ -806,6 +831,9 @@ impl Database {
     /// OS thread on the returned slot ([`Database::park_for_outcome`]);
     /// the async front-end polls it ([`WaiterSlot::poll_outcome`]).
     pub(crate) fn claim_or_wait(&self, txn: TxnId) -> Result<RequestOutcome, Arc<WaiterSlot>> {
+        // The claim half of the rendezvous: a fill by a concurrent
+        // deliverer may land just before or just after this window.
+        chaos::reach(ChaosPoint::RendezvousClaim, Some(txn));
         let mut sessions = self.shared.sessions.lock();
         // The request may already have been settled by side effects of
         // the submission itself (the kernel retries blocked requests
@@ -881,8 +909,11 @@ impl Database {
         self.check_loc(loc)?;
         self.admit_submission(txn, "request an operation")?;
         self.ensure_session_enrolled(txn, loc.shard, "request an operation")?;
-        let outcome = self.shared.kernel.request_enrolled(id, loc, call)?;
+        // Deliver before `?` (see `exec_call_raw`): even a rejected request
+        // may have generated settlement events for other sessions.
+        let outcome = self.shared.kernel.request_enrolled(id, loc, call);
         self.deliver_events();
+        let outcome = outcome?;
         if outcome.is_blocked() {
             txn.pending.set(true);
         }
@@ -933,12 +964,15 @@ impl Database {
             self.ensure_session_enrolled(txn, loc.shard, "submit a batch")?;
         }
         let locs_kept = run.locs.clone();
+        // Deliver before `?` (see `exec_call_raw`): a rejected batch may
+        // still have settled other sessions' waiters.
         let outcome = self.shared.kernel.request_batch_enrolled(
             id,
             std::mem::take(&mut run.calls),
             std::mem::take(&mut run.locs),
-        )?;
+        );
         self.deliver_events();
+        let outcome = outcome?;
         run.results.extend(outcome.executed);
         match outcome.stopped {
             None => Ok(BatchPass::Complete),
@@ -1002,9 +1036,16 @@ impl Database {
 
     pub(crate) fn commit_raw(&self, txn: TxnId) -> Result<CommitOutcome, CoreError> {
         let _ = self.shared.take_delivered(txn);
-        let outcome = self.shared.kernel.commit(txn)?;
+        // Deliver before `?`: a commit whose vote aborts the *committer*
+        // (`Err(Aborted)`) has released the transaction's claims, and the
+        // resulting grants to blocked sessions are sitting in the event
+        // queue. They must be drained even though commit itself failed —
+        // found by the DST harness as a cross-session liveness hang when
+        // the aborted committer's session was the last thread to enter the
+        // kernel (seed 133's endless `poll T19` tail).
+        let outcome = self.shared.kernel.commit(txn);
         self.deliver_events();
-        Ok(outcome)
+        Ok(outcome?)
     }
 
     pub(crate) fn abort_raw(&self, txn: TxnId) -> Result<(), CoreError> {
@@ -1019,6 +1060,31 @@ impl Database {
         if events.is_empty() {
             return;
         }
+        // A drained non-empty batch is owned exclusively by this thread;
+        // between here and the sessions lock another session can submit,
+        // terminate, or cancel. A chaos hook may also permute the delivery
+        // order across transactions (per-transaction order preserved) —
+        // cross-transaction delivery order is unordered by contract.
+        chaos::reach(ChaosPoint::DeliverDrain, None);
+        // `chaos::active()` is a compile-time `false` without the feature,
+        // so the reordering branch (and its `Vec<TxnId>`) is statically
+        // dead in release builds.
+        let events = if chaos::active() {
+            let txns: Vec<TxnId> = events.iter().map(|e| e.txn()).collect();
+            match chaos::reorder_events(&txns) {
+                Some(perm) => {
+                    debug_assert_eq!(perm.len(), events.len());
+                    let mut slots: Vec<Option<KernelEvent>> =
+                        events.into_iter().map(Some).collect();
+                    perm.into_iter()
+                        .map(|i| slots[i].take().expect("permutation visits each index once"))
+                        .collect()
+                }
+                None => events,
+            }
+        } else {
+            events
+        };
         // Claim the waiter slots under the sessions lock, but *fill* them
         // (which signals condvars and runs arbitrary `Waker::wake` code of
         // whatever executor the async front-end sits on) only after the
@@ -1029,7 +1095,7 @@ impl Database {
         // this delivery (a cancelled waiter that misses the map falls
         // back to `WaiterSlot::try_take` and discards), so the deferred
         // fill loses no outcome.
-        let mut fills: Vec<(Arc<WaiterSlot>, RequestOutcome)> = Vec::new();
+        let mut fills: Vec<(TxnId, Arc<WaiterSlot>, RequestOutcome)> = Vec::new();
         {
             let mut sessions = self.shared.sessions.lock();
             for event in events {
@@ -1047,7 +1113,7 @@ impl Database {
                     }
                 };
                 match sessions.waiters.remove(&txn) {
-                    Some(slot) => fills.push((slot, outcome)),
+                    Some(slot) => fills.push((txn, slot, outcome)),
                     None => {
                         if sessions.delivered.insert(txn, outcome).is_none() {
                             self.shared
@@ -1059,8 +1125,13 @@ impl Database {
             }
         }
         // Exactly the waiters blocked on these transactions wake; every
-        // other parked invocation stays asleep.
-        for (slot, outcome) in fills {
+        // other parked invocation stays asleep. The claimed-but-unfilled
+        // window (and each gap between two fills) is where a cancellation
+        // or a second delivery can interleave — both chaos points sit in
+        // exactly those gaps.
+        chaos::reach(ChaosPoint::DeliverClaimed, None);
+        for (txn, slot, outcome) in fills {
+            chaos::reach(ChaosPoint::DeliverFill, Some(txn));
             slot.fill(outcome);
         }
     }
@@ -1549,6 +1620,52 @@ mod tests {
         assert!(attempts >= 2, "first attempt must have been retried");
         assert!(db.stats().scheduler_aborts() >= 1);
         db.verify_serializable().unwrap();
+    }
+
+    #[test]
+    fn run_retry_budget_surfaces_retries_exhausted() {
+        // Every attempt's transaction is aborted out from under the runner
+        // (simulating a scheduler that victimizes it each time): with
+        // `max_retries = 2` the runner gives up on the third attempt and
+        // reports the budget, not the underlying per-attempt error.
+        let db = Database::with_config(DatabaseConfig::new(
+            SchedulerConfig::default().with_max_retries(2),
+        ));
+        let s = db.register("c", Stack::new());
+        let mut attempts = 0usize;
+        let err = db
+            .run(|txn| {
+                attempts += 1;
+                txn.exec(&s, StackOp::Push(Value::Int(1)))?;
+                let id = txn.id();
+                db.with_sharded_kernel(|k| k.abort(id)).unwrap();
+                Ok(())
+            })
+            .unwrap_err();
+        match err {
+            CoreError::RetriesExhausted { attempts: a, .. } => {
+                assert_eq!(a, 3, "budget of 2 retries = 3 attempts");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(attempts, 3);
+        // A zero budget fails on the very first retryable error.
+        let db0 = Database::with_config(DatabaseConfig::new(
+            SchedulerConfig::default().with_max_retries(0),
+        ));
+        let s0 = db0.register("c", Stack::new());
+        let err = db0
+            .run(|txn| {
+                txn.exec(&s0, StackOp::Push(Value::Int(1)))?;
+                let id = txn.id();
+                db0.with_sharded_kernel(|k| k.abort(id)).unwrap();
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::RetriesExhausted { attempts: 1, .. }),
+            "got {err:?}"
+        );
     }
 
     #[test]

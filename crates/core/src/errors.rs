@@ -37,6 +37,18 @@ pub enum CoreError {
     /// transaction had no blocked operation in flight and no settled outcome
     /// waiting to be claimed.
     NoPendingOperation(TxnId),
+    /// A retry runner ([`crate::Database::run`] /
+    /// [`crate::aio::AsyncDatabase::run`]) exhausted its
+    /// [`crate::SchedulerConfig::max_retries`] budget: every attempt ended
+    /// in a scheduler abort. The livelock guardrail for adversarial
+    /// schedules and fault-injection harnesses.
+    RetriesExhausted {
+        /// The last attempt's transaction.
+        txn: TxnId,
+        /// Total attempts made (the configured budget plus the initial
+        /// attempt).
+        attempts: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -55,6 +67,12 @@ impl fmt::Display for CoreError {
             }
             CoreError::NoPendingOperation(txn) => {
                 write!(f, "transaction {txn} has no pending operation to settle")
+            }
+            CoreError::RetriesExhausted { txn, attempts } => {
+                write!(
+                    f,
+                    "retry budget exhausted after {attempts} attempts (last transaction {txn})"
+                )
             }
         }
     }
@@ -100,6 +118,9 @@ mod tests {
         assert!(e.to_string().contains("aborted"));
         assert!(CoreError::DuplicateObject("x".into()).to_string().contains("x"));
         assert!(CoreError::NoPendingOperation(t).to_string().contains("T3"));
+        let e = CoreError::RetriesExhausted { txn: t, attempts: 11 };
+        assert!(e.to_string().contains("11 attempts"));
+        assert!(e.to_string().contains("T3"));
     }
 
     #[test]

@@ -325,6 +325,14 @@ impl SchedulerKernel {
                 if let Some(h) = &mut self.history {
                     h.record_pseudo_commit(txn);
                 }
+                // The coordinator collected this shard's dependencies in an
+                // earlier vote pass; the last of them may have terminated in
+                // the window since. `settle` re-runs the zero-out-degree scan
+                // so a pseudo-commit that *starts* dependency-free is queued
+                // for its re-vote immediately — otherwise no future edge
+                // removal would ever report it and the transaction would
+                // stay pseudo-committed forever (found by DST seed replay).
+                self.settle();
                 true
             }
             _ => false,

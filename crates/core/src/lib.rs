@@ -76,6 +76,7 @@
 #![warn(missing_docs)]
 
 pub mod aio;
+pub mod chaos;
 pub mod db;
 pub mod errors;
 pub mod events;
@@ -88,6 +89,7 @@ pub mod stats;
 pub mod txn;
 
 pub use aio::{AsyncBatch, AsyncDatabase, AsyncTransaction, LocalExecutor};
+pub use chaos::{ChaosHook, ChaosPoint};
 pub use db::{Batch, Database, Handle, ObjectHandle, Transaction};
 pub use errors::CoreError;
 pub use events::{

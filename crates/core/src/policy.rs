@@ -135,6 +135,14 @@ pub struct SchedulerConfig {
     /// Record the full execution history (needed by the serializability
     /// checker; adds memory proportional to the number of operations).
     pub record_history: bool,
+    /// Retry budget for the closure runners ([`crate::Database::run`] and
+    /// [`crate::aio::AsyncDatabase::run`]): how many times a scheduler
+    /// abort may restart the body before the runner gives up with
+    /// [`crate::CoreError::RetriesExhausted`]. The default (10 000) is far
+    /// beyond anything a healthy workload reaches — the budget exists so
+    /// adversarial schedules and fault-injection harnesses surface as an
+    /// error instead of a livelock.
+    pub max_retries: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -147,6 +155,7 @@ impl Default for SchedulerConfig {
             cycle_detector: CycleDetector::Incremental,
             reorder: ReorderStrategy::GapLabel,
             record_history: true,
+            max_retries: 10_000,
         }
     }
 }
@@ -201,6 +210,12 @@ impl SchedulerConfig {
         self.record_history = record;
         self
     }
+
+    /// Builder-style: set the retry budget of the closure runners.
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +232,7 @@ mod tests {
         assert_eq!(c.cycle_detector, CycleDetector::Incremental);
         assert_eq!(c.reorder, ReorderStrategy::GapLabel);
         assert!(c.record_history);
+        assert_eq!(c.max_retries, 10_000);
     }
 
     #[test]
@@ -241,7 +257,8 @@ mod tests {
             .with_victim(VictimPolicy::Youngest)
             .with_cycle_detector(CycleDetector::SccOracle)
             .with_reorder(ReorderStrategy::DenseRedistribute)
-            .with_history(false);
+            .with_history(false)
+            .with_max_retries(7);
         assert_eq!(c.policy, ConflictPolicy::CommutativityOnly);
         assert!(!c.fair_scheduling);
         assert_eq!(c.recovery, RecoveryStrategy::UndoReplay);
@@ -249,6 +266,7 @@ mod tests {
         assert_eq!(c.cycle_detector, CycleDetector::SccOracle);
         assert_eq!(c.reorder, ReorderStrategy::DenseRedistribute);
         assert!(!c.record_history);
+        assert_eq!(c.max_retries, 7);
     }
 
     #[test]

@@ -78,7 +78,7 @@ use crate::object::ObjectId;
 use crate::policy::SchedulerConfig;
 use crate::stats::{KernelStats, ShardStats, StatsSnapshot};
 use crate::txn::{BatchCall, TxnId, TxnState};
-use parking_lot::{Mutex, MutexGuard};
+use crate::chaos::{self, sync::Mutex, sync::MutexGuard, ChaosPoint};
 use sbcc_adt::{AdtObject, AdtSpec, OpCall, SemanticObject};
 use sbcc_graph::{DependencyGraph, EdgeKind};
 use std::collections::HashMap;
@@ -997,6 +997,9 @@ impl ShardedKernel {
             // session's) thread.
             let mut deps: Vec<TxnId> = Vec::new();
             for &s in enrolled {
+                // Between two per-shard vote collections: other sessions
+                // can still execute/abort inside not-yet-peeked shards.
+                chaos::reach(ChaosPoint::VotePeek, Some(txn));
                 let kernel = self.peek_shard(s);
                 match kernel.txn_state(txn) {
                     Some(TxnState::Active) => deps.extend(kernel.commit_dependencies_of(txn)),
@@ -1017,6 +1020,9 @@ impl ShardedKernel {
                 // shard (the termination lock keeps the per-shard commit
                 // orders of concurrent multi-shard commits consistent).
                 for &s in enrolled {
+                    // Between two per-shard applications the transaction
+                    // is committed in a prefix of its shards only.
+                    chaos::reach(ChaosPoint::VoteApply, Some(txn));
                     let mut kernel = self.lock_shard(s);
                     kernel.commit_coordinated(txn);
                     let fx = drain_fx(&mut kernel);
@@ -1035,6 +1041,15 @@ impl ShardedKernel {
                     let mut kernel = self.lock_shard(s);
                     let marked = kernel.pseudo_commit_coordinated(txn);
                     debug_assert!(marked, "coordinated pseudo-commit of a non-active txn");
+                    // The dependencies this vote saw may have terminated
+                    // while the per-shard locks were being taken; draining
+                    // fx here picks up the immediate coordination-ready
+                    // signal `pseudo_commit_coordinated` emits in that case
+                    // (the re-vote runs in the absorb pass below, after the
+                    // termination lock is released).
+                    let fx = drain_fx(&mut kernel);
+                    drop(kernel);
+                    fxs.push((s, fx));
                 }
                 if let Some(rec) = self.enroll.lock().live.get_mut(&txn) {
                     rec.pseudo = true;
@@ -1220,6 +1235,10 @@ impl ShardedKernel {
     /// actual commit shard by shard. Returns the side effects of the
     /// applications.
     fn vote(&self, txn: TxnId) -> Vec<(u32, ShardFx)> {
+        // A `drain_coordination_ready` re-vote is starting: the window
+        // between the original pseudo-commit vote and this re-vote is
+        // where dependency settles and victim aborts interleave.
+        chaos::reach(ChaosPoint::ReVote, Some(txn));
         let _termination = self.termination.lock();
         let shards: Vec<u32> = {
             let enroll = self.enroll.lock();
@@ -1304,6 +1323,10 @@ impl ShardedKernel {
         self.apply_lifecycle(&mut aggregate);
         StatsSnapshot {
             aggregate,
+            // The *resolved* topology: even under `ShardCount::Auto` this
+            // records the concrete shard count the database is running
+            // with, so simulation runs and bug reports capture it.
+            shard_count: self.shards.len(),
             shards,
             global_cycle_checks: self.global.cycle_checks(),
             reorder,
@@ -1408,6 +1431,9 @@ mod tests {
             DatabaseConfig::new(SchedulerConfig::default()).with_shards(ShardCount::Auto),
         );
         assert_eq!(kernel.shard_count(), ShardCount::Auto.resolve());
+        // The resolved topology is recorded in the snapshot, so harness
+        // reports and bug reports capture what `auto` actually meant.
+        assert_eq!(kernel.stats_snapshot().shard_count, ShardCount::Auto.resolve());
     }
 
     #[test]
@@ -1558,5 +1584,25 @@ mod tests {
             snapshot.shards.iter().map(|s| s.stats.commits).sum();
         assert_eq!(per_shard_commits, 2);
         assert!(!snapshot.shard_summary().is_empty());
+    }
+
+    /// The coordinator votes (collecting per-shard dependencies) and marks
+    /// the pseudo-commit in two separate critical sections per shard; the
+    /// last dependency can terminate in between. A pseudo-commit whose
+    /// local out-degree is *already* zero must be reported as
+    /// coordination-ready immediately — no later edge removal will ever
+    /// re-report it. (Found as a cross-session hang by DST seed 133.)
+    #[test]
+    fn pseudo_commit_with_no_remaining_deps_is_immediately_coordination_ready() {
+        let mut kernel = SchedulerKernel::new(SchedulerConfig::default());
+        let txn = TxnId(1);
+        kernel.adopt(txn, true);
+        assert!(kernel.pseudo_commit_coordinated(txn));
+        assert_eq!(
+            kernel.drain_coordination_ready(),
+            vec![txn],
+            "dependency-free pseudo-commit must queue its re-vote at once"
+        );
+        assert_eq!(kernel.txn_state(txn), Some(TxnState::PseudoCommitted));
     }
 }

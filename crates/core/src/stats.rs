@@ -163,6 +163,12 @@ pub struct StatsSnapshot {
     /// cross-shard coordinator (each transaction counted exactly once, no
     /// matter how many shards it touched).
     pub aggregate: KernelStats,
+    /// The **resolved** shard count of the topology that produced this
+    /// snapshot. Equals `shards.len()`, but recorded explicitly so a
+    /// database configured with [`crate::ShardCount::Auto`] reports the
+    /// concrete count it resolved to — deterministic-simulation runs and
+    /// bug reports need the actual topology, not the configuration.
+    pub shard_count: usize,
     /// Per-shard breakdown, indexed by shard.
     pub shards: Vec<ShardStats>,
     /// Cycle checks performed on the cross-shard escalation graph (the
@@ -193,7 +199,7 @@ impl StatsSnapshot {
             .collect();
         format!(
             "shards={} locks=[{}] edges(local-only={}, escalated={}) escalated-checks={} global-cycle-checks={} reorder(violations={}, relabeled={}, allocs={}, renumbers={})",
-            self.shards.len(),
+            self.shard_count,
             locks.join(","),
             self.local_only_edges(),
             self.aggregate.escalated_edges,
@@ -236,6 +242,7 @@ mod tests {
                 escalated_checks: 2,
                 ..KernelStats::default()
             },
+            shard_count: 2,
             shards: vec![
                 ShardStats {
                     shard: 0,

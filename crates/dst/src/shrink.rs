@@ -1,0 +1,122 @@
+//! Schedule shrinking: reduce a failing run's decision script to a short,
+//! mostly-canonical one that still fails.
+//!
+//! A run's interleaving is fully described by its decision list (the
+//! choice index of every scheduler pick). Shrinking works directly on
+//! that list: first **prefix bisection** finds a short failing prefix
+//! (choices past the script's end fall back to the canonical index 0),
+//! then **chunk canonicalization** rewrites surviving spans to 0 — a
+//! ddmin-style pass that leaves only the picks that matter. Every
+//! candidate is re-executed, so the result is always a *verified* failing
+//! script, never a guess.
+
+/// Minimize `decisions` under the failure predicate `still_fails`
+/// (which must re-run the schedule described by a candidate script and
+/// report whether it still fails). `budget` caps the number of predicate
+/// evaluations. Returns the shortest failing script found — possibly the
+/// input itself when nothing smaller fails.
+pub fn minimize(
+    decisions: &[u32],
+    mut budget: usize,
+    mut still_fails: impl FnMut(&[u32]) -> bool,
+) -> Vec<u32> {
+    let spend = |script: &[u32], budget: &mut usize, f: &mut dyn FnMut(&[u32]) -> bool| {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        f(script)
+    };
+
+    // Phase 1: prefix bisection. Failure-vs-prefix-length need not be
+    // monotone, so the bisection result is verified and discarded if the
+    // non-monotonicity fooled it.
+    let mut lo = 0usize;
+    let mut hi = decisions.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if spend(&decisions[..mid], &mut budget, &mut still_fails) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let mut best: Vec<u32> =
+        if hi < decisions.len() && spend(&decisions[..hi], &mut budget, &mut still_fails) {
+            decisions[..hi].to_vec()
+        } else {
+            decisions.to_vec()
+        };
+
+    // Phase 2: canonicalize chunks to 0, halving the chunk size.
+    let mut chunk = best.len();
+    while chunk >= 1 && budget > 0 {
+        let mut i = 0;
+        while i < best.len() {
+            let end = (i + chunk).min(best.len());
+            if best[i..end].iter().any(|&d| d != 0) {
+                let mut cand = best.clone();
+                for d in &mut cand[i..end] {
+                    *d = 0;
+                }
+                if spend(&cand, &mut budget, &mut still_fails) {
+                    best = cand;
+                }
+            }
+            i = end;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Trailing canonical choices are implied by the replay rule (past the
+    // script's end the scheduler picks index 0), so drop them.
+    while best.last() == Some(&0) {
+        best.pop();
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Failure depends only on one "poison" decision at index 10 having
+    /// value 3: the minimizer must find a script of exactly 11 entries
+    /// with everything else canonicalized to 0.
+    #[test]
+    fn isolates_the_single_relevant_decision() {
+        let mut decisions = vec![2u32; 40];
+        decisions[10] = 3;
+        let replays = |script: &[u32]| -> bool {
+            // Replay semantics: beyond the script, choices are 0.
+            let at = |i: usize| script.get(i).copied().unwrap_or(0);
+            at(10) == 3
+        };
+        let shrunk = minimize(&decisions, 10_000, replays);
+        assert_eq!(shrunk.len(), 11, "prefix cut right after the poison pick");
+        assert_eq!(shrunk[10], 3);
+        assert!(shrunk[..10].iter().all(|&d| d == 0), "rest canonicalized");
+    }
+
+    #[test]
+    fn returns_input_when_nothing_smaller_fails() {
+        let decisions = vec![1u32, 2, 3];
+        // Only the exact full script fails.
+        let shrunk = minimize(&decisions, 1000, |s: &[u32]| s == [1, 2, 3]);
+        assert_eq!(shrunk, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn respects_the_budget() {
+        let decisions = vec![5u32; 100];
+        let mut calls = 0usize;
+        let _ = minimize(&decisions, 7, |_s: &[u32]| {
+            calls += 1;
+            true
+        });
+        assert!(calls <= 7, "budget overrun: {calls}");
+    }
+}

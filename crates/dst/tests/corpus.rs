@@ -1,0 +1,40 @@
+//! Replay the pinned seed corpus (`tests/dst_corpus.txt` at the repo
+//! root). Every corpus seed must pass: these are schedules chosen to
+//! cover the fault space (cancellations, injected aborts, re-votes,
+//! cross-thread rendezvous) plus pinned regressions. A failure here means
+//! a kernel change broke an interleaving the corpus deliberately covers —
+//! replay it with `repro --dst-replay <seed>` (built with
+//! `--features dst`).
+
+use sbcc_dst::{run_seed, DstConfig, Verdict};
+
+fn corpus_seeds() -> Vec<u64> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/dst_corpus.txt");
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read corpus at {path}: {e}"));
+    let seeds: Vec<u64> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.parse().unwrap_or_else(|_| panic!("bad corpus line {l:?}")))
+        .collect();
+    assert!(!seeds.is_empty(), "empty corpus");
+    seeds
+}
+
+#[test]
+fn every_corpus_seed_passes() {
+    let cfg = DstConfig::default();
+    let mut failures = Vec::new();
+    for seed in corpus_seeds() {
+        let report = run_seed(seed, &cfg);
+        if report.verdict != Verdict::Pass {
+            failures.push(format!(
+                "seed {seed}: {} ({})",
+                report.verdict,
+                report.repro_command()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "corpus failures:\n{}", failures.join("\n"));
+}

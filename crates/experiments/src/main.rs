@@ -7,6 +7,8 @@
 //! repro --summary            recompute the Section 5.6 headline claims
 //! repro --all                tables + figures + summary
 //! repro --bench-kernel       measure kernel throughput, write BENCH_kernel.json
+//! repro --dst                explore seeds in the deterministic-simulation harness
+//! repro --dst-replay SEED    replay one seed, shrinking the schedule on failure
 //!
 //! scale options:
 //!   --quick                  2 000 completions, 1 run, mpl ∈ {10,25,50,100}
@@ -38,6 +40,10 @@ struct Args {
     csv: bool,
     bench_kernel: bool,
     bench_out: Option<String>,
+    dst: bool,
+    dst_seeds: u64,
+    dst_seed_start: u64,
+    dst_replay: Option<u64>,
     help: bool,
 }
 
@@ -69,6 +75,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--bench-kernel" => args.bench_kernel = true,
             "--bench-out" => {
                 args.bench_out = Some(take_value(&mut i)?);
+            }
+            "--dst" => args.dst = true,
+            "--seeds" => {
+                let v = take_value(&mut i)?;
+                args.dst_seeds = v.parse().map_err(|_| format!("invalid seed count {v:?}"))?;
+            }
+            "--seed-start" => {
+                let v = take_value(&mut i)?;
+                args.dst_seed_start =
+                    v.parse().map_err(|_| format!("invalid start seed {v:?}"))?;
+            }
+            "--dst-replay" => {
+                let v = take_value(&mut i)?;
+                args.dst_replay =
+                    Some(v.parse().map_err(|_| format!("invalid replay seed {v:?}"))?);
             }
             "--quick" => args.quick = true,
             "--full" => args.full = true,
@@ -106,6 +127,12 @@ fn usage() -> &'static str {
        repro --all                          tables + figures + summary\n\
        repro --bench-kernel                 measure kernel throughput, write BENCH_kernel.json\n\
          [--bench-out PATH]                 override the output path\n\
+       repro --dst                          explore seeds in the deterministic-simulation\n\
+         [--seeds N]                        harness (default 1000 seeds; prints failing\n\
+         [--seed-start S]                   seeds and their repro commands)\n\
+       repro --dst-replay SEED              replay one seed; on failure, shrink the\n\
+                                            schedule and print the minimized trace\n\
+         (both need a build with --features dst)\n\
      \n\
      scale options:\n\
        --quick             2000 completions, 1 run, mpl in {10,25,50,100}\n\
@@ -138,6 +165,75 @@ fn scale_from(args: &Args) -> Scale {
     scale
 }
 
+/// The deterministic-simulation explorer. Exploration failures and
+/// replay failures exit nonzero so CI legs fail loudly, printing each
+/// failing seed plus its one-line repro command into the job log.
+#[cfg(feature = "dst")]
+fn run_dst(args: &Args) -> Result<(), ExitCode> {
+    use sbcc_dst::{explore, run_seed, shrink_failure, DstConfig};
+
+    let cfg = DstConfig::default();
+    if let Some(seed) = args.dst_replay {
+        eprintln!("# replaying DST seed {seed}");
+        let report = run_seed(seed, &cfg);
+        println!(
+            "seed={seed} verdict={} steps={} commits={} shards={}",
+            report.verdict, report.steps, report.commits, report.shard_count
+        );
+        if report.failed() {
+            eprintln!("# shrinking the failing schedule ({} decisions)", report.decisions.len());
+            let shrunk = shrink_failure(&report, &cfg, 400);
+            println!(
+                "shrunk: {} of {} decisions, verdict={}",
+                shrunk.decisions.len(),
+                report.decisions.len(),
+                shrunk.verdict
+            );
+            println!("--- minimized yield/fault trace ---");
+            print!("{}", shrunk.trace);
+            println!("--- repro: {} ---", report.repro_command());
+            return Err(ExitCode::FAILURE);
+        }
+        print!("{}", report.trace);
+    }
+    if args.dst {
+        let count = if args.dst_seeds == 0 { 1000 } else { args.dst_seeds };
+        let start = args.dst_seed_start;
+        eprintln!("# exploring DST seeds {start}..{}", start + count);
+        let mut done: u64 = 0;
+        let summary = explore(start, count, &cfg, |r| {
+            done += 1;
+            if r.failed() {
+                eprintln!("FAILING SEED {}: {} ({})", r.seed, r.verdict, r.repro_command());
+            } else if done % 500 == 0 {
+                eprintln!("# {done}/{count} seeds, all passing so far");
+            }
+        });
+        println!(
+            "explored {} seeds: {} failing, {} total virtual steps",
+            summary.runs,
+            summary.failures.len(),
+            summary.total_steps
+        );
+        if !summary.failures.is_empty() {
+            for f in &summary.failures {
+                println!("  seed {}: {}  # {}", f.seed, f.verdict, f.repro_command());
+            }
+            return Err(ExitCode::FAILURE);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(not(feature = "dst"))]
+fn run_dst(_args: &Args) -> Result<(), ExitCode> {
+    eprintln!(
+        "error: this repro binary was built without the deterministic-simulation harness;\n\
+         rebuild with `cargo run --release -p sbcc-experiments --features dst -- ...`"
+    );
+    Err(ExitCode::FAILURE)
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -153,10 +249,19 @@ fn main() -> ExitCode {
             && !args.all_figures
             && !args.summary
             && !args.bench_kernel
+            && !args.dst
+            && args.dst_replay.is_none()
             && !args.all)
     {
         println!("{}", usage());
         return ExitCode::SUCCESS;
+    }
+
+    if args.dst || args.dst_replay.is_some() {
+        match run_dst(&args) {
+            Ok(()) => {}
+            Err(code) => return code,
+        }
     }
 
     if args.bench_kernel {

@@ -39,6 +39,18 @@ impl<T: ?Sized> Mutex<T> {
         };
         MutexGuard { inner: Some(guard) }
     }
+
+    /// Acquire the lock only if it is free right now (`None` when another
+    /// thread holds it), without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
 }
 
 /// RAII guard returned by [`Mutex::lock`].
@@ -113,6 +125,17 @@ mod tests {
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held_and_succeeds_after() {
+        let m = Mutex::new(5);
+        {
+            let _held = m.lock();
+            assert!(m.try_lock().is_none(), "held elsewhere");
+        }
+        *m.try_lock().expect("free again") += 1;
+        assert_eq!(*m.lock(), 6);
     }
 
     #[test]
