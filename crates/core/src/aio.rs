@@ -922,6 +922,64 @@ impl Future for YieldNow {
     }
 }
 
+/// The winner of a [`race`] between two futures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceWinner<A, B> {
+    /// The left future resolved first (ties go left).
+    Left(A),
+    /// The right future resolved first.
+    Right(B),
+}
+
+/// Race two futures; the loser is **dropped** when the winner resolves.
+/// Polls left-biased, so a tie resolves `Left`.
+///
+/// This is the session-teardown primitive for connection-oriented
+/// front-ends: race a session's operation future (left) against a
+/// disconnect notification (right). When the notification wins, dropping
+/// the in-flight operation future triggers this module's cancellation
+/// contract — the waiter slot is unregistered and the transaction aborts,
+/// which also unblocks every session waiting *on* it (see the [module
+/// docs](self) on cancellation). No orphaned session outlives its
+/// connection, and no waiter is left stranded behind one.
+pub fn race<A: Future, B: Future>(left: A, right: B) -> Race<A, B> {
+    Race {
+        left: Some(Box::pin(left)),
+        right: Some(Box::pin(right)),
+    }
+}
+
+/// Future returned by [`race`].
+#[derive(Debug)]
+pub struct Race<A: Future, B: Future> {
+    // Boxed so the combinator needs no unsafe pin projection; the races a
+    // front-end runs wrap socket-bound operations, where one small
+    // allocation per operation is noise.
+    left: Option<Pin<Box<A>>>,
+    right: Option<Pin<Box<B>>>,
+}
+
+impl<A: Future, B: Future> Future for Race<A, B> {
+    type Output = RaceWinner<A::Output, B::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let left = this.left.as_mut().expect("Race polled after completion");
+        if let Poll::Ready(value) = left.as_mut().poll(cx) {
+            this.left = None;
+            this.right = None; // drop the loser now, not at Race's drop
+            return Poll::Ready(RaceWinner::Left(value));
+        }
+        let right = this.right.as_mut().expect("Race polled after completion");
+        if let Poll::Ready(value) = right.as_mut().poll(cx) {
+            this.left = None; // drop the loser: cancellation contract fires
+            this.right = None;
+            return Poll::Ready(RaceWinner::Right(value));
+        }
+        Poll::Pending
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -944,6 +1002,79 @@ mod tests {
             }),
             7
         );
+    }
+
+    #[test]
+    fn race_is_left_biased_and_drops_the_loser() {
+        // Tie: both sides are immediately ready, the left wins.
+        assert_eq!(
+            block_on(race(async { 1 }, async { 2 })),
+            RaceWinner::Left(1)
+        );
+        // Left pending, right ready: the right wins.
+        assert_eq!(
+            block_on(race(
+                async {
+                    yield_now().await;
+                    1
+                },
+                async { 2 }
+            )),
+            RaceWinner::Right(2)
+        );
+    }
+
+    #[test]
+    fn race_loss_cancels_a_blocked_operation() {
+        // The disconnect-teardown seam: a blocked exec future loses a race
+        // and is dropped, which must abort its transaction and unblock the
+        // session waiting behind it.
+        let db = db();
+        let s = db.register("jobs", Stack::new());
+        let executor = LocalExecutor::new();
+        let popped: Rc<RefCell<Option<OpResult>>> = Rc::new(RefCell::new(None));
+
+        let holder = db.begin();
+        block_on(holder.exec(&s, StackOp::Push(Value::Int(7)))).unwrap();
+        let blocked_id = Rc::new(Cell::new(None));
+
+        let db2 = db.clone();
+        let s2 = s.clone();
+        let blocked_id2 = blocked_id.clone();
+        executor.spawn(async move {
+            let t = db2.begin();
+            blocked_id2.set(Some(t.id()));
+            // Conflicts with the holder's uncommitted push, so the exec
+            // suspends; the ready right-hand side then wins the race and
+            // the exec future is dropped mid-wait.
+            let won = race(t.exec(&s2, StackOp::Pop), yield_now()).await;
+            assert!(matches!(won, RaceWinner::Right(())));
+        });
+        let db3 = db.clone();
+        let s3 = s.clone();
+        let popped2 = popped.clone();
+        executor.spawn(async move {
+            let t = db3.begin();
+            // Also blocks behind the holder; must not be stranded behind
+            // the cancelled session once the holder commits.
+            let r = t.exec(&s3, StackOp::Pop).await.unwrap();
+            t.commit().await.unwrap();
+            *popped2.borrow_mut() = Some(r);
+        });
+        executor.spawn(async move {
+            // One tick so the race's right side resolves (and the exec is
+            // cancelled) before the holder releases the conflict.
+            yield_now().await;
+            holder.commit().await.unwrap();
+        });
+        executor.run();
+        assert_eq!(
+            db.txn_state(blocked_id.get().unwrap()),
+            Some(TxnState::Aborted),
+            "losing the race aborts the cancelled session"
+        );
+        assert_eq!(*popped.borrow(), Some(OpResult::Value(Value::Int(7))));
+        db.verify_serializable().unwrap();
     }
 
     #[test]

@@ -30,6 +30,16 @@
 //!    delivery order of a drained event batch (per-transaction order is
 //!    preserved by the harness; cross-transaction delivery order is
 //!    unordered by contract).
+//! 4. **Virtual clock** ([`ClockHook`]): time-dependent features (the
+//!    network front-end's per-connection read timeout) consult
+//!    [`timeout_fires`] before trusting the real clock. A harness installs
+//!    a process-global clock hook to *decide* deterministically whether a
+//!    timeout has elapsed — firing timeouts that wall-clock would take
+//!    seconds to reach, or holding them off forever — so the
+//!    timeout/auto-abort paths become schedulable like everything else.
+//!    This hook is process-global (unlike the per-thread [`ChaosHook`])
+//!    because the threads that wait on timeouts are spawned internally by
+//!    the feature under test, where a harness cannot reach them.
 //!
 //! # Zero cost when disabled
 //!
@@ -128,6 +138,46 @@ pub trait ChaosHook: Send + Sync {
     }
 }
 
+/// A named timeout site that consults the virtual clock (see
+/// [`ClockHook`]). The catalog grows with each time-dependent feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TimeoutPoint {
+    /// The network server's per-connection read deadline: the reader saw
+    /// no frame for one poll interval and asks whether the connection's
+    /// read timeout has elapsed (firing tears the connection down and
+    /// auto-aborts its live sessions).
+    NetRead,
+}
+
+impl fmt::Display for TimeoutPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TimeoutPoint::NetRead => "net-read",
+        })
+    }
+}
+
+/// A **process-global** virtual-clock controller, installed by a
+/// deterministic-simulation harness via `install_clock_hook` (present
+/// only with the `chaos` feature, like the thread-hook installers).
+///
+/// Every time-dependent seam polls [`timeout_fires`] each time it would
+/// otherwise consult the real clock. The hook answers:
+///
+/// * `Some(true)` — the virtual deadline has elapsed; fire the timeout
+///   now, regardless of how little wall time has passed.
+/// * `Some(false)` — the virtual deadline has *not* elapsed; keep
+///   waiting, regardless of how much wall time has passed.
+/// * `None` — this site is not under virtual control; use the real clock.
+pub trait ClockHook: Send + Sync {
+    /// Should the timeout at `point` fire? Called from whichever thread
+    /// owns the deadline (often one spawned by the feature under test),
+    /// potentially many times per deadline — implementations must be
+    /// cheap and reentrant.
+    fn timeout_fires(&self, point: TimeoutPoint) -> Option<bool>;
+}
+
 #[cfg(feature = "chaos")]
 mod enabled {
     use super::{ChaosHook, ChaosPoint};
@@ -176,10 +226,39 @@ mod enabled {
         let hook = HOOK.with(|h| h.borrow().clone());
         hook.and_then(|hook| hook.reorder_events(txns))
     }
+
+    use super::{ClockHook, TimeoutPoint};
+    use std::sync::Mutex as StdMutex;
+
+    static CLOCK: StdMutex<Option<Arc<dyn ClockHook>>> = StdMutex::new(None);
+
+    /// Install the **process-global** clock hook (see [`ClockHook`]).
+    /// Replaces any previously installed hook.
+    pub fn install_clock_hook(hook: Arc<dyn ClockHook>) {
+        *CLOCK.lock().expect("clock hook lock") = Some(hook);
+    }
+
+    /// Remove the process-global clock hook (no-op when none is
+    /// installed).
+    pub fn clear_clock_hook() {
+        *CLOCK.lock().expect("clock hook lock") = None;
+    }
+
+    /// Ask the process-global clock hook whether the timeout at `point`
+    /// should fire; `None` (also returned when no hook is installed)
+    /// defers to the real clock.
+    #[inline]
+    pub fn timeout_fires(point: TimeoutPoint) -> Option<bool> {
+        let hook = CLOCK.lock().expect("clock hook lock").clone();
+        hook.and_then(|hook| hook.timeout_fires(point))
+    }
 }
 
 #[cfg(feature = "chaos")]
-pub use enabled::{active, clear_thread_hook, install_thread_hook, reach, reorder_events};
+pub use enabled::{
+    active, clear_clock_hook, clear_thread_hook, install_clock_hook, install_thread_hook, reach,
+    reorder_events, timeout_fires,
+};
 
 #[cfg(not(feature = "chaos"))]
 mod disabled {
@@ -201,10 +280,16 @@ mod disabled {
     pub fn reorder_events(_txns: &[TxnId]) -> Option<Vec<usize>> {
         None
     }
+
+    /// Always defers to the real clock: the `chaos` feature is disabled.
+    #[inline(always)]
+    pub fn timeout_fires(_point: super::TimeoutPoint) -> Option<bool> {
+        None
+    }
 }
 
 #[cfg(not(feature = "chaos"))]
-pub use disabled::{active, reach, reorder_events};
+pub use disabled::{active, reach, reorder_events, timeout_fires};
 
 /// The synchronisation primitives of the concurrency layer.
 ///
@@ -373,6 +458,32 @@ mod tests {
         assert!(!active());
         reach(ChaosPoint::DeliverDrain, None);
         assert_eq!(hook.reached.load(Ordering::Relaxed), 1, "cleared hook not called");
+    }
+
+    struct FixedClock(Option<bool>);
+
+    impl ClockHook for FixedClock {
+        fn timeout_fires(&self, _point: TimeoutPoint) -> Option<bool> {
+            self.0
+        }
+    }
+
+    #[test]
+    fn clock_hook_is_process_global_and_removable() {
+        assert_eq!(timeout_fires(TimeoutPoint::NetRead), None, "no hook yet");
+        install_clock_hook(Arc::new(FixedClock(Some(true))));
+        assert_eq!(timeout_fires(TimeoutPoint::NetRead), Some(true));
+        // Unlike the interleaving hook, the clock is process-global: a
+        // freshly spawned thread (as the server's reader threads are) sees
+        // the same virtual clock.
+        std::thread::spawn(|| {
+            assert_eq!(timeout_fires(TimeoutPoint::NetRead), Some(true));
+        })
+        .join()
+        .unwrap();
+        clear_clock_hook();
+        assert_eq!(timeout_fires(TimeoutPoint::NetRead), None);
+        assert_eq!(TimeoutPoint::NetRead.to_string(), "net-read");
     }
 
     #[test]

@@ -88,8 +88,8 @@ pub mod shard;
 pub mod stats;
 pub mod txn;
 
-pub use aio::{AsyncBatch, AsyncDatabase, AsyncTransaction, LocalExecutor};
-pub use chaos::{ChaosHook, ChaosPoint};
+pub use aio::{race, AsyncBatch, AsyncDatabase, AsyncTransaction, LocalExecutor, RaceWinner};
+pub use chaos::{ChaosHook, ChaosPoint, ClockHook, TimeoutPoint};
 pub use db::{Batch, Database, Handle, ObjectHandle, Transaction};
 pub use errors::CoreError;
 pub use events::{
@@ -106,5 +106,5 @@ pub use sbcc_graph::{OrderTelemetry, ReorderStrategy};
 pub use shard::{
     shard_of_name, DatabaseConfig, GlobalGraph, ObjectLoc, ShardCount, ShardedKernel,
 };
-pub use stats::{KernelStats, ShardStats, StatsSnapshot};
+pub use stats::{KernelStats, NetStats, ShardStats, StatsSnapshot};
 pub use txn::{BatchCall, ExecutedOp, PendingRequest, TxnId, TxnRecord, TxnState};

@@ -198,7 +198,7 @@ impl StatsSnapshot {
             .map(|s| s.lock_acquisitions.to_string())
             .collect();
         format!(
-            "shards={} locks=[{}] edges(local-only={}, escalated={}) escalated-checks={} global-cycle-checks={} reorder(violations={}, relabeled={}, allocs={}, renumbers={})",
+            "shards={} locks=[{}] edges(local-only={}, escalated={}) escalated-checks={} global-cycle-checks={} reorder(violations={}, relabeled={}, allocs={}, renumbers={}, windows={})",
             self.shard_count,
             locks.join(","),
             self.local_only_edges(),
@@ -209,6 +209,49 @@ impl StatsSnapshot {
             self.reorder.nodes_relabeled,
             self.reorder.slow_path_allocs,
             self.reorder.renumber_events,
+            self.reorder.window_renumber_events,
+        )
+    }
+}
+
+/// Counters maintained by a network front-end (the `sbcc-net` server).
+///
+/// Defined here, next to the kernel counters, so every front-end — and the
+/// benches and tests that assert on them — shares one vocabulary. The
+/// kernel itself never touches these; the server snapshots them alongside
+/// [`StatsSnapshot`] so a single read answers "is anything leaked?"
+/// (`connections_open == 0 && transactions_in_flight == 0` after
+/// shutdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections_accepted: u64,
+    /// Connections currently open (a gauge, not a monotone counter).
+    pub connections_open: u64,
+    /// Transactions currently in flight across all connections (a gauge).
+    pub transactions_in_flight: u64,
+    /// Requests refused with a `Busy` shed-load error frame because the
+    /// per-connection in-flight transaction cap was reached.
+    pub shed_busy: u64,
+    /// Connections torn down by the per-connection read timeout while they
+    /// held live transactions.
+    pub read_timeouts: u64,
+    /// Server-side sessions aborted because their connection disconnected
+    /// or timed out mid-transaction (each one also unblocked any waiters).
+    pub sessions_auto_aborted: u64,
+}
+
+impl NetStats {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "conns(accepted={}, open={}) in-flight={} shed-busy={} read-timeouts={} auto-aborted={}",
+            self.connections_accepted,
+            self.connections_open,
+            self.transactions_in_flight,
+            self.shed_busy,
+            self.read_timeouts,
+            self.sessions_auto_aborted,
         )
     }
 }
@@ -216,6 +259,25 @@ impl StatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn net_stats_summary_mentions_every_counter() {
+        let s = NetStats {
+            connections_accepted: 9,
+            connections_open: 2,
+            transactions_in_flight: 3,
+            shed_busy: 4,
+            read_timeouts: 5,
+            sessions_auto_aborted: 6,
+        };
+        let text = s.summary();
+        assert!(text.contains("accepted=9"));
+        assert!(text.contains("open=2"));
+        assert!(text.contains("in-flight=3"));
+        assert!(text.contains("shed-busy=4"));
+        assert!(text.contains("read-timeouts=5"));
+        assert!(text.contains("auto-aborted=6"));
+    }
 
     #[test]
     fn accumulate_sums_every_counter() {
@@ -261,6 +323,7 @@ mod tests {
                 nodes_relabeled: 12,
                 slow_path_allocs: 0,
                 renumber_events: 1,
+                window_renumber_events: 2,
             },
         };
         assert_eq!(snap.local_only_edges(), 6);
@@ -269,7 +332,8 @@ mod tests {
         assert!(text.contains("locks=[7,9]"));
         assert!(text.contains("escalated=4"));
         assert!(text.contains("global-cycle-checks=3"));
-        assert!(text.contains("reorder(violations=5, relabeled=12, allocs=0, renumbers=1)"));
+        assert!(text
+            .contains("reorder(violations=5, relabeled=12, allocs=0, renumbers=1, windows=2)"));
     }
 
     #[test]

@@ -44,7 +44,11 @@
 //! * `async_contended_stack_1thr` — producers hold uncommitted pushes
 //!   while consumers pop and suspend; every pop exercises the
 //!   `Waker`-backed half of the waiter-slot rendezvous on one thread
-//!   (the sync API cannot run this workload single-threaded at all).
+//!   (the sync API cannot run this workload single-threaded at all);
+//! * `net_closedloop_{n}conn` — `n` closed-loop clients over real
+//!   loopback sockets against an in-process wire-protocol server:
+//!   begin / increment burst / commit per wire round trip (see
+//!   [`crate::bench_net`]) — the end-to-end network front-end cost.
 
 use sbcc_adt::{Counter, CounterOp, Stack, StackOp, TableObject, TableOp, Value};
 use sbcc_core::aio::{yield_now, AsyncDatabase, LocalExecutor};
@@ -601,6 +605,17 @@ pub fn run_all(quick: bool) -> Vec<BenchResult> {
     results.push(measure("async_contended_stack_1thr", budget, || {
         async_contended_workload(apairs)
     }));
+    // The network front-end: closed-loop clients over real loopback
+    // sockets against an in-process server — the end-to-end wire
+    // round-trip cost (framing, reader hand-off, router, session task).
+    let (net_txns, net_ops) = if quick { (8, 4) } else { (40, 6) };
+    for conns in [1usize, 4] {
+        results.push(measure(
+            &format!("net_closedloop_{conns}conn"),
+            budget,
+            || crate::bench_net::net_closedloop_workload(conns, net_txns, net_ops),
+        ));
+    }
     results
 }
 
@@ -631,7 +646,7 @@ mod tests {
     #[test]
     fn quick_run_produces_all_entries_and_valid_json() {
         let results = run_all(true);
-        assert_eq!(results.len(), 24);
+        assert_eq!(results.len(), 26);
         for r in &results {
             assert!(r.ops > 0, "{} did work", r.name);
             assert!(r.ops_per_sec > 0.0);
@@ -651,6 +666,8 @@ mod tests {
         assert!(json.contains("async_mux_64txn_1shards_1thr"));
         assert!(json.contains("async_mux_64txn_4shards_1thr"));
         assert!(json.contains("async_contended_stack_1thr"));
+        assert!(json.contains("net_closedloop_1conn"));
+        assert!(json.contains("net_closedloop_4conn"));
         // Crude JSON sanity: balanced braces/brackets, one object per line.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -13,12 +13,16 @@
 //! * [`summary`] — recomputes the Section 5.6 headline claims (peak
 //!   throughput improvements, thrashing onset, ratio orderings);
 //! * [`bench_kernel`] — deterministic kernel-throughput workloads dumped to
-//!   `BENCH_kernel.json` so successive PRs have a perf trajectory.
+//!   `BENCH_kernel.json` so successive PRs have a perf trajectory;
+//! * [`bench_net`] — the closed-loop network benchmark behind
+//!   `repro --serve` / `repro --bench-net` and the `net_closedloop_*`
+//!   kernel-bench entries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench_kernel;
+pub mod bench_net;
 pub mod figures;
 pub mod output;
 pub mod summary;

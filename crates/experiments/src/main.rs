@@ -7,6 +7,8 @@
 //! repro --summary            recompute the Section 5.6 headline claims
 //! repro --all                tables + figures + summary
 //! repro --bench-kernel       measure kernel throughput, write BENCH_kernel.json
+//! repro --serve              run the wire-protocol TCP server
+//! repro --bench-net          closed-loop network benchmark (multi-process capable)
 //! repro --dst                explore seeds in the deterministic-simulation harness
 //! repro --dst-replay SEED    replay one seed, shrinking the schedule on failure
 //!
@@ -19,7 +21,7 @@
 //!   --csv                    emit CSV instead of aligned text
 //! ```
 
-use sbcc_experiments::bench_kernel;
+use sbcc_experiments::{bench_kernel, bench_net};
 use sbcc_experiments::figures::{FigureId, FigureRunner, Scale};
 use sbcc_experiments::summary::compute_summary;
 use sbcc_experiments::tables::render_table;
@@ -40,6 +42,12 @@ struct Args {
     csv: bool,
     bench_kernel: bool,
     bench_out: Option<String>,
+    serve: bool,
+    bench_net: bool,
+    addr: Option<String>,
+    serve_for_ms: Option<u64>,
+    conns: Option<usize>,
+    duration_ms: Option<u64>,
     dst: bool,
     dst_seeds: u64,
     dst_seed_start: u64,
@@ -75,6 +83,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--bench-kernel" => args.bench_kernel = true,
             "--bench-out" => {
                 args.bench_out = Some(take_value(&mut i)?);
+            }
+            "--serve" => args.serve = true,
+            "--bench-net" => args.bench_net = true,
+            "--addr" => {
+                args.addr = Some(take_value(&mut i)?);
+            }
+            "--serve-for-ms" => {
+                let v = take_value(&mut i)?;
+                args.serve_for_ms =
+                    Some(v.parse().map_err(|_| format!("invalid serve budget {v:?}"))?);
+            }
+            "--conns" => {
+                let v = take_value(&mut i)?;
+                args.conns =
+                    Some(v.parse().map_err(|_| format!("invalid connection count {v:?}"))?);
+            }
+            "--duration-ms" => {
+                let v = take_value(&mut i)?;
+                args.duration_ms =
+                    Some(v.parse().map_err(|_| format!("invalid duration {v:?}"))?);
             }
             "--dst" => args.dst = true,
             "--seeds" => {
@@ -127,6 +155,13 @@ fn usage() -> &'static str {
        repro --all                          tables + figures + summary\n\
        repro --bench-kernel                 measure kernel throughput, write BENCH_kernel.json\n\
          [--bench-out PATH]                 override the output path\n\
+       repro --serve                        run the wire-protocol TCP server over a fresh\n\
+         [--addr A]                         database; bind A (default 127.0.0.1:0; the\n\
+         [--serve-for-ms N]                 chosen port is printed), exit after N ms\n\
+       repro --bench-net                    closed-loop network benchmark: clients commit\n\
+         [--addr A]                         increment bursts over real sockets; target a\n\
+         [--conns N]                        `repro --serve` at A or an in-process server,\n\
+         [--duration-ms D]                  N connections (4) for D ms (2000)\n\
        repro --dst                          explore seeds in the deterministic-simulation\n\
          [--seeds N]                        harness (default 1000 seeds; prints failing\n\
          [--seed-start S]                   seeds and their repro commands)\n\
@@ -225,6 +260,98 @@ fn run_dst(args: &Args) -> Result<(), ExitCode> {
     Ok(())
 }
 
+/// `repro --serve`: run the wire-protocol server over a fresh database,
+/// forever or for `--serve-for-ms`. The bound address goes to stdout
+/// first (and is flushed) so a driving process can scrape the port. A
+/// bounded run exits nonzero if shutdown finds leaked connections or
+/// sessions — the CI smoke leg's zero-leak assertion.
+fn run_serve(args: &Args) -> ExitCode {
+    use sbcc_core::aio::AsyncDatabase;
+    use sbcc_net::{Server, ServerConfig};
+    use std::io::Write;
+
+    let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:0".to_owned());
+    let server = match Server::start(
+        AsyncDatabase::new(sbcc_core::SchedulerConfig::default()),
+        ServerConfig::default().with_addr(addr),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    match args.serve_for_ms {
+        Some(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    let stats = server.shutdown();
+    eprintln!("# {}", stats.summary());
+    if stats.connections_open != 0 || stats.transactions_in_flight != 0 {
+        eprintln!("error: shutdown leaked sessions or connections");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro --bench-net`: the closed-loop client side. With `--addr` it
+/// drives a separately launched `repro --serve` (multi-process); without
+/// it, an in-process server.
+fn run_bench_net(args: &Args) -> ExitCode {
+    use sbcc_core::aio::AsyncDatabase;
+    use sbcc_net::{Server, ServerConfig};
+    use std::net::ToSocketAddrs;
+
+    let conns = args.conns.unwrap_or(4).max(1);
+    let budget = std::time::Duration::from_millis(args.duration_ms.unwrap_or(2000));
+    let ops_per_txn = 6;
+    let report = match &args.addr {
+        Some(addr) => {
+            let target = match addr.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+                Some(t) => t,
+                None => {
+                    eprintln!("error: cannot resolve {addr:?}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("# driving {conns} closed-loop conns against {target} for {budget:?}");
+            bench_net::closed_loop_timed(target, conns, ops_per_txn, budget)
+        }
+        None => {
+            eprintln!("# driving {conns} closed-loop conns against an in-process server for {budget:?}");
+            let server = match Server::start(
+                AsyncDatabase::new(sbcc_core::SchedulerConfig::default()),
+                ServerConfig::default(),
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: cannot bind in-process server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report =
+                bench_net::closed_loop_timed(server.local_addr(), conns, ops_per_txn, budget);
+            let stats = server.shutdown();
+            eprintln!("# {}", stats.summary());
+            if stats.connections_open != 0 || stats.transactions_in_flight != 0 {
+                eprintln!("error: bench leaked sessions or connections");
+                return ExitCode::FAILURE;
+            }
+            report
+        }
+    };
+    println!("{}", report.render_text());
+    if report.txns_committed == 0 {
+        eprintln!("error: the closed loop committed nothing");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 #[cfg(not(feature = "dst"))]
 fn run_dst(_args: &Args) -> Result<(), ExitCode> {
     eprintln!(
@@ -249,12 +376,21 @@ fn main() -> ExitCode {
             && !args.all_figures
             && !args.summary
             && !args.bench_kernel
+            && !args.serve
+            && !args.bench_net
             && !args.dst
             && args.dst_replay.is_none()
             && !args.all)
     {
         println!("{}", usage());
         return ExitCode::SUCCESS;
+    }
+
+    if args.serve {
+        return run_serve(&args);
+    }
+    if args.bench_net {
+        return run_bench_net(&args);
     }
 
     if args.dst || args.dst_replay.is_some() {

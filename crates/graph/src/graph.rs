@@ -31,11 +31,12 @@
 //!   are repaired entirely in fixed inline scratch buffers — **no heap
 //!   allocation** on the common small-violation path. When the gap below
 //!   `ord(from)` is too narrow to hold the region (labels locally
-//!   exhausted), an amortised renumbering spreads all labels back out; the
-//!   gaps it creates make the next exhaustion exponentially far away.
-//!   [`OrderTelemetry`] counts violations, relabeled nodes, allocating
-//!   slow paths and renumber events so benchmarks can verify the
-//!   allocation-free claim. The pre-gap dense redistribution (which
+//!   exhausted), a **windowed renumbering** respaces only a bounded run of
+//!   labels just above the violation — the rest of the graph keeps its
+//!   labels, and the restored gaps make the next local exhaustion far
+//!   away. [`OrderTelemetry`] counts violations, relabeled nodes,
+//!   allocating slow paths and both renumber flavours so benchmarks can
+//!   verify the allocation-free claim. The pre-gap dense redistribution (which
 //!   re-packed the union of both regions into their existing positions,
 //!   allocating on every violation) is retained behind
 //!   [`ReorderStrategy::DenseRedistribute`] as a benchmark baseline.
@@ -141,10 +142,16 @@ pub struct OrderTelemetry {
     /// outgrew the fixed inline scratch buffers, a gap exhaustion forced a
     /// renumbering, or the dense strategy (which always allocates) ran.
     pub slow_path_allocs: u64,
-    /// Gap-exhaustion renumberings: the available label gap could not hold
-    /// the relabeled region, so every label was spread back out (amortised
-    /// across the exponentially many inserts the new gaps admit).
+    /// Full spread renumberings: every label reassigned with fresh gaps.
+    /// Since the windowed pass landed this is only reachable from the
+    /// `add_node` top-of-label-space overflow (and a defensive fallback);
+    /// gap exhaustion inside a repair takes the windowed pass instead.
     pub renumber_events: u64,
+    /// Windowed gap-exhaustion renumberings: the gap below `ord(from)`
+    /// could not hold the relabeled region, so a bounded window of labels
+    /// just above the violation was respaced — without touching the rest
+    /// of the graph or walking its edges.
+    pub window_renumber_events: u64,
 }
 
 impl OrderTelemetry {
@@ -155,6 +162,7 @@ impl OrderTelemetry {
         self.nodes_relabeled += other.nodes_relabeled;
         self.slow_path_allocs += other.slow_path_allocs;
         self.renumber_events += other.renumber_events;
+        self.window_renumber_events += other.window_renumber_events;
     }
 }
 
@@ -166,6 +174,13 @@ const DEFAULT_LABEL_SPACING: u64 = 1 << 32;
 /// Capacity of the fixed inline scratch buffers used by the gap-label
 /// repair: regions up to this size are repaired without heap allocation.
 const INLINE_REGION: usize = 32;
+
+/// Gap the windowed renumbering aims to restore between neighbouring
+/// labels. Deliberately smaller than [`DEFAULT_LABEL_SPACING`]: the window
+/// only needs enough room for the next several repairs in this
+/// neighbourhood, and a modest target keeps the window (and therefore the
+/// number of rewritten labels) small.
+const WINDOW_TARGET_STRIDE: u64 = 1 << 16;
 
 /// A fixed-capacity scratch buffer that spills to the heap only when the
 /// region outgrows [`INLINE_REGION`]; `spilled` reports whether that
@@ -508,9 +523,10 @@ impl<N: NodeId> DependencyGraph<N> {
     ///
     /// Regions of up to [`INLINE_REGION`] nodes are discovered and
     /// relabeled entirely in fixed stack buffers — no heap allocation. If
-    /// the gap holds fewer than `|F|` fresh labels, the whole graph is
-    /// renumbered with fresh gaps (amortised: the new gaps admit
-    /// exponentially many further repairs).
+    /// the gap holds fewer than `|F|` fresh labels, a bounded window of
+    /// labels just above the violation is respaced
+    /// ([`Self::renumber_window`]) — the rest of the graph keeps its
+    /// labels.
     fn restore_order_gap(&mut self, from: N, to: N) -> bool {
         self.telemetry.violations += 1;
         let lb = self.ord[&from];
@@ -566,11 +582,12 @@ impl<N: NodeId> DependencyGraph<N> {
         let stride = (lb - floor) / (count + 1);
         if stride == 0 {
             // Gap exhausted: the region no longer fits between its external
-            // dependencies and `ord(from)`. Spread every label back out
-            // (the search above proved the graph acyclic, so this yields a
-            // valid order that includes the already-inserted edge).
+            // dependencies and `ord(from)`. Respace a bounded window of
+            // labels just above the violation (the search above proved the
+            // graph acyclic below `from`, so the windowed relabeling yields
+            // a valid order that includes the already-inserted edge).
             self.telemetry.slow_path_allocs += 1;
-            self.renumber_spread();
+            self.renumber_window(from, region.as_slice(), floor);
             return true;
         }
         // Relabel the region into the gap, preserving its internal order.
@@ -585,6 +602,94 @@ impl<N: NodeId> DependencyGraph<N> {
             self.telemetry.slow_path_allocs += 1;
         }
         true
+    }
+
+    /// Windowed gap-exhaustion renumbering: the gap `(floor, ord(from))`
+    /// cannot hold the forward region `region`, so instead of spreading
+    /// every label in the graph, respace only a **bounded window** of the
+    /// lowest labels above `floor` — just enough of them that the span up
+    /// to the first *retained* label fits the window at a healthy stride.
+    ///
+    /// Within the window, region nodes are placed as if labeled
+    /// `ord(from)` (keeping their internal order), immediately *before*
+    /// `from` itself; every other window node keeps its relative position.
+    /// This is invariant-preserving because
+    ///
+    /// * all region out-edges either stay inside the region or lead to
+    ///   labels at or below `floor` (that is what the pruned search
+    ///   established), so moving the region down to `ord(from)` crosses no
+    ///   dependency of its own;
+    /// * an edge from a window node into the region implied the source's
+    ///   old label was above the region node's (≥ `ord(from)`), and the
+    ///   composite sort keeps every such source after the region block;
+    /// * new labels all sit strictly between `floor` and the first
+    ///   retained label, so edges across the window boundary (which always
+    ///   point from above to below in label order) are undisturbed.
+    ///
+    /// The full [`Self::renumber_spread`] remains only as the `add_node`
+    /// top-of-space overflow path and a defensive fallback here.
+    fn renumber_window(&mut self, from: N, region: &[(N, u64)], floor: u64) {
+        self.telemetry.window_renumber_events += 1;
+        let lb = self.ord[&from];
+        let target = self.effective_spacing().min(WINDOW_TARGET_STRIDE);
+        // Everything labeled above `floor`, ascending. Collecting is O(V),
+        // but only the window prefix is rewritten.
+        let mut above: Vec<(N, u64)> = self
+            .ord
+            .iter()
+            .filter(|(_, o)| **o > floor)
+            .map(|(n, o)| (*n, *o))
+            .collect();
+        above.sort_unstable_by_key(|(_, o)| *o);
+        // The window must cover the region and `from` (all labeled in
+        // `(floor, region_max]`); grow it until the span up to the first
+        // retained label admits the target stride.
+        let region_max = region.iter().map(|(_, o)| *o).fold(lb, u64::max);
+        let mut k = above.partition_point(|(_, o)| *o <= region_max);
+        loop {
+            // Never split a run of equal labels across the boundary: keep
+            // the reasoning simple even though equal labels only belong to
+            // edge-unrelated nodes.
+            while k < above.len() && above[k].1 == above[k - 1].1 {
+                k += 1;
+            }
+            if k == above.len() {
+                break;
+            }
+            if (above[k].1 - floor) / (k as u64 + 1) >= target {
+                break;
+            }
+            k += 1;
+        }
+        let next = if k < above.len() { above[k].1 } else { u64::MAX };
+        let stride = ((next - floor) / (k as u64 + 1)).min(self.effective_spacing());
+        if stride == 0 {
+            // Pathological (label space truly saturated in this span):
+            // fall back to the full spread.
+            self.renumber_spread();
+            return;
+        }
+        // Composite key: region nodes act as if labeled `lb` and sort
+        // before `from` (flag 0 vs 1); everyone else keeps position by old
+        // label. The old label tie-breaks region-internal order.
+        let in_region: HashSet<N> = region.iter().map(|(n, _)| *n).collect();
+        let window = &mut above[..k];
+        window.sort_unstable_by_key(|(n, o)| {
+            if in_region.contains(n) {
+                (lb, 0u8, *o)
+            } else {
+                (*o, 1u8, *o)
+            }
+        });
+        for (i, (n, _)) in window.iter().enumerate() {
+            self.ord.insert(*n, floor + stride * (i as u64 + 1));
+        }
+        self.telemetry.nodes_relabeled += k as u64;
+        if k == above.len() {
+            // The window reached the top of the order: the next appended
+            // node must land above the respaced labels.
+            self.next_ord = floor + stride * (k as u64);
+        }
     }
 
     /// The pre-gap dense Pearce–Kelly repair, retained as the benchmark
@@ -705,9 +810,11 @@ impl<N: NodeId> DependencyGraph<N> {
         }
     }
 
-    /// Amortised gap-exhaustion renumbering: reassign every label with
-    /// fresh gaps. Reached when a repair finds no room below `ord(from)`,
-    /// or when `add_node` runs out of label space at the top.
+    /// Full spread renumbering: reassign every label with fresh gaps.
+    /// Reached when `add_node` runs out of label space at the top, or as
+    /// the defensive fallback when even [`Self::renumber_window`] finds a
+    /// saturated span. (Repair-time gap exhaustion takes the windowed pass
+    /// instead.)
     fn renumber_spread(&mut self) {
         self.telemetry.renumber_events += 1;
         match self.kahn_assign(self.effective_spacing()) {
@@ -1623,6 +1730,7 @@ mod tests {
         assert_eq!(t.nodes_relabeled, before.nodes_relabeled + 7);
         assert_eq!(t.slow_path_allocs, 0, "small regions must not allocate");
         assert_eq!(t.renumber_events, 0);
+        assert_eq!(t.window_renumber_events, 0);
     }
 
     #[test]
@@ -1643,7 +1751,7 @@ mod tests {
     }
 
     #[test]
-    fn gap_exhaustion_triggers_spread_renumbering() {
+    fn gap_exhaustion_triggers_windowed_renumbering() {
         let mut g = G::new();
         g.set_label_spacing(1);
         // Dense labels leave no gaps: ascending chain inserts violate the
@@ -1655,9 +1763,48 @@ mod tests {
         assert!(g.order_is_valid());
         let t = g.order_telemetry();
         assert_eq!(t.violations, 40);
-        assert!(t.renumber_events > 0, "dense labels must force renumbering");
+        assert!(
+            t.window_renumber_events > 0,
+            "dense labels must force windowed renumbering"
+        );
+        assert_eq!(
+            t.renumber_events, 0,
+            "repair-time exhaustion must never fall back to the full spread"
+        );
         assert!(!g.would_close_cycle(0, &[40]));
         assert!(g.would_close_cycle(40, &[0]));
+    }
+
+    #[test]
+    fn windowed_renumbering_leaves_labels_below_the_floor_untouched() {
+        let mut g = G::new();
+        g.set_label_spacing(1);
+        // A low cluster 0..=5 (ascending creation, edges new -> old: no
+        // violations), then a second cluster whose violation repairs are
+        // floored *above* the low cluster by a pruned dependency on node 5.
+        for n in 0..=5u64 {
+            g.add_node(n);
+        }
+        for i in 0..5u64 {
+            g.add_edge(i + 1, i, EdgeKind::CommitDep);
+        }
+        for n in 100..=140u64 {
+            g.add_node(n);
+        }
+        let low_labels: Vec<_> = (0..=5u64).map(|n| g.order_position(n).unwrap()).collect();
+        for i in 100..140u64 {
+            g.add_edge(i + 1, 5, EdgeKind::CommitDep); // in order: no violation
+            g.add_edge(i, i + 1, EdgeKind::CommitDep); // violates every time
+            g.debug_check_order().unwrap();
+        }
+        assert!(g.order_telemetry().window_renumber_events > 0);
+        assert_eq!(g.order_telemetry().renumber_events, 0);
+        let after: Vec<_> = (0..=5u64).map(|n| g.order_position(n).unwrap()).collect();
+        assert_eq!(
+            low_labels, after,
+            "the window is floored above the pruned dependency; \
+             labels below it must not move"
+        );
     }
 
     #[test]
@@ -1700,18 +1847,21 @@ mod tests {
             nodes_relabeled: 2,
             slow_path_allocs: 3,
             renumber_events: 4,
+            window_renumber_events: 5,
         };
         let b = OrderTelemetry {
             violations: 10,
             nodes_relabeled: 20,
             slow_path_allocs: 30,
             renumber_events: 40,
+            window_renumber_events: 50,
         };
         a.accumulate(&b);
         assert_eq!(a.violations, 11);
         assert_eq!(a.nodes_relabeled, 22);
         assert_eq!(a.slow_path_allocs, 33);
         assert_eq!(a.renumber_events, 44);
+        assert_eq!(a.window_renumber_events, 55);
         assert_eq!(ReorderStrategy::GapLabel.to_string(), "gaplabel");
         assert_eq!(ReorderStrategy::DenseRedistribute.to_string(), "densereorder");
         assert_eq!(ReorderStrategy::default(), ReorderStrategy::GapLabel);

@@ -261,8 +261,12 @@ proptest! {
         }
         let t = g.order_telemetry();
         prop_assert!(
-            t.renumber_events <= t.violations,
-            "renumbering only happens while repairing a violation"
+            t.window_renumber_events <= t.violations,
+            "windowed renumbering only happens while repairing a violation"
+        );
+        prop_assert_eq!(
+            t.renumber_events, 0,
+            "repair-time exhaustion must take the windowed pass, not the full spread"
         );
     }
 }
@@ -295,6 +299,7 @@ fn small_violation_path_reports_zero_allocating_slow_paths() {
         let t = g.order_telemetry();
         assert_eq!(t.violations, expected_violations, "{strategy}");
         assert_eq!(t.renumber_events, 0, "{strategy}: default gaps never exhaust here");
+        assert_eq!(t.window_renumber_events, 0, "{strategy}: no windowed pass either");
         match strategy {
             ReorderStrategy::GapLabel => {
                 assert_eq!(t.slow_path_allocs, 0, "small violations must not allocate");
@@ -323,7 +328,8 @@ fn forced_exhaustion_renumbers_and_preserves_reachability() {
     g.debug_check_order().unwrap();
     assert!(g.order_is_valid());
     let t = g.order_telemetry();
-    assert!(t.renumber_events > 0, "spacing 1 must exhaust");
+    assert!(t.window_renumber_events > 0, "spacing 1 must exhaust");
+    assert_eq!(t.renumber_events, 0, "exhaustion takes the windowed pass");
     assert!(g.would_close_cycle(n, &[0]));
     assert!(!g.would_close_cycle(0, &[n]));
     assert_eq!(

@@ -18,6 +18,10 @@
 //!   transactions — see `examples/async_front_end.rs`).
 //! * [`sim`] — the closed-queuing-network simulator and workload generators
 //!   used to reproduce the paper's evaluation (Figures 4–18).
+//! * [`net`] — the wire-protocol TCP front-end: a [`net::Server`]
+//!   multiplexing client connections onto async sessions, and a
+//!   blocking/pipelined [`net::NetClient`] (see
+//!   `examples/net_client.rs`).
 //!
 //! `ARCHITECTURE.md` at the repository root maps how these layers fit
 //! together (graph → kernel → shard coordinator → sync/async front-ends →
@@ -56,6 +60,7 @@
 pub use sbcc_adt as adt;
 pub use sbcc_core as core;
 pub use sbcc_graph as graph;
+pub use sbcc_net as net;
 pub use sbcc_sim as sim;
 
 /// Version of the SBCC workspace.
