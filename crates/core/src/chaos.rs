@@ -85,6 +85,11 @@ pub enum ChaosPoint {
     /// A `drain_coordination_ready` re-vote is starting for a
     /// pseudo-committed coordinated transaction.
     ReVote,
+    /// Between the per-shard write-ahead-log flushes of a multi-shard
+    /// commit's fragments (after the fragments are appended, before the
+    /// cross-shard marker is written): a crash here must lose the whole
+    /// transaction at recovery.
+    WalFlush,
     /// A cooperative [`sync::Mutex`] found the lock held and yields before
     /// retrying.
     LockContended,
@@ -103,6 +108,7 @@ impl fmt::Display for ChaosPoint {
             ChaosPoint::VotePeek => "vote-peek",
             ChaosPoint::VoteApply => "vote-apply",
             ChaosPoint::ReVote => "re-vote",
+            ChaosPoint::WalFlush => "wal-flush",
             ChaosPoint::LockContended => "lock-contended",
             ChaosPoint::CondvarWait => "condvar-wait",
         })
@@ -148,12 +154,18 @@ pub enum TimeoutPoint {
     /// read timeout has elapsed (firing tears the connection down and
     /// auto-aborts its live sessions).
     NetRead,
+    /// The write-ahead log's group-commit flush window: the flusher thread
+    /// asks whether the current window has elapsed (firing writes and
+    /// fsyncs every shard's buffered records, waking the committers
+    /// blocked in `wait_durable`).
+    GroupCommit,
 }
 
 impl fmt::Display for TimeoutPoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             TimeoutPoint::NetRead => "net-read",
+            TimeoutPoint::GroupCommit => "group-commit",
         })
     }
 }

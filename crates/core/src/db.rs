@@ -435,15 +435,132 @@ impl Database {
     }
 
     /// Create a database with an explicit [`DatabaseConfig`] (scheduler
-    /// configuration plus shard count).
+    /// configuration, shard count, durability).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration enables the write-ahead log and
+    /// opening or replaying it fails — a database that silently dropped
+    /// its durable state would be worse than no database. Use
+    /// [`Database::try_with_config`] to handle recovery failures.
     pub fn with_config(config: DatabaseConfig) -> Self {
-        Database {
+        Database::try_with_config(config)
+            .unwrap_or_else(|e| panic!("opening the database failed: {e}"))
+    }
+
+    /// Create a database with an explicit [`DatabaseConfig`], surfacing
+    /// write-ahead-log open/replay failures instead of panicking.
+    ///
+    /// With `config.wal` set, this opens the log directory (repairing any
+    /// torn tail and dropping unmarked multi-shard fragments — see
+    /// [`sbcc_wal::Wal::open`]), **replays** the surviving records through
+    /// the ordinary session API — re-registering each object via the
+    /// recovery factory, re-executing each committed transaction's
+    /// operations in global log order and checking every replayed result
+    /// against the logged one — and only then attaches the log, so replay
+    /// itself is not re-logged. The group-commit flush window is routed
+    /// through [`chaos::TimeoutPoint::GroupCommit`], putting it under DST
+    /// virtual-clock control.
+    pub fn try_with_config(config: DatabaseConfig) -> Result<Self, CoreError> {
+        let wal_config = config.wal.clone();
+        let db = Database {
             shared: Arc::new(Shared {
                 kernel: ShardedKernel::new(config),
                 sessions: Mutex::new(SessionState::default()),
                 delivered_count: std::sync::atomic::AtomicUsize::new(0),
             }),
+        };
+        if let Some(wal_config) = wal_config {
+            let clock: sbcc_wal::GroupClock =
+                Arc::new(|| chaos::timeout_fires(chaos::TimeoutPoint::GroupCommit));
+            let (wal, records) =
+                sbcc_wal::Wal::open(&wal_config, db.shard_count(), Some(clock))
+                    .map_err(|e| CoreError::Durability(e.to_string()))?;
+            db.replay(&records)?;
+            db.shared.kernel.attach_wal(Arc::new(wal));
         }
+        Ok(db)
+    }
+
+    /// Re-apply recovered log records through the session API. Sequential
+    /// and single-threaded, so every commit must be an actual commit (a
+    /// pseudo-commit would mean a dependency on a live transaction — there
+    /// are none) and every replayed result must equal the logged one (the
+    /// log replays deterministically from the empty state).
+    fn replay(&self, records: &[sbcc_wal::SequencedRecord]) -> Result<(), CoreError> {
+        let mut handles: HashMap<&str, ObjectHandle> = HashMap::new();
+        let mut replayed_multis: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for rec in records {
+            match &rec.record {
+                sbcc_wal::WalRecord::Register { name, type_name } => {
+                    let object =
+                        sbcc_wal::factory::instantiate(type_name).ok_or_else(|| {
+                            CoreError::Durability(format!(
+                                "log registers object {name:?} with type {type_name:?}, \
+                                 which the recovery factory cannot reconstruct"
+                            ))
+                        })?;
+                    let handle = self.register_object(name.clone(), object)?;
+                    handles.insert(name, handle);
+                }
+                sbcc_wal::WalRecord::Commit { multi_gid, ops } => {
+                    // A multi-shard commit is logged as one fragment per
+                    // touched shard; replay them as the single transaction
+                    // they were. The fragments are gathered at the first
+                    // fragment's position: any record logged between two
+                    // fragments was classified against the multi's
+                    // then-uncommitted operations, so it commutes with
+                    // them and the reorder is state-invisible.
+                    let mut gathered: Vec<&sbcc_wal::LoggedOp> = Vec::new();
+                    if let Some(gid) = multi_gid {
+                        if !replayed_multis.insert(*gid) {
+                            continue;
+                        }
+                        for other in records {
+                            if let sbcc_wal::WalRecord::Commit {
+                                multi_gid: Some(g),
+                                ops,
+                            } = &other.record
+                            {
+                                if g == gid {
+                                    gathered.extend(ops.iter());
+                                }
+                            }
+                        }
+                    } else {
+                        gathered.extend(ops.iter());
+                    }
+                    let txn = self.begin();
+                    for op in gathered {
+                        let handle = handles.get(op.object.as_str()).ok_or_else(|| {
+                            CoreError::Durability(format!(
+                                "log commit references unregistered object {:?}",
+                                op.object
+                            ))
+                        })?;
+                        let result = txn.exec_call(handle, op.call.clone())?;
+                        if result != op.result {
+                            return Err(CoreError::Durability(format!(
+                                "replay diverged on object {:?} op {}: logged result \
+                                 {}, replayed {}",
+                                op.object, op.call, op.result, result
+                            )));
+                        }
+                    }
+                    match txn.commit()? {
+                        CommitOutcome::Committed => {}
+                        CommitOutcome::PseudoCommitted { .. } => {
+                            return Err(CoreError::Durability(
+                                "sequential replay produced a pseudo-commit".to_owned(),
+                            ))
+                        }
+                    }
+                }
+                // Markers were consumed by `Wal::open`'s fragment filter.
+                sbcc_wal::WalRecord::Marker { .. } => {}
+            }
+        }
+        Ok(())
     }
 
     /// Number of scheduler-kernel shards behind this database.
@@ -493,6 +610,37 @@ impl Database {
             id,
             loc,
             name: name.into(),
+        })
+    }
+
+    /// Look up an existing registration by name, yielding an erased handle.
+    ///
+    /// This matters for durable databases: reopening a write-ahead-logged
+    /// directory re-registers every logged object during replay, so a
+    /// session needs handles to objects this process never registered.
+    pub fn object_handle(&self, name: &str) -> Option<ObjectHandle> {
+        let id = self.shared.kernel.object_id(name)?;
+        let loc = self.shared.kernel.object_loc(id)?;
+        Some(ObjectHandle {
+            id,
+            loc,
+            name: name.into(),
+        })
+    }
+
+    /// Typed variant of [`Database::object_handle`]: the registered
+    /// object's type is checked against `A` before a typed handle is
+    /// handed out, so [`Transaction::exec`] stays type-safe across
+    /// recovery boundaries.
+    pub fn handle<A: AdtSpec>(&self, name: &str) -> Option<Handle<A>> {
+        let raw = self.object_handle(name)?;
+        let matches = self
+            .shared
+            .kernel
+            .with_object_committed(raw.id(), |o| o.type_name() == A::TYPE_NAME)?;
+        matches.then_some(Handle {
+            raw,
+            _adt: PhantomData,
         })
     }
 

@@ -49,6 +49,12 @@ pub enum CoreError {
         /// attempt).
         attempts: usize,
     },
+    /// A durability (write-ahead log) failure: the log directory could not
+    /// be opened or repaired, replay diverged from the logged results, or a
+    /// registration is incompatible with semantic logging (a type the
+    /// object factory cannot reconstruct, or a non-empty initial state the
+    /// log would not capture).
+    Durability(String),
 }
 
 impl fmt::Display for CoreError {
@@ -74,6 +80,7 @@ impl fmt::Display for CoreError {
                     "retry budget exhausted after {attempts} attempts (last transaction {txn})"
                 )
             }
+            CoreError::Durability(msg) => write!(f, "durability failure: {msg}"),
         }
     }
 }

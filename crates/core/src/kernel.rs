@@ -42,6 +42,11 @@ use std::sync::Arc;
 struct FinishedTxn {
     state: TxnState,
     executed_ops: usize,
+    /// Durability ticket of the commit record this kernel appended to the
+    /// write-ahead log, when a log is attached and the transaction had
+    /// operations to log (the caller passes it to `Wal::wait_durable`
+    /// after releasing the shard lock).
+    wal_ticket: Option<u64>,
 }
 
 /// The scheduler kernel. See the module documentation for an overview.
@@ -79,6 +84,10 @@ pub struct SchedulerKernel {
     /// the cross-shard coordinator, which re-runs the commit vote across
     /// every shard the transaction is enrolled in.
     coordination_ready: Vec<TxnId>,
+    /// The write-ahead log this kernel appends committed operations to,
+    /// with the shard index it writes under. `None` when durability is
+    /// off (the default) — every logging site is a no-op then.
+    wal: Option<(Arc<sbcc_wal::Wal>, u32)>,
 }
 
 impl std::fmt::Debug for SchedulerKernel {
@@ -119,7 +128,17 @@ impl SchedulerKernel {
             escalation: None,
             entangled: false,
             coordination_ready: Vec::new(),
+            wal: None,
         }
+    }
+
+    /// Attach a write-ahead log: from here on, every actual commit of a
+    /// transaction with operations appends a commit record under `shard`
+    /// (unless the coordinator already logged it — see
+    /// [`Self::mark_wal_logged`]). Attach **after** replaying recovered
+    /// records, or replay would be re-logged.
+    pub fn attach_wal(&mut self, wal: Arc<sbcc_wal::Wal>, shard: u32) {
+        self.wal = Some((wal, shard));
     }
 
     /// The kernel's configuration.
@@ -413,6 +432,39 @@ impl SchedulerKernel {
     /// dropped; enable history recording to keep full per-operation data).
     pub fn ops_of(&self, txn: TxnId) -> Vec<ExecutedOp> {
         self.txns.get(&txn).map(|r| r.ops.clone()).unwrap_or_default()
+    }
+
+    /// The write-ahead-log payload of a *live* transaction: its executed
+    /// operations with object names resolved, in execution order. Used by
+    /// the cross-shard coordinator to log a multi-shard commit before
+    /// applying it in-memory.
+    pub fn wal_payload(&self, txn: TxnId) -> Vec<sbcc_wal::LoggedOp> {
+        let Some(rec) = self.txns.get(&txn) else {
+            return Vec::new();
+        };
+        rec.ops
+            .iter()
+            .map(|op| sbcc_wal::LoggedOp {
+                object: self.objects[op.object.0 as usize].name().to_owned(),
+                call: op.call.clone(),
+                result: op.result.clone(),
+            })
+            .collect()
+    }
+
+    /// Record that the coordinator has already appended this transaction's
+    /// operations to the write-ahead log, so the local commit path must
+    /// not log it a second time.
+    pub fn mark_wal_logged(&mut self, txn: TxnId) {
+        if let Some(rec) = self.txns.get_mut(&txn) {
+            rec.wal_logged = true;
+        }
+    }
+
+    /// The durability ticket of a committed transaction's log record, when
+    /// a write-ahead log is attached and this kernel appended one.
+    pub fn wal_ticket_of(&self, txn: TxnId) -> Option<u64> {
+        self.finished.get(&txn).and_then(|f| f.wal_ticket)
     }
 
     /// The live transactions `txn` currently has commit dependencies on.
@@ -1048,6 +1100,26 @@ impl SchedulerKernel {
             rec.state,
             TxnState::Active | TxnState::PseudoCommitted
         ));
+        // Durability: append the commit record while still holding the
+        // shard lock, so the log's record order is the shard's actual
+        // commit order (replay re-applies in that order). The coordinator
+        // logs multi-shard transactions itself, before their per-shard
+        // in-memory applications, and marks them `wal_logged`.
+        let wal_ticket = match &self.wal {
+            Some((wal, shard)) if !rec.wal_logged && !rec.ops.is_empty() => {
+                let ops: Vec<sbcc_wal::LoggedOp> = rec
+                    .ops
+                    .iter()
+                    .map(|op| sbcc_wal::LoggedOp {
+                        object: self.objects[op.object.0 as usize].name().to_owned(),
+                        call: op.call.clone(),
+                        result: op.result.clone(),
+                    })
+                    .collect();
+                Some(wal.append_commit(*shard, None, &ops))
+            }
+            _ => None,
+        };
         self.next_commit_index += 1;
         let touched: Vec<ObjectId> = rec.touched.iter().copied().collect();
         for obj in &touched {
@@ -1061,6 +1133,7 @@ impl SchedulerKernel {
             FinishedTxn {
                 state: TxnState::Committed,
                 executed_ops: rec.executed_ops(),
+                wal_ticket,
             },
         );
         if let Some(h) = &mut self.history {
@@ -1097,6 +1170,7 @@ impl SchedulerKernel {
             FinishedTxn {
                 state: TxnState::Aborted,
                 executed_ops: rec.executed_ops(),
+                wal_ticket: None,
             },
         );
         if let Some(h) = &mut self.history {

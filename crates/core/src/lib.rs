@@ -103,6 +103,10 @@ pub use kernel::SchedulerKernel;
 pub use object::{BlockedRequest, Classification, LogEntry, ManagedObject, ObjectId};
 pub use policy::{ConflictPolicy, CycleDetector, RecoveryStrategy, SchedulerConfig, VictimPolicy};
 pub use sbcc_graph::{OrderTelemetry, ReorderStrategy};
+pub use sbcc_wal::{FsyncPolicy, WalConfig};
+/// The write-ahead-log crate, re-exported for crash-image surgery in
+/// tests and tools (log-file paths, record codec).
+pub use sbcc_wal as wal;
 pub use shard::{
     shard_of_name, DatabaseConfig, GlobalGraph, ObjectLoc, ShardCount, ShardedKernel,
 };

@@ -91,6 +91,14 @@ use std::sync::Arc;
 /// ([`ShardCount::Auto`], one shard per available core).
 pub const SHARDS_ENV: &str = "SBCC_SHARDS";
 
+/// Environment variable enabling the write-ahead log: its value is the log
+/// directory (see [`DatabaseConfig::wal_from_env`]).
+pub const WAL_ENV: &str = "SBCC_WAL";
+
+/// Environment variable overriding the WAL fsync policy
+/// (`never` / `group` / `always`).
+pub const WAL_FSYNC_ENV: &str = "SBCC_WAL_FSYNC";
+
 /// The shard count of a [`DatabaseConfig`]: either a fixed number of
 /// kernels or `Auto`, which resolves to the machine's available
 /// parallelism at [`ShardedKernel::new`] time.
@@ -176,6 +184,11 @@ pub struct DatabaseConfig {
     /// Number of independent scheduler kernels (fixed ≥ 1, or
     /// [`ShardCount::Auto`] for one per core).
     pub shards: ShardCount,
+    /// Write-ahead-log configuration. `None` (the default) runs without
+    /// durability; `Some` makes [`crate::Database::with_config`] replay
+    /// the log directory on open and append every committed transaction's
+    /// operations from then on.
+    pub wal: Option<sbcc_wal::WalConfig>,
 }
 
 impl Default for DatabaseConfig {
@@ -192,6 +205,7 @@ impl DatabaseConfig {
         DatabaseConfig {
             scheduler,
             shards: Self::shards_from_env(),
+            wal: Self::wal_from_env(),
         }
     }
 
@@ -218,6 +232,29 @@ impl DatabaseConfig {
             .ok()
             .and_then(|v| v.parse::<ShardCount>().ok())
             .unwrap_or(ShardCount::Fixed(1))
+    }
+
+    /// Builder-style: enable the write-ahead log.
+    pub fn with_wal(mut self, wal: sbcc_wal::WalConfig) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
+    /// The write-ahead-log configuration requested through the environment:
+    /// `SBCC_WAL=<dir>` enables the log (group-commit fsync by default),
+    /// `SBCC_WAL_FSYNC=never|group|always` overrides the fsync policy.
+    /// Unset (or an empty `SBCC_WAL`) disables durability.
+    pub fn wal_from_env() -> Option<sbcc_wal::WalConfig> {
+        let dir = std::env::var(WAL_ENV).ok().filter(|d| !d.is_empty())?;
+        let mut config = sbcc_wal::WalConfig::new(dir);
+        if let Ok(policy) = std::env::var(WAL_FSYNC_ENV) {
+            config.fsync = match policy.as_str() {
+                "never" => sbcc_wal::FsyncPolicy::Never,
+                "always" => sbcc_wal::FsyncPolicy::Always,
+                _ => sbcc_wal::FsyncPolicy::GroupCommit,
+            };
+        }
+        Some(config)
     }
 }
 
@@ -428,6 +465,11 @@ pub struct ShardedKernel {
     events_pending: AtomicU64,
     next_txn: AtomicU64,
     lifecycle: Lifecycle,
+    /// The write-ahead log, attached once by [`crate::Database`] after
+    /// replay (see [`Self::attach_wal`]). Registrations and multi-shard
+    /// commits log through this handle; single-shard commits log through
+    /// the per-shard kernels' own copies.
+    wal: std::sync::OnceLock<Arc<sbcc_wal::Wal>>,
 }
 
 impl std::fmt::Debug for ShardedKernel {
@@ -468,7 +510,31 @@ impl ShardedKernel {
             events_pending: AtomicU64::new(0),
             next_txn: AtomicU64::new(0),
             lifecycle: Lifecycle::default(),
+            wal: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attach the write-ahead log to the coordinator and to every shard
+    /// kernel. Call **after** replaying the records [`sbcc_wal::Wal::open`]
+    /// returned — from here on every registration and actual commit is
+    /// appended, so attaching before replay would re-log the recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a log is already attached.
+    pub fn attach_wal(&self, wal: Arc<sbcc_wal::Wal>) {
+        for (i, _) in self.shards.iter().enumerate() {
+            self.peek_shard(i as u32).attach_wal(wal.clone(), i as u32);
+        }
+        assert!(
+            self.wal.set(wal).is_ok(),
+            "a write-ahead log is already attached"
+        );
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Arc<sbcc_wal::Wal>> {
+        self.wal.get()
     }
 
     /// The configuration.
@@ -509,8 +575,37 @@ impl ShardedKernel {
         if registry.names.contains_key(&name) {
             return Err(CoreError::DuplicateObject(name));
         }
+        // Semantic logging can only recover objects it can reconstruct:
+        // the type must be known to the factory and the initial state must
+        // be the factory's empty state (the log records operations, never
+        // a starting state).
+        let type_name = object.type_name();
+        if self.wal.get().is_some() {
+            match sbcc_wal::factory::instantiate(type_name) {
+                None => {
+                    return Err(CoreError::Durability(format!(
+                        "object {name:?} has type {type_name:?}, which the recovery \
+                         factory cannot reconstruct; durable databases accept only \
+                         the built-in table-driven types"
+                    )))
+                }
+                Some(fresh) if !object.state_eq(fresh.as_ref()) => {
+                    return Err(CoreError::Durability(format!(
+                        "object {name:?} starts with a non-empty state; the log \
+                         records operations only, so a durable database cannot \
+                         recover a pre-populated object"
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
         let shard = shard_of_name(&name, self.shards.len());
         let local = self.peek_shard(shard).register_object(name.clone(), object)?;
+        if let Some(wal) = self.wal.get() {
+            // Flushed at append: no commit record referencing this object
+            // may become durable before the registration.
+            wal.append_register(shard, &name, type_name);
+        }
         let global = ObjectId(registry.directory.len() as u32);
         let loc = ObjectLoc { shard, local };
         registry.directory.push(loc);
@@ -959,11 +1054,14 @@ impl ShardedKernel {
             }
             1 => {
                 let shard = enrolled[0];
-                let (result, fx) = {
+                let (result, fx, wal_ticket) = {
                     let mut kernel = self.lock_shard(shard);
                     let result = kernel.commit(txn);
+                    // The ticket must be read under the shard lock: it is
+                    // assigned inside `actually_commit`.
+                    let wal_ticket = kernel.wal_ticket_of(txn);
                     let fx = drain_fx(&mut kernel);
-                    (result, fx)
+                    (result, fx, wal_ticket)
                 };
                 match &result {
                     Ok(CommitOutcome::Committed) => {
@@ -980,6 +1078,16 @@ impl ShardedKernel {
                     Err(_) => {}
                 }
                 self.absorb(shard, None, fx);
+                // Durability gate: a `Committed` acknowledgement promises
+                // the commit record is flushed per the fsync policy. Waits
+                // only under group commit, after every lock is released —
+                // other sessions keep executing while this one waits for
+                // the flusher. (A `PseudoCommitted` acknowledgement makes
+                // no durability promise: the record is appended later, by
+                // whichever thread clears the last dependency.)
+                if let (Some(wal), Some(ticket)) = (self.wal.get(), wal_ticket) {
+                    wal.wait_durable(shard, ticket);
+                }
                 result
             }
             _ => self.commit_multi(txn, &enrolled),
@@ -1016,6 +1124,12 @@ impl ShardedKernel {
             deps.sort_unstable();
             deps.dedup();
             if deps.is_empty() {
+                // Durability first: the transaction's fragments and the
+                // cross-shard marker must be on disk before any shard
+                // applies the commit in-memory, or a crash between the
+                // per-shard applications could acknowledge state the log
+                // cannot reproduce.
+                self.wal_log_multi(txn, enrolled);
                 // Phase 2a: unanimous — apply the actual commit shard by
                 // shard (the termination lock keeps the per-shard commit
                 // orders of concurrent multi-shard commits consistent).
@@ -1230,6 +1344,48 @@ impl ShardedKernel {
         }
     }
 
+    /// Make a decided multi-shard commit durable **before** any shard
+    /// applies it in-memory: append each enrolled shard's fragment (tagged
+    /// with a shared group id), flush every fragment, then append + flush
+    /// the cross-shard marker. Recovery replays a fragment only when its
+    /// marker is durable, so a crash anywhere inside this sequence loses
+    /// the transaction *atomically* — the marker is written strictly after
+    /// every fragment, making "marker without a fragment" unrepresentable
+    /// on disk.
+    ///
+    /// Runs under the termination lock (both callers hold it), so the
+    /// fragments' append order against other multi-shard commits matches
+    /// their in-memory commit order. Marks the transaction `wal_logged` in
+    /// every shard so the per-shard `actually_commit` does not log it
+    /// again.
+    fn wal_log_multi(&self, txn: TxnId, shards: &[u32]) {
+        let Some(wal) = self.wal.get() else { return };
+        let mut payloads: Vec<(u32, Vec<sbcc_wal::LoggedOp>)> = Vec::new();
+        for &s in shards {
+            let mut kernel = self.peek_shard(s);
+            let ops = kernel.wal_payload(txn);
+            kernel.mark_wal_logged(txn);
+            drop(kernel);
+            if !ops.is_empty() {
+                payloads.push((s, ops));
+            }
+        }
+        if payloads.is_empty() {
+            return; // nothing executed anywhere: nothing to make durable
+        }
+        let gid = wal.next_gid();
+        for (s, ops) in &payloads {
+            wal.append_commit(*s, Some(gid), ops);
+        }
+        for (s, _) in &payloads {
+            // A crash between two of these flushes leaves a fragment
+            // durable without its marker; recovery must drop it.
+            chaos::reach(ChaosPoint::WalFlush, Some(txn));
+            wal.flush_shard(*s);
+        }
+        wal.commit_marker(gid);
+    }
+
     /// Re-run the commit vote for a coordinated pseudo-committed
     /// transaction; on a unanimous (empty) dependency union, apply its
     /// actual commit shard by shard. Returns the side effects of the
@@ -1252,6 +1408,10 @@ impl ShardedKernel {
                 return Vec::new(); // still waiting; a later settle re-votes
             }
         }
+        // Same durability-before-visibility step as the direct unanimous
+        // vote in `commit_multi` (the session's pseudo-commit ack made no
+        // durability promise, so nobody waits on this).
+        self.wal_log_multi(txn, &shards);
         let mut fxs = Vec::new();
         for &s in &shards {
             let mut kernel = self.lock_shard(s);

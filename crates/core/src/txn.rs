@@ -138,6 +138,11 @@ pub struct TxnRecord {
     /// shards) and must never select it as a cycle victim (another shard
     /// could be voting on its commit concurrently).
     pub coordinated: bool,
+    /// `true` once the cross-shard coordinator has written this
+    /// transaction's operations to the write-ahead log (the durability
+    /// step of a multi-shard commit runs *before* the per-shard in-memory
+    /// applications); tells the kernel's commit path not to log it again.
+    pub wal_logged: bool,
 }
 
 impl TxnRecord {
@@ -152,6 +157,7 @@ impl TxnRecord {
             times_blocked: 0,
             commit_index: None,
             coordinated: false,
+            wal_logged: false,
         }
     }
 

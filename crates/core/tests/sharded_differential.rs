@@ -43,6 +43,7 @@ impl Driver {
             Some(n) => Driver::Sharded(ShardedKernel::new(DatabaseConfig {
                 scheduler: config,
                 shards: n.into(),
+                wal: None,
             })),
         }
     }

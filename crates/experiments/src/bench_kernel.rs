@@ -48,13 +48,20 @@
 //! * `net_closedloop_{n}conn` — `n` closed-loop clients over real
 //!   loopback sockets against an in-process wire-protocol server:
 //!   begin / increment burst / commit per wire round trip (see
-//!   [`crate::bench_net`]) — the end-to-end network front-end cost.
+//!   [`crate::bench_net`]) — the end-to-end network front-end cost;
+//! * `wal_groupcommit_{on,off}` — the 4-thread committed-session shape
+//!   against a write-ahead-logged database: `on` shares one fsync per
+//!   group-commit window, `off` pays one fsync per commit; the ratio is
+//!   the group-commit amortisation factor;
+//! * `wal_replay_{n}txn_{s}shards` — reopen a prebuilt `n`-commit log at
+//!   `s` shards and replay it through the ADT dispatch: pure recovery
+//!   speed.
 
 use sbcc_adt::{Counter, CounterOp, Stack, StackOp, TableObject, TableOp, Value};
 use sbcc_core::aio::{yield_now, AsyncDatabase, LocalExecutor};
 use sbcc_core::{
-    BatchCall, ConflictPolicy, CycleDetector, Database, DatabaseConfig, ReorderStrategy,
-    SchedulerConfig, SchedulerKernel,
+    BatchCall, ConflictPolicy, CycleDetector, Database, DatabaseConfig, FsyncPolicy,
+    ReorderStrategy, SchedulerConfig, SchedulerKernel, WalConfig,
 };
 use std::cell::Cell;
 use std::rc::Rc;
@@ -468,6 +475,130 @@ pub fn async_contended_workload(pairs: usize) -> u64 {
     stats.operations_executed + stats.commits
 }
 
+/// A scratch directory for the durability workloads, removed on drop.
+struct BenchDir(std::path::PathBuf);
+
+impl BenchDir {
+    fn new(tag: &str) -> BenchDir {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "sbcc-bench-wal-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create bench wal dir");
+        BenchDir(path)
+    }
+}
+
+impl Drop for BenchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The durability workload: the disjoint multi-thread session shape
+/// (each thread commits transactions of commuting increments on its own
+/// counter) against a **write-ahead-logged** database. Under
+/// [`FsyncPolicy::Always`] every commit pays its own fsync *inside the
+/// log append*, so committers serialise on the device; under
+/// [`FsyncPolicy::GroupCommit`] the append is a buffer copy and every
+/// committer waiting inside one window shares a single flush. The
+/// amortisation only pays once the concurrent-committer population
+/// exceeds `window / fsync_cost` (≈ 10 on a ~100 µs-fsync device at the
+/// 1 ms window used here) — below that, group commit trades throughput
+/// for batching latency — which is why the bench drives a large
+/// standing population rather than a handful of threads.
+pub fn wal_session_workload(
+    fsync: FsyncPolicy,
+    threads: usize,
+    txns_per_thread: u64,
+    ops_per_txn: u64,
+) -> u64 {
+    let dir = BenchDir::new("session");
+    let db = Database::with_config(
+        DatabaseConfig::new(SchedulerConfig::default().with_history(false))
+            .with_shards(1)
+            .with_wal(
+                WalConfig::new(&dir.0)
+                    .with_fsync(fsync)
+                    .with_window(Duration::from_millis(1)),
+            ),
+    );
+    let workers: Vec<std::thread::JoinHandle<u64>> = (0..threads)
+        .map(|t| {
+            let db = db.clone();
+            let counter = db.register(format!("wal_ctr_{t}"), Counter::new());
+            std::thread::spawn(move || {
+                let mut ops = 0u64;
+                for _ in 0..txns_per_thread {
+                    let txn = db.begin();
+                    for _ in 0..ops_per_txn {
+                        txn.exec(&counter, CounterOp::Increment(1)).unwrap();
+                        ops += 1;
+                    }
+                    // A Committed acknowledgement is a durability promise:
+                    // this blocks until the record is flushed (inline
+                    // under Always, by the shared flusher window under
+                    // GroupCommit).
+                    txn.commit().unwrap();
+                }
+                ops
+            })
+        })
+        .collect();
+    workers.into_iter().map(|h| h.join().expect("bench thread")).sum()
+}
+
+/// Build the replay-source log once: `txns` single-shard commits of
+/// `ops_per_txn` increments over 8 counters. Returns the directory (the
+/// caller keeps it alive across the measured reopens).
+pub fn wal_build_replay_log(txns: u64, ops_per_txn: u64) -> BenchWalLog {
+    let dir = BenchDir::new("replay");
+    {
+        let db = Database::with_config(
+            DatabaseConfig::new(SchedulerConfig::default().with_history(false))
+                .with_shards(1)
+                .with_wal(WalConfig::new(&dir.0).with_fsync(FsyncPolicy::Never)),
+        );
+        let counters: Vec<_> = (0..8)
+            .map(|i| db.register(format!("wal_ctr_{i}"), Counter::new()))
+            .collect();
+        for k in 0..txns {
+            let txn = db.begin();
+            for _ in 0..ops_per_txn {
+                txn.exec(&counters[k as usize % counters.len()], CounterOp::Increment(1))
+                    .unwrap();
+            }
+            txn.commit().unwrap();
+        }
+    }
+    BenchWalLog { dir, txns }
+}
+
+/// A prebuilt write-ahead log plus its expected commit count.
+pub struct BenchWalLog {
+    dir: BenchDir,
+    txns: u64,
+}
+
+/// One measured rep: open the prebuilt log at `shards` shards, replaying
+/// every commit through the ADT dispatch, and count the replayed
+/// transactions. Measures pure recovery speed (parse + re-execute), not
+/// append speed.
+pub fn wal_replay_workload(log: &BenchWalLog, shards: usize) -> u64 {
+    let db = Database::with_config(
+        DatabaseConfig::new(SchedulerConfig::default().with_history(false))
+            .with_shards(shards)
+            .with_wal(WalConfig::new(&log.dir.0).with_fsync(FsyncPolicy::Never)),
+    );
+    let commits = db.stats().commits;
+    assert_eq!(commits, log.txns, "replay must recover every logged commit");
+    commits
+}
+
 fn graph_checks(detector: CycleDetector) -> u64 {
     let n = 1000u64;
     let mut g: DependencyGraph<u64> = DependencyGraph::new();
@@ -616,6 +747,28 @@ pub fn run_all(quick: bool) -> Vec<BenchResult> {
             || crate::bench_net::net_closedloop_workload(conns, net_txns, net_ops),
         ));
     }
+    // The durability sweep: the same 4-thread committed-session shape
+    // with a write-ahead log, group commit on (shared flush per window)
+    // vs off (one fsync per commit) — the on/off ratio is the
+    // amortisation factor — plus pure replay speed at 1 and 4 shards.
+    let (wal_threads, wal_txns, wal_ops) = if quick { (16, 4, 4) } else { (32, 16, 6) };
+    for (name, fsync) in [
+        ("wal_groupcommit_on", FsyncPolicy::GroupCommit),
+        ("wal_groupcommit_off", FsyncPolicy::Always),
+    ] {
+        results.push(measure(name, budget, || {
+            wal_session_workload(fsync, wal_threads, wal_txns, wal_ops)
+        }));
+    }
+    let replay_txns = if quick { 100 } else { 500 };
+    let log = wal_build_replay_log(replay_txns, 4);
+    for shards in [1usize, 4] {
+        results.push(measure(
+            &format!("wal_replay_{replay_txns}txn_{shards}shards"),
+            budget,
+            || wal_replay_workload(&log, shards),
+        ));
+    }
     results
 }
 
@@ -646,7 +799,7 @@ mod tests {
     #[test]
     fn quick_run_produces_all_entries_and_valid_json() {
         let results = run_all(true);
-        assert_eq!(results.len(), 26);
+        assert_eq!(results.len(), 30);
         for r in &results {
             assert!(r.ops > 0, "{} did work", r.name);
             assert!(r.ops_per_sec > 0.0);
@@ -668,6 +821,10 @@ mod tests {
         assert!(json.contains("async_contended_stack_1thr"));
         assert!(json.contains("net_closedloop_1conn"));
         assert!(json.contains("net_closedloop_4conn"));
+        assert!(json.contains("wal_groupcommit_on"));
+        assert!(json.contains("wal_groupcommit_off"));
+        assert!(json.contains("wal_replay_100txn_1shards"));
+        assert!(json.contains("wal_replay_100txn_4shards"));
         // Crude JSON sanity: balanced braces/brackets, one object per line.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -16,13 +16,18 @@
 //!   `BENCH_kernel.json` so successive PRs have a perf trajectory;
 //! * [`bench_net`] — the closed-loop network benchmark behind
 //!   `repro --serve` / `repro --bench-net` and the `net_closedloop_*`
-//!   kernel-bench entries.
+//!   kernel-bench entries;
+//! * [`crash`] — the crash-recovery smoke workload behind
+//!   `repro --crash-workload` / `repro --crash-recover`: a fixed
+//!   transaction sequence against a write-ahead-logged database, plus
+//!   the recover-side prefix self-check a `kill -9` driver asserts on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench_kernel;
 pub mod bench_net;
+pub mod crash;
 pub mod figures;
 pub mod output;
 pub mod summary;

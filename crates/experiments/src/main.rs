@@ -11,6 +11,8 @@
 //! repro --bench-net          closed-loop network benchmark (multi-process capable)
 //! repro --dst                explore seeds in the deterministic-simulation harness
 //! repro --dst-replay SEED    replay one seed, shrinking the schedule on failure
+//! repro --crash-workload     run the durable smoke workload (pair with kill -9)
+//! repro --crash-recover      recover the workload's log and self-check the prefix
 //!
 //! scale options:
 //!   --quick                  2 000 completions, 1 run, mpl ∈ {10,25,50,100}
@@ -52,6 +54,11 @@ struct Args {
     dst_seeds: u64,
     dst_seed_start: u64,
     dst_replay: Option<u64>,
+    wal: Option<String>,
+    crash_workload: bool,
+    crash_recover: bool,
+    wal_dir: Option<String>,
+    linger_ms: Option<u64>,
     help: bool,
 }
 
@@ -119,6 +126,19 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.dst_replay =
                     Some(v.parse().map_err(|_| format!("invalid replay seed {v:?}"))?);
             }
+            "--wal" => {
+                args.wal = Some(take_value(&mut i)?);
+            }
+            "--crash-workload" => args.crash_workload = true,
+            "--crash-recover" => args.crash_recover = true,
+            "--wal-dir" => {
+                args.wal_dir = Some(take_value(&mut i)?);
+            }
+            "--linger-ms" => {
+                let v = take_value(&mut i)?;
+                args.linger_ms =
+                    Some(v.parse().map_err(|_| format!("invalid linger budget {v:?}"))?);
+            }
             "--quick" => args.quick = true,
             "--full" => args.full = true,
             "--csv" => args.csv = true,
@@ -158,6 +178,14 @@ fn usage() -> &'static str {
        repro --serve                        run the wire-protocol TCP server over a fresh\n\
          [--addr A]                         database; bind A (default 127.0.0.1:0; the\n\
          [--serve-for-ms N]                 chosen port is printed), exit after N ms\n\
+         [--wal DIR]                        write-ahead log to DIR (recover on start; or\n\
+                                            set SBCC_WAL=DIR / SBCC_WAL_FSYNC=policy)\n\
+       repro --crash-workload --wal-dir D   run the fixed 40-txn durable workload against\n\
+         [--linger-ms N]                    D, print `workload-done`, linger N ms (default\n\
+                                            forever) for a kill -9 driver\n\
+       repro --crash-recover --wal-dir D    recover D and self-check the surviving state\n\
+                                            against the workload prefix; prints\n\
+                                            `recovered prefix=N/40`\n\
        repro --bench-net                    closed-loop network benchmark: clients commit\n\
          [--addr A]                         increment bursts over real sockets; target a\n\
          [--conns N]                        `repro --serve` at A or an in-process server,\n\
@@ -271,8 +299,15 @@ fn run_serve(args: &Args) -> ExitCode {
     use std::io::Write;
 
     let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:0".to_owned());
+    // `--wal DIR` layers durability under the served database (recovery
+    // runs before the listener binds); without the flag the SBCC_WAL /
+    // SBCC_WAL_FSYNC environment variables apply via DatabaseConfig::new.
+    let mut config = sbcc_core::DatabaseConfig::new(sbcc_core::SchedulerConfig::default());
+    if let Some(dir) = &args.wal {
+        config = config.with_wal(sbcc_core::WalConfig::new(dir));
+    }
     let server = match Server::start(
-        AsyncDatabase::new(sbcc_core::SchedulerConfig::default()),
+        AsyncDatabase::with_config(config),
         ServerConfig::default().with_addr(addr),
     ) {
         Ok(s) => s,
@@ -296,6 +331,47 @@ fn run_serve(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// `repro --crash-workload`: the kill-9 half of the crash-recovery
+/// smoke. Runs the fixed durable workload, prints `workload-done`, then
+/// lingers (default: forever) so the driving process chooses the crash
+/// point — mid-run or after completion.
+fn run_crash_workload(args: &Args) -> ExitCode {
+    let Some(dir) = &args.wal_dir else {
+        eprintln!("error: --crash-workload needs --wal-dir DIR");
+        return ExitCode::FAILURE;
+    };
+    sbcc_experiments::crash::run_workload(std::path::Path::new(dir));
+    match args.linger_ms {
+        Some(ms) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro --crash-recover`: reopen the workload's log directory and
+/// self-check that exactly a prefix of the sequence survived.
+fn run_crash_recover(args: &Args) -> ExitCode {
+    let Some(dir) = &args.wal_dir else {
+        eprintln!("error: --crash-recover needs --wal-dir DIR");
+        return ExitCode::FAILURE;
+    };
+    match sbcc_experiments::crash::run_recover(std::path::Path::new(dir)) {
+        Ok(prefix) => {
+            println!(
+                "recovered prefix={prefix}/{}",
+                sbcc_experiments::crash::CRASH_WORKLOAD_TXNS
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// `repro --bench-net`: the closed-loop client side. With `--addr` it
@@ -380,12 +456,20 @@ fn main() -> ExitCode {
             && !args.bench_net
             && !args.dst
             && args.dst_replay.is_none()
+            && !args.crash_workload
+            && !args.crash_recover
             && !args.all)
     {
         println!("{}", usage());
         return ExitCode::SUCCESS;
     }
 
+    if args.crash_workload {
+        return run_crash_workload(&args);
+    }
+    if args.crash_recover {
+        return run_crash_recover(&args);
+    }
     if args.serve {
         return run_serve(&args);
     }

@@ -83,6 +83,10 @@ pub struct NetClient {
     /// Responses that arrived while waiting for a different request id.
     pending: HashMap<u64, Response>,
     max_frame_len: usize,
+    /// The address dialed at connect time, kept for [`NetClient::reconnect`].
+    peer: std::net::SocketAddr,
+    /// The tenant named in the hello handshake, replayed on reconnect.
+    tenant: String,
 }
 
 impl NetClient {
@@ -90,22 +94,50 @@ impl NetClient {
     pub fn connect(addr: impl ToSocketAddrs, tenant: &str) -> Result<NetClient, NetError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
+        let peer = stream.peer_addr()?;
         let mut client = NetClient {
             stream,
             frames: FrameBuffer::new(),
             next_id: 1,
             pending: HashMap::new(),
             max_frame_len: MAX_FRAME_LEN,
-        };
-        let id = client.send(&Request::Hello {
-            version: PROTOCOL_VERSION,
+            peer,
             tenant: tenant.to_owned(),
+        };
+        client.hello()?;
+        Ok(client)
+    }
+
+    fn hello(&mut self) -> Result<(), NetError> {
+        let id = self.send(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            tenant: self.tenant.clone(),
         })?;
-        match client.recv_for(id)? {
-            Response::HelloAck { .. } => Ok(client),
+        match self.recv_for(id)? {
+            Response::HelloAck { .. } => Ok(()),
             Response::Error { code, detail } => Err(NetError::Server { code, detail }),
             _ => Err(NetError::Unexpected("hello-ack")),
         }
+    }
+
+    /// Tear down this connection and dial the same server again,
+    /// re-running the hello handshake under the same tenant.
+    ///
+    /// Everything connection-scoped is gone afterwards: transactions the
+    /// server had open for the old connection are aborted by its
+    /// disconnect sweep, and any responses still in flight are dropped
+    /// (request ids restart at 1). The registered namespace survives —
+    /// it belongs to the tenant, not the connection — so the usual
+    /// pattern after a server restart on a durable database is
+    /// `reconnect()` followed by re-`begin`.
+    pub fn reconnect(&mut self) -> Result<(), NetError> {
+        let stream = TcpStream::connect(self.peer)?;
+        let _ = stream.set_nodelay(true);
+        self.stream = stream;
+        self.frames = FrameBuffer::new();
+        self.pending.clear();
+        self.next_id = 1;
+        self.hello()
     }
 
     /// Send one request without waiting; returns its request id. The

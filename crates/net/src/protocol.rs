@@ -171,6 +171,10 @@ pub enum ErrorCode {
     NoPendingOperation,
     /// The server-side retry budget was exhausted.
     RetriesExhausted,
+    /// A durability (write-ahead log) refusal — e.g. registering an
+    /// object the recovery factory cannot reconstruct on a WAL-backed
+    /// server.
+    Durability,
     /// Admission control shed the request (per-connection in-flight
     /// transaction cap reached). Back off and retry.
     Busy,
@@ -194,6 +198,7 @@ impl ErrorCode {
             ErrorCode::DuplicateObject => 5,
             ErrorCode::NoPendingOperation => 6,
             ErrorCode::RetriesExhausted => 7,
+            ErrorCode::Durability => 8,
             ErrorCode::Busy => 32,
             ErrorCode::Protocol => 33,
             ErrorCode::TenantRequired => 34,
@@ -210,6 +215,7 @@ impl ErrorCode {
             5 => ErrorCode::DuplicateObject,
             6 => ErrorCode::NoPendingOperation,
             7 => ErrorCode::RetriesExhausted,
+            8 => ErrorCode::Durability,
             32 => ErrorCode::Busy,
             33 => ErrorCode::Protocol,
             34 => ErrorCode::TenantRequired,
@@ -229,6 +235,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::DuplicateObject => "duplicate-object",
             ErrorCode::NoPendingOperation => "no-pending-operation",
             ErrorCode::RetriesExhausted => "retries-exhausted",
+            ErrorCode::Durability => "durability",
             ErrorCode::Busy => "busy",
             ErrorCode::Protocol => "protocol",
             ErrorCode::TenantRequired => "tenant-required",

@@ -368,6 +368,7 @@ fn error_response(e: &CoreError) -> Response {
         CoreError::DuplicateObject(_) => ErrorCode::DuplicateObject,
         CoreError::NoPendingOperation(_) => ErrorCode::NoPendingOperation,
         CoreError::RetriesExhausted { .. } => ErrorCode::RetriesExhausted,
+        CoreError::Durability(_) => ErrorCode::Durability,
     };
     Response::Error {
         code,

@@ -376,3 +376,55 @@ fn kernel_errors_cross_the_wire_without_killing_the_session() {
     client.commit(t2).unwrap();
     server.shutdown();
 }
+
+#[test]
+fn reconnect_rejoins_the_same_tenant_namespace() {
+    let server = start_server(ServerConfig::default().with_workers(1));
+    let addr = server.local_addr();
+
+    let mut client = NetClient::connect(addr, "acme").expect("connect");
+    client.register("c", AdtType::Counter).unwrap();
+    let t = client.begin().unwrap();
+    client
+        .exec(t, "c", CounterOp::Increment(10).to_call())
+        .unwrap();
+    client.commit(t).unwrap();
+
+    // An uncommitted transaction rides into the reconnect: the server's
+    // disconnect sweep must abort it, not leak it.
+    let open = client.begin().unwrap();
+    client
+        .exec(open, "c", CounterOp::Increment(90).to_call())
+        .unwrap();
+
+    client.reconnect().expect("reconnect");
+
+    // Same tenant, same namespace: the committed counter is visible
+    // without re-registering (and re-registering stays idempotent).
+    wait_until("disconnect sweep to abort the open txn", || {
+        server.db().txn_state(TxnId(open)) == Some(TxnState::Aborted)
+    });
+    client.register("c", AdtType::Counter).unwrap();
+    let t2 = client.begin().unwrap();
+    let r = client.exec(t2, "c", CounterOp::Read.to_call()).unwrap();
+    assert_eq!(
+        r,
+        OpResult::Value(Value::Int(10)),
+        "committed state survives, the swept increment does not"
+    );
+    client.commit(t2).unwrap();
+
+    // The old wire transaction id is dead on the new connection.
+    let err = client
+        .exec(open, "c", CounterOp::Read.to_call())
+        .expect_err("swept txn");
+    match err {
+        NetError::Server { code, .. } => assert_eq!(code, ErrorCode::UnknownTransaction),
+        other => panic!("expected server error, got {other}"),
+    }
+
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(stats.connections_accepted, 2, "one reconnect = one new accept");
+    assert_eq!(stats.transactions_in_flight, 0, "no leaked sessions");
+}

@@ -187,6 +187,7 @@ fn normalize_core_error(e: &CoreError) -> String {
         CoreError::DuplicateObject(_) => ErrorCode::DuplicateObject,
         CoreError::NoPendingOperation(_) => ErrorCode::NoPendingOperation,
         CoreError::RetriesExhausted { .. } => ErrorCode::RetriesExhausted,
+        CoreError::Durability(_) => ErrorCode::Durability,
     };
     format!("err {code}: {e}")
 }

@@ -111,6 +111,7 @@ impl Simulator {
         let kernel = ShardedKernel::new(DatabaseConfig {
             scheduler: config,
             shards: params.shards.into(),
+            wal: None,
         });
         let workload = WorkloadGenerator::new(&params);
         let objects = workload.populate_sharded(&kernel, &mut rng);

@@ -1,0 +1,487 @@
+//! The on-disk record codec: length-prefixed, checksummed frames holding
+//! **semantic** log records — the operation calls a committed transaction
+//! executed, never materialized object state.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! [ body_len: u32 LE ][ body ][ fnv1a64(body): u64 LE ]
+//! ```
+//!
+//! ## Body layout
+//!
+//! ```text
+//! seq: u64 LE          — global sequence number (total order across files)
+//! tag: u8              — 1 Register, 2 Commit, 3 Marker
+//! Register:  name: str, type_name: str
+//! Commit:    multi: u8 (0|1) [, gid: u64], n_ops: u32,
+//!            n_ops × { object: str, call: OpCall, result: OpResult }
+//! Marker:    gid: u64
+//! ```
+//!
+//! Strings are `u32` length + UTF-8 bytes. A record that cannot be fully
+//! decoded (short frame, bad checksum, malformed body) ends the parse:
+//! [`parse_log`] returns every record before it plus the byte offset of
+//! the valid prefix, which recovery truncates the file to — the torn-tail
+//! contract.
+
+use sbcc_adt::{OpCall, OpResult, Value};
+
+/// Upper bound on one record body; anything larger is treated as
+/// corruption (a torn length prefix would otherwise ask for gigabytes).
+pub const MAX_RECORD_LEN: usize = 1 << 24;
+
+const TAG_REGISTER: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_MARKER: u8 = 3;
+
+/// One logged operation of a committed transaction: the object's
+/// registration name plus the executed call and its observed result (the
+/// result pins replay equivalence — recovery re-executes the call and
+/// verifies it computes the same answer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggedOp {
+    /// Registration name of the object the operation ran against.
+    pub object: String,
+    /// The executed operation.
+    pub call: OpCall,
+    /// The result the original execution observed.
+    pub result: OpResult,
+}
+
+/// One decoded log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An object registration: recovery re-instantiates the type through
+    /// the [`crate::factory`] and re-registers it under `name`.
+    Register {
+        /// Registration name.
+        name: String,
+        /// The ADT's [`sbcc_adt::SemanticObject::type_name`].
+        type_name: String,
+    },
+    /// A committed transaction's operations against one shard.
+    /// `multi_gid` is `None` for single-shard commits; multi-shard commits
+    /// carry the group id that ties their per-shard records to the commit
+    /// marker — a multi record whose gid has no durable [`WalRecord::Marker`]
+    /// is skipped wholesale at recovery (never half-applied).
+    Commit {
+        /// Cross-shard group id, when part of a multi-shard commit.
+        multi_gid: Option<u64>,
+        /// The transaction's operations on this shard, in execution order.
+        ops: Vec<LoggedOp>,
+    },
+    /// The cross-shard commit marker for group `gid`: durable iff every
+    /// member shard's data record was flushed first.
+    Marker {
+        /// The group id the marker commits.
+        gid: u64,
+    },
+}
+
+/// A record plus its global sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequencedRecord {
+    /// Global sequence number (strictly increasing within each file).
+    pub seq: u64,
+    /// The decoded record.
+    pub record: WalRecord,
+}
+
+/// The result of parsing one log file.
+#[derive(Debug)]
+pub struct ParsedLog {
+    /// Every record of the valid prefix, in file order.
+    pub records: Vec<SequencedRecord>,
+    /// Byte length of the valid prefix (recovery truncates the file here).
+    pub valid_len: usize,
+    /// Why the parse stopped early, when it did (torn tail / corruption).
+    pub torn: Option<String>,
+}
+
+// ---------------------------------------------------------------------
+// Checksum
+// ---------------------------------------------------------------------
+
+/// FNV-1a over the record body — cheap, allocation-free, and plenty for
+/// detecting torn tails (this is not a cryptographic integrity claim).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Bool(b) => {
+            buf.push(1);
+            buf.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.push(2);
+            put_u64(buf, *i as u64);
+        }
+        Value::Str(s) => {
+            buf.push(3);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn put_call(buf: &mut Vec<u8>, call: &OpCall) {
+    put_u32(buf, call.kind as u32);
+    put_u32(buf, call.params.len() as u32);
+    for p in &call.params {
+        put_value(buf, p);
+    }
+}
+
+fn put_result(buf: &mut Vec<u8>, result: &OpResult) {
+    match result {
+        OpResult::Ok => buf.push(0),
+        OpResult::Success => buf.push(1),
+        OpResult::Failure => buf.push(2),
+        OpResult::Value(v) => {
+            buf.push(3);
+            put_value(buf, v);
+        }
+        OpResult::Null => buf.push(4),
+    }
+}
+
+/// Encode one record into its framed wire form.
+pub fn encode_record(seq: u64, record: &WalRecord) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    put_u64(&mut body, seq);
+    match record {
+        WalRecord::Register { name, type_name } => {
+            body.push(TAG_REGISTER);
+            put_str(&mut body, name);
+            put_str(&mut body, type_name);
+        }
+        WalRecord::Commit { multi_gid, ops } => {
+            body.push(TAG_COMMIT);
+            match multi_gid {
+                Some(gid) => {
+                    body.push(1);
+                    put_u64(&mut body, *gid);
+                }
+                None => body.push(0),
+            }
+            put_u32(&mut body, ops.len() as u32);
+            for op in ops {
+                put_str(&mut body, &op.object);
+                put_call(&mut body, &op.call);
+                put_result(&mut body, &op.result);
+            }
+        }
+        WalRecord::Marker { gid } => {
+            body.push(TAG_MARKER);
+            put_u64(&mut body, *gid);
+        }
+    }
+    let mut frame = Vec::with_capacity(body.len() + 12);
+    put_u32(&mut frame, body.len() as u32);
+    let checksum = fnv1a64(&body);
+    frame.extend_from_slice(&body);
+    put_u64(&mut frame, checksum);
+    frame
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err("body shorter than its encoding".to_owned());
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "string is not UTF-8".to_owned())
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        Ok(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.u64()? as i64),
+            3 => Value::Str(self.string()?),
+            tag => return Err(format!("unknown value tag {tag}")),
+        })
+    }
+
+    fn call(&mut self) -> Result<OpCall, String> {
+        let kind = self.u32()? as usize;
+        let n = self.u32()? as usize;
+        let mut params = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            params.push(self.value()?);
+        }
+        Ok(OpCall { kind, params })
+    }
+
+    fn result(&mut self) -> Result<OpResult, String> {
+        Ok(match self.u8()? {
+            0 => OpResult::Ok,
+            1 => OpResult::Success,
+            2 => OpResult::Failure,
+            3 => OpResult::Value(self.value()?),
+            4 => OpResult::Null,
+            tag => return Err(format!("unknown result tag {tag}")),
+        })
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err("trailing bytes after the record body".to_owned())
+        }
+    }
+}
+
+fn decode_body(body: &[u8]) -> Result<SequencedRecord, String> {
+    let mut r = Reader::new(body);
+    let seq = r.u64()?;
+    let record = match r.u8()? {
+        TAG_REGISTER => WalRecord::Register {
+            name: r.string()?,
+            type_name: r.string()?,
+        },
+        TAG_COMMIT => {
+            let multi_gid = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                tag => return Err(format!("unknown multi flag {tag}")),
+            };
+            let n = r.u32()? as usize;
+            let mut ops = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                ops.push(LoggedOp {
+                    object: r.string()?,
+                    call: r.call()?,
+                    result: r.result()?,
+                });
+            }
+            WalRecord::Commit { multi_gid, ops }
+        }
+        TAG_MARKER => WalRecord::Marker { gid: r.u64()? },
+        tag => return Err(format!("unknown record tag {tag}")),
+    };
+    r.finish()?;
+    Ok(SequencedRecord { seq, record })
+}
+
+/// Parse a whole log file, stopping at the first record that cannot be
+/// decoded in full. The stop offset is the valid prefix recovery keeps.
+pub fn parse_log(bytes: &[u8]) -> ParsedLog {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let torn = loop {
+        if bytes.len() - pos < 4 {
+            break if pos == bytes.len() {
+                None
+            } else {
+                Some("dangling length prefix".to_owned())
+            };
+        }
+        let body_len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        if body_len > MAX_RECORD_LEN {
+            break Some(format!("record length {body_len} exceeds the cap"));
+        }
+        let frame_len = 4 + body_len + 8;
+        if bytes.len() - pos < frame_len {
+            break Some("record torn mid-frame".to_owned());
+        }
+        let body = &bytes[pos + 4..pos + 4 + body_len];
+        let stored = u64::from_le_bytes(
+            bytes[pos + 4 + body_len..pos + frame_len].try_into().unwrap(),
+        );
+        if fnv1a64(body) != stored {
+            break Some("checksum mismatch".to_owned());
+        }
+        match decode_body(body) {
+            Ok(rec) => records.push(rec),
+            Err(e) => break Some(e),
+        }
+        pos += frame_len;
+    };
+    ParsedLog {
+        records,
+        valid_len: pos,
+        torn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<SequencedRecord> {
+        vec![
+            SequencedRecord {
+                seq: 1,
+                record: WalRecord::Register {
+                    name: "journal".to_owned(),
+                    type_name: "stack".to_owned(),
+                },
+            },
+            SequencedRecord {
+                seq: 2,
+                record: WalRecord::Commit {
+                    multi_gid: None,
+                    ops: vec![LoggedOp {
+                        object: "journal".to_owned(),
+                        call: OpCall {
+                            kind: 0,
+                            params: vec![
+                                Value::Int(-7),
+                                Value::Str("x".to_owned()),
+                                Value::Bool(true),
+                                Value::Null,
+                            ],
+                        },
+                        result: OpResult::Value(Value::Int(3)),
+                    }],
+                },
+            },
+            SequencedRecord {
+                seq: 3,
+                record: WalRecord::Commit {
+                    multi_gid: Some(99),
+                    ops: vec![
+                        LoggedOp {
+                            object: "a".to_owned(),
+                            call: OpCall { kind: 2, params: vec![] },
+                            result: OpResult::Null,
+                        },
+                        LoggedOp {
+                            object: "b".to_owned(),
+                            call: OpCall { kind: 1, params: vec![Value::Bool(false)] },
+                            result: OpResult::Failure,
+                        },
+                    ],
+                },
+            },
+            SequencedRecord {
+                seq: 4,
+                record: WalRecord::Marker { gid: 99 },
+            },
+        ]
+    }
+
+    fn encode_all(records: &[SequencedRecord]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in records {
+            out.extend_from_slice(&encode_record(r.seq, &r.record));
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        let records = sample_records();
+        let bytes = encode_all(&records);
+        let parsed = parse_log(&bytes);
+        assert_eq!(parsed.records, records);
+        assert_eq!(parsed.valid_len, bytes.len());
+        assert!(parsed.torn.is_none());
+    }
+
+    #[test]
+    fn truncation_at_every_offset_yields_a_record_prefix() {
+        let records = sample_records();
+        let bytes = encode_all(&records);
+        // Frame boundaries, for checking valid_len lands on one.
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            let len = encode_record(r.seq, &r.record).len();
+            boundaries.push(boundaries.last().unwrap() + len);
+        }
+        for cut in 0..bytes.len() {
+            let parsed = parse_log(&bytes[..cut]);
+            // The valid prefix is exactly the whole frames before the cut.
+            let whole = boundaries.iter().filter(|b| **b <= cut).count() - 1;
+            assert_eq!(parsed.records.len(), whole, "cut at {cut}");
+            assert_eq!(parsed.records[..], records[..whole], "cut at {cut}");
+            assert_eq!(parsed.valid_len, boundaries[whole], "cut at {cut}");
+            if cut != boundaries[whole] {
+                assert!(parsed.torn.is_some(), "cut at {cut} must report a tear");
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_flip_ends_the_parse() {
+        let records = sample_records();
+        let mut bytes = encode_all(&records);
+        // Flip one byte inside the second record's body.
+        let first_len = encode_record(records[0].seq, &records[0].record).len();
+        bytes[first_len + 6] ^= 0xff;
+        let parsed = parse_log(&bytes);
+        assert_eq!(parsed.records.len(), 1);
+        assert_eq!(parsed.valid_len, first_len);
+        assert!(parsed.torn.unwrap().contains("checksum"));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_corruption_not_an_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 32]);
+        let parsed = parse_log(&bytes);
+        assert!(parsed.records.is_empty());
+        assert_eq!(parsed.valid_len, 0);
+        assert!(parsed.torn.unwrap().contains("cap"));
+    }
+}
