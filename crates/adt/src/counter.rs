@@ -91,6 +91,10 @@ impl AdtOp for CounterOp {
             _ => None,
         }
     }
+
+    fn is_readonly(&self) -> bool {
+        matches!(self, CounterOp::Read)
+    }
 }
 
 impl AdtSpec for Counter {

@@ -175,6 +175,18 @@ pub trait AdtOp: Clone + fmt::Debug + Send + Sync + 'static {
     fn distinguishing_param(&self) -> Option<Value> {
         self.to_call().distinguishing_param().cloned()
     }
+
+    /// `true` when the operation is a pure observer: applying it never
+    /// changes the object state (top, front, read, member, lookup, size).
+    ///
+    /// Read-only operations are what the multi-version snapshot-read path
+    /// may answer from a historical version instead of the classified,
+    /// blockable execution path, so a wrong `true` here is a
+    /// serializability bug. The default is the safe `false` — every
+    /// operation is assumed to mutate unless its data type says otherwise.
+    fn is_readonly(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

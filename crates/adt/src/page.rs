@@ -92,6 +92,10 @@ impl AdtOp for PageOp {
             _ => None,
         }
     }
+
+    fn is_readonly(&self) -> bool {
+        matches!(self, PageOp::Read)
+    }
 }
 
 impl AdtSpec for Page {

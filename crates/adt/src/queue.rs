@@ -104,6 +104,10 @@ impl AdtOp for QueueOp {
             _ => None,
         }
     }
+
+    fn is_readonly(&self) -> bool {
+        matches!(self, QueueOp::Front)
+    }
 }
 
 impl AdtSpec for FifoQueue {

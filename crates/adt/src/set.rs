@@ -107,6 +107,10 @@ impl AdtOp for SetOp {
             _ => None,
         }
     }
+
+    fn is_readonly(&self) -> bool {
+        matches!(self, SetOp::Member(_))
+    }
 }
 
 impl AdtSpec for Set {

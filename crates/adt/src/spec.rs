@@ -102,6 +102,15 @@ pub trait SemanticObject: Send + fmt::Debug {
     /// Structural equality of object states (used by the serializability
     /// checker to compare a replayed state against the observed one).
     fn state_eq(&self, other: &dyn SemanticObject) -> bool;
+
+    /// `true` when `call` is a pure observer of this data type: applying it
+    /// never changes the object state. The snapshot-read path answers such
+    /// calls from a historical version without classification, so a wrong
+    /// `true` is a serializability bug; the default is the safe `false`.
+    fn is_readonly(&self, call: &OpCall) -> bool {
+        let _ = call;
+        false
+    }
 }
 
 impl Clone for Box<dyn SemanticObject> {
@@ -192,6 +201,12 @@ impl<A: AdtSpec> SemanticObject for AdtObject<A> {
             .map(|o| o.inner == self.inner)
             .unwrap_or(false)
     }
+
+    fn is_readonly(&self, call: &OpCall) -> bool {
+        A::Op::from_call(call)
+            .map(|op| op.is_readonly())
+            .unwrap_or(false)
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +287,95 @@ mod tests {
         let mut erased: Box<dyn SemanticObject> = Box::new(AdtObject::new(Stack::new()));
         // kind 17 is not a stack operation
         erased.apply(&OpCall::nullary(17));
+    }
+
+    #[test]
+    fn readonly_ops_are_flagged_and_never_mutate() {
+        use crate::counter::{Counter, CounterOp};
+        use crate::page::{Page, PageOp};
+        use crate::queue::{FifoQueue, QueueOp};
+        use crate::set::{Set, SetOp};
+        use crate::table::{TableObject, TableOp};
+
+        // The snapshot-read path relies on this contract: a call flagged
+        // readonly may be applied to a shared historical version without
+        // changing it. Each case seeds some state, then checks the flag and
+        // re-applies every readonly op, asserting state_eq before/after.
+        fn check(
+            mut obj: Box<dyn SemanticObject>,
+            setup: &[OpCall],
+            readonly: &[OpCall],
+            mutator: &OpCall,
+        ) {
+            for c in setup {
+                obj.apply(c);
+            }
+            assert!(
+                !obj.is_readonly(mutator),
+                "{mutator} must not be readonly on {}",
+                obj.type_name()
+            );
+            for c in readonly {
+                assert!(
+                    obj.is_readonly(c),
+                    "{c} must be readonly on {}",
+                    obj.type_name()
+                );
+                let before = obj.boxed_clone();
+                obj.apply(c);
+                assert!(
+                    obj.state_eq(before.as_ref()),
+                    "readonly {c} mutated {}",
+                    obj.type_name()
+                );
+            }
+        }
+
+        check(
+            Box::new(AdtObject::new(Counter::new())),
+            &[CounterOp::Increment(5).to_call()],
+            &[CounterOp::Read.to_call()],
+            &CounterOp::Increment(1).to_call(),
+        );
+        check(
+            Box::new(AdtObject::new(Page::new())),
+            &[PageOp::Write(Value::Int(9)).to_call()],
+            &[PageOp::Read.to_call()],
+            &PageOp::Write(Value::Int(1)).to_call(),
+        );
+        check(
+            Box::new(AdtObject::new(FifoQueue::new())),
+            &[QueueOp::Enqueue(Value::Int(1)).to_call()],
+            &[QueueOp::Front.to_call()],
+            &QueueOp::Dequeue.to_call(),
+        );
+        check(
+            Box::new(AdtObject::new(Set::new())),
+            &[SetOp::Insert(Value::Int(3)).to_call()],
+            &[
+                SetOp::Member(Value::Int(3)).to_call(),
+                SetOp::Member(Value::Int(4)).to_call(),
+            ],
+            &SetOp::Insert(Value::Int(4)).to_call(),
+        );
+        check(
+            Box::new(AdtObject::new(Stack::new())),
+            &[StackOp::Push(Value::Int(2)).to_call()],
+            &[StackOp::Top.to_call()],
+            &StackOp::Pop.to_call(),
+        );
+        check(
+            Box::new(AdtObject::new(TableObject::new())),
+            &[TableOp::Insert(Value::str("k"), Value::Int(1)).to_call()],
+            &[
+                TableOp::Lookup(Value::str("k")).to_call(),
+                TableOp::Size.to_call(),
+            ],
+            &TableOp::Delete(Value::str("k")).to_call(),
+        );
+        // Unknown calls are conservatively not readonly.
+        let stack: Box<dyn SemanticObject> = Box::new(AdtObject::new(Stack::new()));
+        assert!(!stack.is_readonly(&OpCall::nullary(17)));
     }
 
     #[test]

@@ -107,6 +107,10 @@ impl AdtOp for StackOp {
             _ => None,
         }
     }
+
+    fn is_readonly(&self) -> bool {
+        matches!(self, StackOp::Top)
+    }
 }
 
 impl AdtSpec for Stack {

@@ -130,6 +130,10 @@ impl AdtOp for TableOp {
             _ => None,
         }
     }
+
+    fn is_readonly(&self) -> bool {
+        matches!(self, TableOp::Lookup(_) | TableOp::Size)
+    }
 }
 
 impl AdtSpec for TableObject {

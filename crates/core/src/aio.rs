@@ -222,6 +222,22 @@ impl AsyncDatabase {
         }
     }
 
+    /// Begin an async **snapshot** transaction session: read-only
+    /// operations observe the newest committed version at or below the
+    /// session's begin stamp without classification or blocking, guarded
+    /// by SSI rw-antidependency tracking — the async counterpart of
+    /// [`Database::begin_snapshot`], which documents the semantics.
+    pub fn begin_snapshot(&self) -> AsyncTransaction {
+        AsyncTransaction {
+            inner: Rc::new(TxnInner {
+                core: self.db.begin_snapshot_session(),
+                db: self.db.clone(),
+                finished: Cell::new(false),
+                waiting: Cell::new(false),
+            }),
+        }
+    }
+
     /// Run a transaction body, committing on success and transparently
     /// **retrying from scratch** when the scheduler aborts the transaction
     /// (deadlock cycle, commit-dependency cycle, or victim selection) —
@@ -398,6 +414,12 @@ impl AsyncTransaction {
     /// The transaction's current scheduler state.
     pub fn state(&self) -> Option<TxnState> {
         self.inner.db.txn_state(self.id())
+    }
+
+    /// The snapshot begin stamp for sessions opened through
+    /// [`AsyncDatabase::begin_snapshot`], `None` for ordinary sessions.
+    pub fn snapshot_stamp(&self) -> Option<u64> {
+        self.inner.core.snapshot()
     }
 
     /// Execute a typed operation; the future resolves once the operation

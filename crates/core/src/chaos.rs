@@ -90,6 +90,16 @@ pub enum ChaosPoint {
     /// cross-shard marker is written): a crash here must lose the whole
     /// transaction at recovery.
     WalFlush,
+    /// `begin_snapshot` is about to draw the snapshot's begin stamp under
+    /// the termination lock (before the version floor is published).
+    SnapshotStamp,
+    /// A snapshot session is about to answer a read from the multi-version
+    /// store (after the readonly check, before the version-chain lookup).
+    SnapshotRead,
+    /// The SSI guard is about to install or inspect rw-antidependency
+    /// conflict flags (read-time writer scan, commit-time SIREAD scan, or
+    /// classified-op in-flag check).
+    SsiEdge,
     /// A cooperative [`sync::Mutex`] found the lock held and yields before
     /// retrying.
     LockContended,
@@ -109,6 +119,9 @@ impl fmt::Display for ChaosPoint {
             ChaosPoint::VoteApply => "vote-apply",
             ChaosPoint::ReVote => "re-vote",
             ChaosPoint::WalFlush => "wal-flush",
+            ChaosPoint::SnapshotStamp => "snapshot-stamp",
+            ChaosPoint::SnapshotRead => "snapshot-read",
+            ChaosPoint::SsiEdge => "ssi-edge",
             ChaosPoint::LockContended => "lock-contended",
             ChaosPoint::CondvarWait => "condvar-wait",
         })

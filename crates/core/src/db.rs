@@ -345,6 +345,12 @@ pub(crate) struct SessionCore {
     /// submissions while blocked — another shard's kernel would not know)
     /// and to settle without racing the outcome delivery.
     pending: std::cell::Cell<bool>,
+    /// `Some(begin stamp)` for sessions opened through
+    /// [`Database::begin_snapshot`] / `AsyncDatabase::begin_snapshot`:
+    /// read-only operations route to the multi-version snapshot path
+    /// (reading the newest committed version at or below the stamp);
+    /// everything else takes the ordinary classified path.
+    snapshot: Option<u64>,
 }
 
 impl std::fmt::Debug for SessionCore {
@@ -362,12 +368,26 @@ impl SessionCore {
             id,
             enrolled: RefCell::new(Vec::new()),
             pending: std::cell::Cell::new(false),
+            snapshot: None,
+        }
+    }
+
+    fn new_snapshot(id: TxnId, begin: u64) -> Self {
+        SessionCore {
+            snapshot: Some(begin),
+            ..SessionCore::new(id)
         }
     }
 
     /// The transaction this session drives.
     pub(crate) fn id(&self) -> TxnId {
         self.id
+    }
+
+    /// The snapshot begin stamp, for sessions opened through
+    /// `begin_snapshot`.
+    pub(crate) fn snapshot(&self) -> Option<u64> {
+        self.snapshot
     }
 
     /// Whether a blocked submission's outcome is still unclaimed.
@@ -663,6 +683,57 @@ impl Database {
         SessionCore::new(self.shared.kernel.begin())
     }
 
+    /// Begin a **snapshot** transaction session: read-only operations
+    /// observe the newest committed version at or below the begin stamp —
+    /// no classification, no blocking, no dependency-graph edges — while
+    /// writes (and reads of objects this transaction has written) still
+    /// take the classified path. Serializability is preserved by SSI
+    /// rw-antidependency tracking: a transaction completing a dangerous
+    /// structure is aborted with
+    /// [`AbortReason::SsiConflict`](crate::AbortReason::SsiConflict)
+    /// (a scheduler-initiated abort, so [`Database::run`]-style retry
+    /// loops restart it transparently).
+    ///
+    /// The stamp is acquired under the coordinator's termination lock, so
+    /// a snapshot never observes a half-applied multi-shard commit.
+    ///
+    /// ```
+    /// use sbcc_core::{Database, SchedulerConfig};
+    /// use sbcc_adt::{Counter, CounterOp, OpResult, Value};
+    ///
+    /// let db = Database::new(SchedulerConfig::default());
+    /// let c = db.register("c", Counter::new());
+    /// let w = db.begin();
+    /// w.exec(&c, CounterOp::Increment(5)).unwrap();
+    /// w.commit().unwrap();
+    ///
+    /// let snap = db.begin_snapshot();
+    /// // A writer committing *after* the snapshot began is invisible:
+    /// let w = db.begin();
+    /// w.exec(&c, CounterOp::Increment(100)).unwrap();
+    /// w.commit().unwrap();
+    /// assert_eq!(
+    ///     snap.exec(&c, CounterOp::Read).unwrap(),
+    ///     OpResult::Value(Value::Int(5)),
+    /// );
+    /// snap.commit().unwrap();
+    /// ```
+    pub fn begin_snapshot(&self) -> Transaction {
+        Transaction {
+            core: self.begin_snapshot_session(),
+            db: self.clone(),
+            finished: false,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// [`Database::begin_snapshot`] returning the bare session core
+    /// (shared entry point of the sync and async front-ends).
+    pub(crate) fn begin_snapshot_session(&self) -> SessionCore {
+        let (id, begin) = self.shared.kernel.begin_snapshot();
+        SessionCore::new_snapshot(id, begin)
+    }
+
     /// Run a transaction body, committing on success and transparently
     /// **retrying from scratch** when the scheduler aborts the transaction
     /// (deadlock cycle, commit-dependency cycle, or victim selection).
@@ -830,6 +901,33 @@ impl Database {
         self.shared.kernel.cycle_checks()
     }
 
+    /// The current value of the global commit clock (every actual commit
+    /// draws one stamp; snapshots read at their begin stamp).
+    pub fn current_stamp(&self) -> u64 {
+        self.shared.kernel.current_stamp()
+    }
+
+    /// The smallest begin stamp over live snapshot transactions, or `None`
+    /// when no snapshot is live (committing transactions then drop
+    /// superseded versions immediately).
+    pub fn oldest_snapshot_stamp(&self) -> Option<u64> {
+        self.shared.kernel.oldest_snapshot_stamp()
+    }
+
+    /// Total number of retained historical object versions across all
+    /// shards (versions still needed by live snapshots).
+    pub fn version_depth(&self) -> usize {
+        self.shared.kernel.version_depth()
+    }
+
+    /// Sweep every shard, pruning historical versions no live snapshot can
+    /// reach. Returns the number of versions dropped; the cumulative count
+    /// (including the pruning commits perform themselves) is
+    /// [`KernelStats::versions_pruned`](crate::KernelStats::versions_pruned).
+    pub fn prune_versions(&self) -> u64 {
+        self.shared.kernel.prune_versions()
+    }
+
     /// Run the commit-order serializability checker on every shard
     /// (requires history recording, which [`SchedulerConfig::default`]
     /// enables).
@@ -943,6 +1041,28 @@ impl Database {
         }
     }
 
+    /// Snapshot-path routing shared by the sync and async exec paths: for
+    /// a snapshot session, try the multi-version read first. `Ok(Some)` is
+    /// the settled result; `Ok(None)` (not a snapshot session, not a pure
+    /// observer, or an object this transaction has written) falls through
+    /// to the classified path.
+    fn snapshot_read_raw(
+        &self,
+        txn: &SessionCore,
+        loc: ObjectLoc,
+        call: &OpCall,
+    ) -> Result<Option<OpResult>, CoreError> {
+        if txn.snapshot.is_none() {
+            return Ok(None);
+        }
+        let result = self.shared.kernel.snapshot_read(txn.id, loc, call);
+        // Deliver before `?`: an SSI abort inside the read releases the
+        // transaction's claims, and the resulting grants to blocked
+        // sessions sit in the event queue.
+        self.deliver_events();
+        result
+    }
+
     fn exec_call_raw(
         &self,
         txn: &SessionCore,
@@ -952,6 +1072,9 @@ impl Database {
         let id = txn.id;
         self.check_loc(loc)?;
         self.admit_submission(txn, "request an operation")?;
+        if let Some(result) = self.snapshot_read_raw(txn, loc, &call)? {
+            return Ok(result);
+        }
         self.ensure_session_enrolled(txn, loc.shard, "request an operation")?;
         // Deliver before `?`: a rejected request can still have mutated the
         // kernel (a `Requester`-policy conflict aborts the requester, which
@@ -1056,6 +1179,12 @@ impl Database {
         let id = txn.id;
         self.check_loc(loc)?;
         self.admit_submission(txn, "request an operation")?;
+        if let Some(result) = self.snapshot_read_raw(txn, loc, &call)? {
+            return Ok(RequestOutcome::Executed {
+                result,
+                commit_deps: Vec::new(),
+            });
+        }
         self.ensure_session_enrolled(txn, loc.shard, "request an operation")?;
         // Deliver before `?` (see `exec_call_raw`): even a rejected request
         // may have generated settlement events for other sessions.
@@ -1320,6 +1449,12 @@ impl Transaction {
     /// The transaction's current scheduler state.
     pub fn state(&self) -> Option<TxnState> {
         self.db.txn_state(self.id())
+    }
+
+    /// The snapshot begin stamp for sessions opened through
+    /// [`Database::begin_snapshot`], `None` for ordinary sessions.
+    pub fn snapshot_stamp(&self) -> Option<u64> {
+        self.core.snapshot()
     }
 
     /// Execute a typed operation, blocking while it conflicts with

@@ -24,6 +24,11 @@ pub enum AbortReason {
     /// other transaction's request (only under
     /// [`crate::VictimPolicy::Youngest`]).
     VictimSelected,
+    /// A snapshot transaction completed a dangerous structure in the SSI
+    /// rw-antidependency graph (both an incoming and an outgoing
+    /// rw-antidependency to concurrent transactions — Cahill's pivot test)
+    /// and was aborted to preserve serializability.
+    SsiConflict,
     /// The application explicitly aborted the transaction.
     Explicit,
 }
@@ -44,6 +49,7 @@ impl fmt::Display for AbortReason {
             AbortReason::DeadlockCycle => write!(f, "deadlock cycle"),
             AbortReason::CommitDependencyCycle => write!(f, "commit-dependency cycle"),
             AbortReason::VictimSelected => write!(f, "selected as cycle victim"),
+            AbortReason::SsiConflict => write!(f, "ssi rw-antidependency conflict"),
             AbortReason::Explicit => write!(f, "explicit abort"),
         }
     }
@@ -280,6 +286,12 @@ mod tests {
             AbortReason::VictimSelected.to_string(),
             "selected as cycle victim"
         );
+        assert_eq!(
+            AbortReason::SsiConflict.to_string(),
+            "ssi rw-antidependency conflict"
+        );
+        assert!(AbortReason::SsiConflict.is_scheduler_initiated());
+        assert!(!AbortReason::Explicit.is_scheduler_initiated());
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::txn::{BatchCall, ExecutedOp, PendingRequest, TxnId, TxnRecord, TxnSta
 use sbcc_adt::{AdtObject, AdtSpec, OpCall, OpResult, SemanticObject};
 use sbcc_graph::{DependencyGraph, EdgeKind};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Compact record kept for a terminated transaction after its full
@@ -47,6 +48,9 @@ struct FinishedTxn {
     /// operations to log (the caller passes it to `Wal::wait_durable`
     /// after releasing the shard lock).
     wal_ticket: Option<u64>,
+    /// Global commit stamp the transaction's effects were folded under
+    /// (`None` for aborts).
+    commit_stamp: Option<u64>,
 }
 
 /// The scheduler kernel. See the module documentation for an overview.
@@ -88,6 +92,15 @@ pub struct SchedulerKernel {
     /// with the shard index it writes under. `None` when durability is
     /// off (the default) — every logging site is a no-op then.
     wal: Option<(Arc<sbcc_wal::Wal>, u32)>,
+    /// The global commit-stamp clock: every actual commit draws the next
+    /// stamp from it and folds its effects into the version store under
+    /// that stamp. Shared across every shard of a [`crate::shard::ShardedKernel`]
+    /// (see [`Self::attach_stamps`]); a standalone kernel owns its own.
+    commit_clock: Arc<AtomicU64>,
+    /// Begin stamp of the oldest live snapshot (`u64::MAX` when none):
+    /// the multi-version GC watermark. Written by the snapshot lifecycle
+    /// in the sharding layer, read (`SeqCst`) by every fold.
+    version_floor: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for SchedulerKernel {
@@ -129,7 +142,24 @@ impl SchedulerKernel {
             entangled: false,
             coordination_ready: Vec::new(),
             wal: None,
+            commit_clock: Arc::new(AtomicU64::new(0)),
+            version_floor: Arc::new(AtomicU64::new(u64::MAX)),
         }
+    }
+
+    /// Replace this kernel's commit-stamp clock and version-GC watermark
+    /// with shared handles. Called once per shard at
+    /// [`crate::shard::ShardedKernel`] construction (before any request), so
+    /// all shards stamp their folds from one global commit sequence.
+    pub fn attach_stamps(&mut self, clock: Arc<AtomicU64>, floor: Arc<AtomicU64>) {
+        self.commit_clock = clock;
+        self.version_floor = floor;
+    }
+
+    /// The current value of the commit-stamp clock (the stamp of the most
+    /// recent actual commit).
+    pub fn current_stamp(&self) -> u64 {
+        self.commit_clock.load(Ordering::SeqCst)
     }
 
     /// Attach a write-ahead log: from here on, every actual commit of a
@@ -363,13 +393,17 @@ impl SchedulerKernel {
     /// committed states, drop its graph node and settle. The coordinator
     /// only calls this once the transaction's commit-dependency out-degree
     /// is zero in *every* shard it is enrolled in.
-    pub fn commit_coordinated(&mut self, txn: TxnId) {
+    /// `stamp` is the global commit stamp the coordinator drew (under the
+    /// termination lock) for the whole multi-shard transaction, so every
+    /// shard's version store records the commit under one stamp and a
+    /// cross-shard snapshot can never observe it half-applied.
+    pub fn commit_coordinated(&mut self, txn: TxnId, stamp: u64) {
         self.coordination_ready.retain(|t| *t != txn);
         debug_assert!(
             self.graph.out_neighbors_kind(txn, EdgeKind::CommitDep).is_empty(),
             "coordinated commit of {txn} with local commit dependencies outstanding"
         );
-        self.actually_commit(txn);
+        self.actually_commit_stamped(txn, Some(stamp));
         self.settle();
     }
 
@@ -678,6 +712,13 @@ impl SchedulerKernel {
     /// A pseudo-committed transaction cannot be aborted — by construction it
     /// will definitely commit.
     pub fn abort(&mut self, txn: TxnId) -> Result<(), CoreError> {
+        self.abort_with(txn, AbortReason::Explicit)
+    }
+
+    /// Abort an active or blocked transaction for the given reason (the
+    /// SSI guard uses this with [`AbortReason::SsiConflict`]; the event and
+    /// error plumbing is identical to an explicit abort).
+    pub fn abort_with(&mut self, txn: TxnId, reason: AbortReason) -> Result<(), CoreError> {
         let state = self
             .txn_state(txn)
             .ok_or(CoreError::UnknownTransaction(txn))?;
@@ -688,9 +729,92 @@ impl SchedulerKernel {
                 action: "abort",
             });
         }
-        self.abort_internal(txn, AbortReason::Explicit);
+        self.abort_internal(txn, reason);
         self.settle();
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-version snapshot reads (see `crate::shard` for the SSI guard)
+    // ------------------------------------------------------------------
+
+    /// Answer a read from the multi-version store: the result of `call`
+    /// against the committed version current at begin stamp `stamp`.
+    ///
+    /// Returns `None` — caller falls back to the classified path — when the
+    /// call is not a pure observer of the object's data type, or when `txn`
+    /// itself holds uncommitted operations on the object (its own writes
+    /// are only visible through the classified intentions view).
+    pub fn snapshot_read(
+        &mut self,
+        txn: TxnId,
+        object: ObjectId,
+        stamp: u64,
+        call: &OpCall,
+    ) -> Result<Option<OpResult>, CoreError> {
+        self.ensure_object(object)?;
+        let obj = &mut self.objects[object.0 as usize];
+        if !obj.committed_state().is_readonly(call) || obj.has_ops_of(txn) {
+            return Ok(None);
+        }
+        let result = obj.read_at(stamp, call);
+        self.stats.snapshot_reads += 1;
+        Ok(Some(result))
+    }
+
+    /// Stamp of the last commit that folded operations into `object`
+    /// (0 before any commit). Used by the SSI guard: a classified read by a
+    /// snapshot transaction observing `committed_stamp > begin` has an
+    /// incoming rw-antidependency from the committing writer.
+    pub fn object_commit_stamp(&self, object: ObjectId) -> Option<u64> {
+        self.objects.get(object.0 as usize).map(|o| o.committed_stamp())
+    }
+
+    /// Number of historical versions retained across all objects.
+    pub fn version_depth(&self) -> usize {
+        self.objects.iter().map(|o| o.version_depth()).sum()
+    }
+
+    /// Drop every historical version unreachable from `watermark` (the
+    /// begin stamp of the oldest live snapshot; `u64::MAX` when none),
+    /// returning how many were pruned. The commit path prunes lazily
+    /// per-object; this is the sweep the snapshot lifecycle runs when the
+    /// watermark rises.
+    pub fn prune_versions(&mut self, watermark: u64) -> u64 {
+        let mut pruned = 0;
+        for obj in &mut self.objects {
+            pruned += obj.prune_versions(watermark);
+        }
+        self.stats.versions_pruned += pruned;
+        pruned
+    }
+
+    /// The objects a live transaction has executed at least one
+    /// **mutating** (non-readonly) operation on, sorted. This is the write
+    /// set the SSI guard scans SIREAD marks against at commit entry.
+    pub fn write_set(&self, txn: TxnId) -> Vec<ObjectId> {
+        let Some(rec) = self.txns.get(&txn) else {
+            return Vec::new();
+        };
+        let mut out: Vec<ObjectId> = rec
+            .ops
+            .iter()
+            .filter(|op| {
+                !self.objects[op.object.0 as usize]
+                    .committed_state()
+                    .is_readonly(&op.call)
+            })
+            .map(|op| op.object)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The global commit stamp of a committed transaction (`None` while
+    /// live, or for aborts).
+    pub fn commit_stamp_of(&self, txn: TxnId) -> Option<u64> {
+        self.finished.get(&txn).and_then(|f| f.commit_stamp)
     }
 
     // ------------------------------------------------------------------
@@ -1094,6 +1218,17 @@ impl SchedulerKernel {
     }
 
     fn actually_commit(&mut self, txn: TxnId) {
+        self.actually_commit_stamped(txn, None);
+    }
+
+    /// Fold a transaction's effects under a global commit stamp: the
+    /// coordinator-drawn one for multi-shard commits, or the next clock
+    /// value otherwise. The stamp is drawn **before** the version-GC
+    /// watermark is loaded — the order the snapshot-visibility argument in
+    /// ARCHITECTURE.md relies on (a fold whose stamp exceeds a live
+    /// snapshot's begin stamp is guaranteed to observe that snapshot's
+    /// watermark and preserve the version it still needs).
+    fn actually_commit_stamped(&mut self, txn: TxnId, stamp: Option<u64>) {
         self.termination_epoch += 1;
         let rec = self.txns.remove(&txn).expect("transaction exists");
         debug_assert!(matches!(
@@ -1121,9 +1256,13 @@ impl SchedulerKernel {
             _ => None,
         };
         self.next_commit_index += 1;
+        let stamp =
+            stamp.unwrap_or_else(|| self.commit_clock.fetch_add(1, Ordering::SeqCst) + 1);
+        let watermark = self.version_floor.load(Ordering::SeqCst);
         let touched: Vec<ObjectId> = rec.touched.iter().copied().collect();
         for obj in &touched {
-            self.objects[obj.0 as usize].commit_txn(txn);
+            self.stats.versions_pruned +=
+                self.objects[obj.0 as usize].commit_txn(txn, stamp, watermark);
         }
         self.graph_remove_node(txn);
         self.pending_dirty.extend(touched);
@@ -1134,6 +1273,7 @@ impl SchedulerKernel {
                 state: TxnState::Committed,
                 executed_ops: rec.executed_ops(),
                 wal_ticket,
+                commit_stamp: Some(stamp),
             },
         );
         if let Some(h) = &mut self.history {
@@ -1163,6 +1303,7 @@ impl SchedulerKernel {
             AbortReason::DeadlockCycle => self.stats.aborts_deadlock += 1,
             AbortReason::CommitDependencyCycle => self.stats.aborts_commit_cycle += 1,
             AbortReason::VictimSelected => self.stats.aborts_victim += 1,
+            AbortReason::SsiConflict => self.stats.aborts_ssi += 1,
             AbortReason::Explicit => self.stats.aborts_explicit += 1,
         }
         self.finished.insert(
@@ -1171,6 +1312,7 @@ impl SchedulerKernel {
                 state: TxnState::Aborted,
                 executed_ops: rec.executed_ops(),
                 wal_ticket: None,
+                commit_stamp: None,
             },
         );
         if let Some(h) = &mut self.history {

@@ -232,6 +232,17 @@ pub struct ManagedObject {
     /// Committed state plus all uncommitted logged operations, in execution
     /// order. Maintained only under [`RecoveryStrategy::UndoReplay`].
     materialized: Option<Box<dyn SemanticObject>>,
+    /// Commit stamp of the last fold that changed `committed` (0 before any
+    /// commit). Snapshot reads with a begin stamp at or above this value are
+    /// answered from `committed` directly.
+    committed_stamp: u64,
+    /// Historical committed states, ascending by stamp: entry `(s, state)`
+    /// is the committed state that became current at stamp `s` (and was
+    /// superseded by the next entry's stamp, or by `committed_stamp`).
+    /// Maintained **lazily**: empty while no snapshot is live (the commit
+    /// path passes `u64::MAX` as the watermark, which clears it), so the
+    /// multi-version store costs nothing on snapshot-free workloads.
+    history: Vec<(u64, Box<dyn SemanticObject>)>,
     /// Uncommitted operations, in execution order.
     log: Vec<LogEntry>,
     /// The log indexed by `(transaction, operation kind)`.
@@ -275,6 +286,8 @@ impl ManagedObject {
             initial: object.boxed_clone(),
             committed: object,
             materialized,
+            committed_stamp: 0,
+            history: Vec::new(),
             log: Vec::new(),
             index: HashMap::new(),
             memo: RefCell::new(ClassifyMemo::new(arity)),
@@ -702,7 +715,41 @@ impl ManagedObject {
     /// execution order) and drop them from the log. Called at *actual*
     /// commit, which the commit protocol guarantees happens in
     /// commit-dependency order.
-    pub fn commit_txn(&mut self, txn: TxnId) {
+    ///
+    /// `stamp` is the transaction's global commit stamp; `watermark` is the
+    /// begin stamp of the oldest live snapshot (`u64::MAX` when none is
+    /// live). When a snapshot is live the superseded committed state is
+    /// preserved in the version history before folding; versions no
+    /// snapshot can still reach are pruned and counted in the return value.
+    pub fn commit_txn(&mut self, txn: TxnId, stamp: u64, watermark: u64) -> u64 {
+        if !self.index.contains_key(&txn) {
+            // No operations on this object (the transaction only ever
+            // blocked here): the committed state does not change, so no
+            // version is created.
+            return 0;
+        }
+        let mut pruned = 0u64;
+        if watermark == u64::MAX {
+            // No live snapshot can reach any historical version.
+            pruned = self.history.len() as u64;
+            self.history.clear();
+        } else if stamp > self.committed_stamp {
+            self.history
+                .push((self.committed_stamp, self.committed.boxed_clone()));
+            // Keep the newest entry at or below the watermark (the floor
+            // version every live snapshot ≥ watermark may still read) plus
+            // everything newer; drop the rest.
+            if let Some(pos) = self.history.iter().rposition(|(s, _)| *s <= watermark) {
+                pruned = pos as u64;
+                self.history.drain(..pos);
+            }
+        }
+        // An out-of-order fold (stamp ≤ committed_stamp — a coordinated
+        // commit whose stamp was drawn before a later single-shard commit
+        // folded first) skips the push: begin stamps are serialized against
+        // coordinated commits by the termination lock, so no live or future
+        // snapshot stamp can fall between the two folds and distinguish the
+        // superseded state.
         let mut remaining = Vec::with_capacity(self.log.len());
         for entry in self.log.drain(..) {
             if entry.txn == txn {
@@ -718,9 +765,75 @@ impl ManagedObject {
         }
         self.log = remaining;
         self.index.remove(&txn);
+        self.committed_stamp = self.committed_stamp.max(stamp);
         // The materialized state already contains the committed operations;
         // nothing to do for undo-replay. The classification memo stays
         // valid: classification is state-independent by contract.
+        pruned
+    }
+
+    /// Stamp of the last commit that folded operations into this object
+    /// (0 before any commit).
+    pub fn committed_stamp(&self) -> u64 {
+        self.committed_stamp
+    }
+
+    /// Number of historical versions currently retained (excluding
+    /// `committed` itself).
+    pub fn version_depth(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Drop every historical version no snapshot at or above `watermark`
+    /// can still reach, returning how many were pruned. `u64::MAX` clears
+    /// the whole history (no live snapshots).
+    pub fn prune_versions(&mut self, watermark: u64) -> u64 {
+        if watermark == u64::MAX {
+            let pruned = self.history.len() as u64;
+            self.history.clear();
+            return pruned;
+        }
+        match self.history.iter().rposition(|(s, _)| *s <= watermark) {
+            Some(pos) => {
+                self.history.drain(..pos);
+                pos as u64
+            }
+            None => 0,
+        }
+    }
+
+    /// The committed state as of begin stamp `stamp`: `committed` itself
+    /// when `stamp ≥ committed_stamp`, otherwise the newest historical
+    /// version current at `stamp` (falling back to the registration state
+    /// for stamps older than every retained version — only reachable when
+    /// nothing had committed by `stamp`).
+    pub fn version_at(&self, stamp: u64) -> &dyn SemanticObject {
+        if stamp >= self.committed_stamp {
+            return self.committed.as_ref();
+        }
+        match self.history.iter().rev().find(|(s, _)| *s <= stamp) {
+            Some((_, state)) => state.as_ref(),
+            None => self.initial.as_ref(),
+        }
+    }
+
+    /// Apply a **readonly** call to the version current at `stamp` and
+    /// return its result. Readonly calls never mutate by the
+    /// [`SemanticObject::is_readonly`] contract (pinned by the ADT test
+    /// suite), so the stored version is applied to in place without a
+    /// defensive clone.
+    pub fn read_at(&mut self, stamp: u64, call: &OpCall) -> OpResult {
+        debug_assert!(
+            self.committed.is_readonly(call),
+            "snapshot read of non-readonly call {call}"
+        );
+        if stamp >= self.committed_stamp {
+            return self.committed.apply(call);
+        }
+        match self.history.iter_mut().rev().find(|(s, _)| *s <= stamp) {
+            Some((_, state)) => state.apply(call),
+            None => self.initial.apply(call),
+        }
     }
 
     /// Remove all of `txn`'s logged operations (abort). Under undo-replay
@@ -770,6 +883,12 @@ impl ManagedObject {
             .iter()
             .map(|r| (r.txn, r.call.clone()))
             .collect()
+    }
+
+    /// `true` when `txn` holds at least one uncommitted operation in this
+    /// object's log.
+    pub fn has_ops_of(&self, txn: TxnId) -> bool {
+        self.index.contains_key(&txn)
     }
 
     /// Transactions that currently hold at least one operation in the log,
@@ -956,8 +1075,8 @@ mod tests {
         assert_eq!(obj.execute(TxnId(1), 1, push(4)), OpResult::Ok);
         assert_eq!(obj.execute(TxnId(2), 2, push(2)), OpResult::Ok);
         // Commit both in dependency order and check the committed state.
-        obj.commit_txn(TxnId(1));
-        obj.commit_txn(TxnId(2));
+        obj.commit_txn(TxnId(1), 1, u64::MAX);
+        obj.commit_txn(TxnId(2), 2, u64::MAX);
         assert_eq!(obj.log_len(), 0);
         let committed = obj
             .committed_state()
@@ -979,7 +1098,7 @@ mod tests {
             obj.execute(TxnId(2), 2, push(2));
             obj.abort_txn(TxnId(1));
             assert_eq!(obj.log_len(), 1);
-            obj.commit_txn(TxnId(2));
+            obj.commit_txn(TxnId(2), 1, u64::MAX);
             let committed = obj
                 .committed_state()
                 .as_any()
@@ -1026,12 +1145,127 @@ mod tests {
         assert_eq!(obj.id(), ObjectId(0));
     }
 
+    fn counter_object() -> ManagedObject {
+        ManagedObject::new(
+            ObjectId(1),
+            "c",
+            Box::new(AdtObject::new(sbcc_adt::Counter::new())),
+            RecoveryStrategy::IntentionsList,
+        )
+    }
+
+    fn inc(n: i64) -> OpCall {
+        sbcc_adt::CounterOp::Increment(n).to_call()
+    }
+
+    fn read() -> OpCall {
+        sbcc_adt::CounterOp::Read.to_call()
+    }
+
+    #[test]
+    fn version_chain_reads_each_stamp() {
+        let mut obj = counter_object();
+        // Three commits at stamps 2, 5, 9 with a snapshot watermark of 0
+        // (everything retained).
+        for (txn, stamp, amount) in [(1u64, 2u64, 10i64), (2, 5, 100), (3, 9, 1000)] {
+            obj.execute(TxnId(txn), stamp, inc(amount));
+            obj.commit_txn(TxnId(txn), stamp, 0);
+        }
+        assert_eq!(obj.committed_stamp(), 9);
+        assert_eq!(obj.version_depth(), 3);
+        // Every begin stamp sees exactly the commits at or below it.
+        for (stamp, expected) in [
+            (0u64, 0i64),
+            (1, 0),
+            (2, 10),
+            (4, 10),
+            (5, 110),
+            (8, 110),
+            (9, 1110),
+            (100, 1110),
+        ] {
+            assert_eq!(
+                obj.read_at(stamp, &read()),
+                OpResult::Value(Value::Int(expected)),
+                "read at stamp {stamp}"
+            );
+            assert_eq!(
+                obj.version_at(stamp)
+                    .as_any()
+                    .downcast_ref::<AdtObject<sbcc_adt::Counter>>()
+                    .expect("counter")
+                    .inner()
+                    .value(),
+                expected,
+                "version_at stamp {stamp}"
+            );
+        }
+    }
+
+    #[test]
+    fn commit_prunes_versions_below_the_watermark() {
+        let mut obj = counter_object();
+        for (txn, stamp) in [(1u64, 1u64), (2, 2), (3, 3)] {
+            obj.execute(TxnId(txn), stamp, inc(1));
+            obj.commit_txn(TxnId(txn), stamp, 0);
+        }
+        assert_eq!(obj.version_depth(), 3);
+        // Oldest live snapshot now at 2: the floor version (stamp 2's
+        // predecessor... the newest entry ≤ 2) must survive, older ones go.
+        obj.execute(TxnId(4), 4, inc(1));
+        let pruned = obj.commit_txn(TxnId(4), 4, 2);
+        assert_eq!(pruned, 2, "entries at stamps 0 and 1 are unreachable");
+        assert_eq!(obj.version_depth(), 2);
+        // A snapshot at the watermark still reads correctly.
+        assert_eq!(obj.read_at(2, &read()), OpResult::Value(Value::Int(2)));
+        assert_eq!(obj.read_at(3, &read()), OpResult::Value(Value::Int(3)));
+        // No live snapshots: the next commit clears the whole history.
+        obj.execute(TxnId(5), 5, inc(1));
+        assert_eq!(obj.commit_txn(TxnId(5), 5, u64::MAX), 2);
+        assert_eq!(obj.version_depth(), 0);
+    }
+
+    #[test]
+    fn explicit_prune_and_stampless_commit() {
+        let mut obj = counter_object();
+        for (txn, stamp) in [(1u64, 1u64), (2, 2)] {
+            obj.execute(TxnId(txn), stamp, inc(1));
+            obj.commit_txn(TxnId(txn), stamp, 0);
+        }
+        assert_eq!(obj.version_depth(), 2);
+        assert_eq!(obj.prune_versions(1), 1);
+        assert_eq!(obj.prune_versions(1), 0, "idempotent");
+        assert_eq!(obj.read_at(1, &read()), OpResult::Value(Value::Int(1)));
+        assert_eq!(obj.prune_versions(u64::MAX), 1);
+        assert_eq!(obj.version_depth(), 0);
+        // Committing a transaction with no operations on the object neither
+        // bumps the stamp nor creates a version.
+        assert_eq!(obj.commit_txn(TxnId(9), 50, 0), 0);
+        assert_eq!(obj.committed_stamp(), 2);
+    }
+
+    #[test]
+    fn out_of_order_fold_skips_the_push_and_keeps_the_stamp() {
+        let mut obj = counter_object();
+        // A single-shard commit folds at stamp 5 first...
+        obj.execute(TxnId(1), 1, inc(10));
+        obj.commit_txn(TxnId(1), 5, 0);
+        // ... then a coordinated commit whose stamp 3 was drawn earlier.
+        obj.execute(TxnId(2), 2, inc(100));
+        obj.commit_txn(TxnId(2), 3, 0);
+        assert_eq!(obj.committed_stamp(), 5, "stamp never goes backwards");
+        assert_eq!(obj.version_depth(), 1, "out-of-order fold pushes nothing");
+        // Reachable begin stamps (b < 3 and b ≥ 5) read correctly.
+        assert_eq!(obj.read_at(2, &read()), OpResult::Value(Value::Int(0)));
+        assert_eq!(obj.read_at(5, &read()), OpResult::Value(Value::Int(110)));
+    }
+
     #[test]
     fn index_tracks_commits_and_aborts() {
         let mut obj = stack_object(RecoveryStrategy::IntentionsList);
         obj.execute(TxnId(1), 1, push(1));
         obj.execute(TxnId(2), 2, push(2));
-        obj.commit_txn(TxnId(1));
+        obj.commit_txn(TxnId(1), 1, u64::MAX);
         assert_eq!(obj.holders(), vec![TxnId(2)]);
         // After T1 committed, a pop by T3 depends only on T2.
         let c = obj.classify(ConflictPolicy::Recoverability, TxnId(3), &pop(), &[]);

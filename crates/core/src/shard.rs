@@ -273,7 +273,7 @@ pub fn shard_of_name(name: &str, shards: usize) -> u32 {
 /// Where an object lives: its shard plus its id *inside that shard's
 /// kernel*. Carried by [`crate::ObjectHandle`] so the session layer routes
 /// without a directory lookup.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ObjectLoc {
     /// Owning shard.
     pub shard: u32,
@@ -404,6 +404,73 @@ struct Enrollments {
     finished: HashMap<TxnId, TxnState>,
 }
 
+/// Coordinator-side SSI record of one transaction (Cahill-style
+/// serializable snapshot isolation, tracking rw-antidependencies between
+/// snapshot readers and concurrent writers).
+///
+/// The flags are **sticky**: once a transaction acquires an in- or
+/// out-conflict it keeps it for life. A transaction with *both* flags is
+/// the pivot of a dangerous structure and must not commit; the check runs
+/// at snapshot-read time and at commit entry (never later — a
+/// pseudo-commit is a promise to commit, so everything is decided before
+/// it).
+#[derive(Debug, Default)]
+struct SsiTxn {
+    /// Begin stamp: the value of the global commit clock when the
+    /// transaction began. Classified transactions are stamped too (while
+    /// SSI is enabled) so the committed-reader skip test at commit entry
+    /// can tell a reader that finished *before* this transaction existed
+    /// from a truly concurrent one; `0` (transaction begun while SSI was
+    /// dormant) keeps the test fully conservative.
+    begin: u64,
+    /// `true` for transactions begun through
+    /// [`ShardedKernel::begin_snapshot`].
+    snapshot: bool,
+    /// Someone holds an rw-antidependency *into* this transaction (a
+    /// concurrent reader read a version this transaction overwrote), or a
+    /// conservative approximation of one.
+    in_conflict: bool,
+    /// This transaction holds an rw-antidependency *out of* itself (it
+    /// snapshot-read a version a concurrent transaction overwrote).
+    out_conflict: bool,
+    /// A dangerous structure formed around this live transaction while it
+    /// was not in hand; it aborts itself at its next SSI interaction.
+    doomed: bool,
+    /// Commit stamp, set at claim time (a clock over-estimate, which can
+    /// only flag more readers than strictly necessary — never fewer).
+    committed: Option<u64>,
+    /// The transaction pseudo-committed: it is guaranteed to commit and
+    /// can no longer be chosen as the dangerous-structure victim.
+    pseudo: bool,
+    /// Objects this transaction snapshot-read (SIREAD cleanup list).
+    reads: Vec<ObjectLoc>,
+    /// Objects this transaction's commit writes (writer-entry cleanup
+    /// list).
+    writes: Vec<ObjectLoc>,
+}
+
+/// Coordinator-side SSI bookkeeping: SIREAD marks, writer entries and
+/// per-transaction conflict flags, all behind one small mutex that is only
+/// ever touched while at least one snapshot transaction is (or recently
+/// was) live — [`ShardedKernel::ssi_enabled`] gates every entry point with
+/// a single atomic load. The whole state clears at quiescence (no live
+/// transactions at all), so purely classified workloads pay nothing.
+///
+/// Lock order: the enrollment lock may be held when taking this lock
+/// (claim-time finalize); shard locks and this lock are **never** held
+/// together.
+#[derive(Debug, Default)]
+struct SsiState {
+    txns: HashMap<TxnId, SsiTxn>,
+    /// SIREAD marks: per object, the snapshot transactions that read it.
+    sireads: HashMap<ObjectLoc, Vec<TxnId>>,
+    /// Writer entries: per object, transactions whose commit writes it.
+    /// `None` = pending (commit entered but the fold's stamp is not final
+    /// yet — readers must conservatively treat it as concurrent);
+    /// `Some(stamp)` = committed at (at most) `stamp`.
+    writers: HashMap<ObjectLoc, Vec<(TxnId, Option<u64>)>>,
+}
+
 /// Globally deduplicated transaction-lifecycle counters (one count per
 /// transaction regardless of how many shards it touched).
 #[derive(Debug, Default)]
@@ -414,6 +481,7 @@ struct Lifecycle {
     aborts_deadlock: AtomicU64,
     aborts_commit_cycle: AtomicU64,
     aborts_victim: AtomicU64,
+    aborts_ssi: AtomicU64,
     aborts_explicit: AtomicU64,
 }
 
@@ -465,6 +533,22 @@ pub struct ShardedKernel {
     events_pending: AtomicU64,
     next_txn: AtomicU64,
     lifecycle: Lifecycle,
+    /// The global commit clock, shared with every shard kernel
+    /// ([`SchedulerKernel::attach_stamps`]): each actual commit draws one
+    /// stamp, and multi-shard commits draw a *single* stamp under the
+    /// termination lock so cross-shard snapshots never observe a
+    /// half-applied multi-shard commit.
+    commit_clock: Arc<AtomicU64>,
+    /// The version-GC floor, shared with every shard kernel: the minimum
+    /// begin stamp over live snapshot transactions (`u64::MAX` when none
+    /// are live, letting commits drop superseded versions immediately).
+    version_floor: Arc<AtomicU64>,
+    /// Lock-free gate for the SSI machinery: non-zero while snapshot
+    /// transactions may be live. Checked with one load on every request
+    /// and commit so purely classified workloads never touch `ssi`.
+    ssi_enabled: AtomicU64,
+    /// SSI rw-antidependency bookkeeping (see [`SsiState`]).
+    ssi: Mutex<SsiState>,
     /// The write-ahead log, attached once by [`crate::Database`] after
     /// replay (see [`Self::attach_wal`]). Registrations and multi-shard
     /// commits log through this handle; single-shard commits log through
@@ -489,10 +573,13 @@ impl ShardedKernel {
         let shard_count = config.shards.resolve();
         assert!(shard_count >= 1, "at least one shard is required");
         let global = Arc::new(GlobalGraph::with_reorder(config.scheduler.reorder));
+        let commit_clock = Arc::new(AtomicU64::new(0));
+        let version_floor = Arc::new(AtomicU64::new(u64::MAX));
         let shards = (0..shard_count)
             .map(|_| {
                 let mut kernel = SchedulerKernel::new(config.scheduler.clone());
                 kernel.attach_escalation(global.clone());
+                kernel.attach_stamps(commit_clock.clone(), version_floor.clone());
                 ShardCell {
                     kernel: Mutex::new(kernel),
                     lock_acquisitions: AtomicU64::new(0),
@@ -510,6 +597,10 @@ impl ShardedKernel {
             events_pending: AtomicU64::new(0),
             next_txn: AtomicU64::new(0),
             lifecycle: Lifecycle::default(),
+            commit_clock,
+            version_floor,
+            ssi_enabled: AtomicU64::new(0),
+            ssi: Mutex::new(SsiState::default()),
             wal: std::sync::OnceLock::new(),
         }
     }
@@ -665,7 +756,86 @@ impl ShardedKernel {
         let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed) + 1);
         self.enroll.lock().live.insert(id, EnrollRec::default());
         self.lifecycle.begun.fetch_add(1, Ordering::Relaxed);
+        if self.ssi_enabled.load(Ordering::SeqCst) != 0 {
+            // Stamp the begin while snapshots are live: the SIREAD scan at
+            // commit entry skips readers that committed at or below this
+            // stamp (they finished before this transaction did anything,
+            // so no rw-antidependency between concurrent transactions can
+            // involve them). Without the stamp a committed-but-flagged
+            // reader's marks would doom every later writer that touches
+            // its read set until full quiescence — retried transactions
+            // would starve in an abort storm. The enroll insert above
+            // happens first, so the quiescence sweep (which requires an
+            // empty live set) can never clear this record out from under
+            // us.
+            let begin = self.commit_clock.load(Ordering::SeqCst);
+            self.ssi.lock().txns.insert(
+                id,
+                SsiTxn {
+                    begin,
+                    ..SsiTxn::default()
+                },
+            );
+        }
         id
+    }
+
+    /// Begin a **snapshot** transaction: its read-only operations observe
+    /// the newest committed version at or below the returned begin stamp,
+    /// without classification or blocking, and serializability is guarded
+    /// by SSI rw-antidependency tracking (a dangerous structure aborts the
+    /// pivot with [`AbortReason::SsiConflict`]). Non-read-only operations
+    /// still go through the ordinary classified path.
+    ///
+    /// The stamp is acquired under the termination lock: a multi-shard
+    /// commit draws its single stamp and applies every per-shard fold
+    /// under that same lock, so no snapshot can begin between the folds —
+    /// cross-shard snapshots never see a half-applied multi-shard commit.
+    pub fn begin_snapshot(&self) -> (TxnId, u64) {
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed) + 1);
+        self.lifecycle.begun.fetch_add(1, Ordering::Relaxed);
+        let _termination = self.termination.lock();
+        self.enroll.lock().live.insert(id, EnrollRec::default());
+        chaos::reach(ChaosPoint::SnapshotStamp, Some(id));
+        let provisional = self.commit_clock.load(Ordering::SeqCst);
+        {
+            let mut ssi = self.ssi.lock();
+            ssi.txns.insert(
+                id,
+                SsiTxn {
+                    begin: provisional,
+                    snapshot: true,
+                    ..SsiTxn::default()
+                },
+            );
+            let floor = ssi
+                .txns
+                .values()
+                .filter(|t| t.snapshot && t.committed.is_none())
+                .map(|t| t.begin)
+                .min()
+                .unwrap_or(provisional);
+            self.version_floor.store(floor, Ordering::SeqCst);
+            self.ssi_enabled.store(1, Ordering::SeqCst);
+        }
+        // Re-read the clock *after* publishing the floor: every commit
+        // folds by first drawing its stamp (`fetch_add`) and then loading
+        // the floor, so in the SeqCst total order any fold stamped above
+        // this begin loads the floor after the store above and prunes at
+        // or below it — the version this snapshot needs can never be
+        // dropped out from under it. (A fold stamped at or below the
+        // begin may see the old floor, which is harmless: its result is
+        // part of the snapshot.)
+        let begin = self.commit_clock.load(Ordering::SeqCst);
+        if begin != provisional {
+            self.ssi
+                .lock()
+                .txns
+                .get_mut(&id)
+                .expect("snapshot record was just inserted")
+                .begin = begin;
+        }
+        (id, begin)
     }
 
     fn missing_txn_error(
@@ -834,12 +1004,24 @@ impl ShardedKernel {
         loc: ObjectLoc,
         call: OpCall,
     ) -> Result<RequestOutcome, CoreError> {
-        let (result, fx) = {
+        let ssi_on = self.ssi_enabled.load(Ordering::SeqCst) != 0;
+        let (result, fx, object_stamp) = {
             let mut kernel = self.lock_shard(loc.shard);
             let result = kernel.request(txn, loc.local, call);
+            // Read the object's committed stamp under the same lock hold:
+            // the late concurrent-write check in `ssi_note_classified`
+            // compares it against the snapshot's begin stamp.
+            let object_stamp = if ssi_on {
+                kernel.object_commit_stamp(loc.local)
+            } else {
+                None
+            };
             let fx = drain_fx(&mut kernel);
-            (result, fx)
+            (result, fx, object_stamp)
         };
+        if let (Some(stamp), Ok(outcome)) = (object_stamp, &result) {
+            self.ssi_note_classified(txn, outcome, stamp);
+        }
         let requester = match &result {
             Ok(RequestOutcome::Aborted { reason }) => Some((txn, *reason)),
             _ => None,
@@ -912,6 +1094,9 @@ impl ShardedKernel {
                 commit_deps: Vec::new(),
                 stopped: None,
             });
+        }
+        if self.ssi_enabled.load(Ordering::SeqCst) != 0 {
+            self.ssi_note_batch(txn);
         }
         let total = calls.len();
         let mut executed = Vec::with_capacity(total);
@@ -1043,6 +1228,12 @@ impl ShardedKernel {
                 None => return Err(Self::missing_txn_error(&enroll, txn, "commit")),
             }
         };
+        // SSI commit-entry gate: decide dangerous structures and publish
+        // the writer entries *before* any shard applies the commit (a
+        // pseudo-commit is a promise, so nothing may be vetoed after it).
+        if self.ssi_enabled.load(Ordering::SeqCst) != 0 {
+            self.ssi_commit_entry(txn, &enrolled)?;
+        }
         match enrolled.len() {
             0 => {
                 // The transaction never touched an object: a trivially
@@ -1073,6 +1264,7 @@ impl ShardedKernel {
                         if let Some(rec) = self.enroll.lock().live.get_mut(&txn) {
                             rec.pseudo = true;
                         }
+                        self.ssi_mark_pseudo(txn);
                         self.lifecycle.pseudo_commits.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(_) => {}
@@ -1133,12 +1325,17 @@ impl ShardedKernel {
                 // Phase 2a: unanimous — apply the actual commit shard by
                 // shard (the termination lock keeps the per-shard commit
                 // orders of concurrent multi-shard commits consistent).
+                // One stamp for every shard's fold, drawn under the
+                // termination lock: snapshot begins also serialize
+                // against this lock, so the multi-shard commit is
+                // atomic from every snapshot's point of view.
+                let stamp = self.commit_clock.fetch_add(1, Ordering::SeqCst) + 1;
                 for &s in enrolled {
                     // Between two per-shard applications the transaction
                     // is committed in a prefix of its shards only.
                     chaos::reach(ChaosPoint::VoteApply, Some(txn));
                     let mut kernel = self.lock_shard(s);
-                    kernel.commit_coordinated(txn);
+                    kernel.commit_coordinated(txn, stamp);
                     let fx = drain_fx(&mut kernel);
                     drop(kernel);
                     fxs.push((s, fx));
@@ -1151,6 +1348,7 @@ impl ShardedKernel {
                 // Phase 2b: outstanding dependencies — pseudo-commit in
                 // every shard; re-voted when a shard's local out-degree
                 // drops to zero.
+                self.ssi_mark_pseudo(txn);
                 for &s in enrolled {
                     let mut kernel = self.lock_shard(s);
                     let marked = kernel.pseudo_commit_coordinated(txn);
@@ -1243,6 +1441,444 @@ impl ShardedKernel {
     }
 
     // ------------------------------------------------------------------
+    // Snapshot reads and SSI
+    // ------------------------------------------------------------------
+
+    /// Execute a read-only operation for a snapshot transaction against
+    /// the newest committed version at or below its begin stamp — no
+    /// classification, no blocking, no dependency-graph edges.
+    ///
+    /// Returns `Ok(None)` when the call is **not** a pure observer, or
+    /// when the transaction has its own uncommitted operations on the
+    /// object: the caller falls back to the classified path (which
+    /// provides read-your-writes).
+    pub fn snapshot_read(
+        &self,
+        txn: TxnId,
+        loc: ObjectLoc,
+        call: &OpCall,
+    ) -> Result<Option<sbcc_adt::OpResult>, CoreError> {
+        let (begin, danger) = {
+            let ssi = self.ssi.lock();
+            match ssi.txns.get(&txn) {
+                Some(r) if r.snapshot => {
+                    (r.begin, r.doomed || (r.in_conflict && r.out_conflict))
+                }
+                _ => {
+                    drop(ssi);
+                    let enroll = self.enroll.lock();
+                    return Err(Self::missing_txn_error(&enroll, txn, "snapshot-read"));
+                }
+            }
+        };
+        if danger {
+            // A dangerous structure formed around this transaction while
+            // it was away (another pivot doomed it, or its own sticky
+            // flags closed): abort before handing out another read.
+            return Err(self.ssi_abort(txn));
+        }
+        chaos::reach(ChaosPoint::SnapshotRead, Some(txn));
+        let result = {
+            let mut kernel = self.lock_shard(loc.shard);
+            kernel.snapshot_read(txn, loc.local, begin, call)?
+        };
+        let Some(result) = result else {
+            return Ok(None);
+        };
+        // Install the SIREAD mark and the rw-antidependency out-edges:
+        // every writer entry that is pending, or stamped above the begin,
+        // wrote a version this read did not see.
+        chaos::reach(ChaosPoint::SsiEdge, Some(txn));
+        let mut doom_self = false;
+        {
+            let mut ssi = self.ssi.lock();
+            if !ssi.txns.contains_key(&txn) {
+                // Aborted concurrently (e.g. victim selection in a shard
+                // it writes in); surface the terminated-transaction error
+                // the classified path would produce.
+                drop(ssi);
+                let enroll = self.enroll.lock();
+                return Err(Self::missing_txn_error(&enroll, txn, "snapshot-read"));
+            }
+            let flagged: Vec<TxnId> = ssi
+                .writers
+                .get(&loc)
+                .map(|entries| {
+                    entries
+                        .iter()
+                        .filter(|(w, stamp)| {
+                            *w != txn && stamp.map_or(true, |s| s > begin)
+                        })
+                        .map(|(w, _)| *w)
+                        .collect()
+                })
+                .unwrap_or_default();
+            {
+                let rec = ssi.txns.get_mut(&txn).expect("checked above");
+                if !rec.reads.contains(&loc) {
+                    rec.reads.push(loc);
+                }
+                if !flagged.is_empty() {
+                    rec.out_conflict = true;
+                    if rec.in_conflict {
+                        doom_self = true;
+                    }
+                }
+            }
+            for w in flagged {
+                let Some(wrec) = ssi.txns.get_mut(&w) else { continue };
+                wrec.in_conflict = true;
+                if wrec.out_conflict {
+                    // Dangerous structure pivoting at the writer: a live
+                    // writer aborts itself at its next SSI interaction;
+                    // an unabortable one (pseudo- or fully committed)
+                    // forces this reader out instead.
+                    if wrec.committed.is_none() && !wrec.pseudo {
+                        wrec.doomed = true;
+                    } else {
+                        doom_self = true;
+                    }
+                }
+            }
+            let readers = ssi.sireads.entry(loc).or_default();
+            if !readers.contains(&txn) {
+                readers.push(txn);
+            }
+        }
+        if doom_self {
+            return Err(self.ssi_abort(txn));
+        }
+        Ok(Some(result))
+    }
+
+    /// The begin stamp of a live snapshot transaction.
+    pub fn snapshot_begin_stamp(&self, txn: TxnId) -> Option<u64> {
+        let ssi = self.ssi.lock();
+        ssi.txns.get(&txn).filter(|r| r.snapshot).map(|r| r.begin)
+    }
+
+    /// The current value of the global commit clock.
+    pub fn current_stamp(&self) -> u64 {
+        self.commit_clock.load(Ordering::SeqCst)
+    }
+
+    /// The current version-GC floor: the smallest begin stamp of a live
+    /// snapshot transaction, or `None` when none is live (commits then
+    /// drop superseded versions immediately).
+    pub fn oldest_snapshot_stamp(&self) -> Option<u64> {
+        let floor = self.version_floor.load(Ordering::SeqCst);
+        (floor != u64::MAX).then_some(floor)
+    }
+
+    /// Total number of retained historical versions across all shards.
+    pub fn version_depth(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|cell| cell.kernel.lock().version_depth())
+            .sum()
+    }
+
+    /// Sweep every shard, pruning historical versions below the current
+    /// GC floor. Returns the number of versions dropped. Commits prune
+    /// their own objects as they fold, so this is only needed to reclaim
+    /// versions of *cold* objects after the oldest snapshot finishes.
+    pub fn prune_versions(&self) -> u64 {
+        let watermark = self.version_floor.load(Ordering::SeqCst);
+        self.shards
+            .iter()
+            .map(|cell| cell.kernel.lock().prune_versions(watermark))
+            .sum()
+    }
+
+    /// SSI bookkeeping for a classified operation while snapshots are
+    /// live: a snapshot transaction that blocks, picks up commit
+    /// dependencies, or classifies against an object some transaction
+    /// committed into after the snapshot began is conservatively marked
+    /// in-conflict (a concurrent transaction may have observed state this
+    /// one is about to overwrite). Flags are sticky; enforcement happens
+    /// at the next snapshot read or at commit entry.
+    fn ssi_note_classified(&self, txn: TxnId, outcome: &RequestOutcome, object_stamp: u64) {
+        let mut ssi = self.ssi.lock();
+        let Some(rec) = ssi.txns.get_mut(&txn) else { return };
+        if !rec.snapshot {
+            return;
+        }
+        let flag = match outcome {
+            RequestOutcome::Blocked { .. } => true,
+            RequestOutcome::Executed { commit_deps, .. } => {
+                !commit_deps.is_empty() || object_stamp > rec.begin
+            }
+            RequestOutcome::Aborted { .. } => false,
+        };
+        if flag {
+            rec.in_conflict = true;
+        }
+    }
+
+    /// Batched classified submission by a snapshot transaction: marked
+    /// in-conflict unconditionally (a documented simplification — the
+    /// per-call outcomes inside a batch are not individually re-derived
+    /// here, so the conservative flag stands in for all of them).
+    fn ssi_note_batch(&self, txn: TxnId) {
+        let mut ssi = self.ssi.lock();
+        if let Some(rec) = ssi.txns.get_mut(&txn) {
+            if rec.snapshot {
+                rec.in_conflict = true;
+            }
+        }
+    }
+
+    /// Record that `txn` pseudo-committed: from here on it can no longer
+    /// be chosen as a dangerous-structure victim (the in-hand transaction
+    /// aborts instead).
+    fn ssi_mark_pseudo(&self, txn: TxnId) {
+        if self.ssi_enabled.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut ssi = self.ssi.lock();
+        if let Some(rec) = ssi.txns.get_mut(&txn) {
+            rec.pseudo = true;
+        }
+    }
+
+    /// SSI commit-entry gate, run **before** any shard applies the commit:
+    /// publish pending writer entries for the transaction's write set,
+    /// scan the SIREAD marks of every written object for
+    /// rw-antidependency in-edges, and abort the pivot of any dangerous
+    /// structure this closes. Aborts `txn` (returning the error) when the
+    /// pivot is `txn` itself or is unabortable.
+    fn ssi_commit_entry(&self, txn: TxnId, enrolled: &[u32]) -> Result<(), CoreError> {
+        // Collect the write set first: shard locks and the SSI lock are
+        // never held together.
+        let mut writes: Vec<ObjectLoc> = Vec::new();
+        for &s in enrolled {
+            for local in self.peek_shard(s).write_set(txn) {
+                writes.push(ObjectLoc { shard: s, local });
+            }
+        }
+        chaos::reach(ChaosPoint::SsiEdge, Some(txn));
+        let mut doom_self = false;
+        {
+            let mut ssi = self.ssi.lock();
+            let (snapshot, begin) = match ssi.txns.get(&txn) {
+                Some(r) => {
+                    if r.snapshot && (r.doomed || (r.in_conflict && r.out_conflict)) {
+                        doom_self = true;
+                    }
+                    (r.snapshot, r.begin)
+                }
+                None => (false, 0),
+            };
+            if !doom_self && !(writes.is_empty() && !snapshot) {
+                // Publish the writer entries *before* any fold: a
+                // concurrent snapshot read between the fold and a later
+                // publication would miss the rw-antidependency entirely.
+                // Entries stay pending until claim time stamps them.
+                for loc in &writes {
+                    let entries = ssi.writers.entry(*loc).or_default();
+                    if !entries.iter().any(|(w, _)| *w == txn) {
+                        entries.push((txn, None));
+                    }
+                }
+                let mut flagged: Vec<TxnId> = Vec::new();
+                for loc in &writes {
+                    if let Some(readers) = ssi.sireads.get(loc) {
+                        for &r in readers {
+                            if r != txn && !flagged.contains(&r) {
+                                flagged.push(r);
+                            }
+                        }
+                    }
+                }
+                let mut in_edge = false;
+                for r in flagged {
+                    let Some(rrec) = ssi.txns.get_mut(&r) else { continue };
+                    // Skip only readers that committed before this writer
+                    // began — a reader that committed *while* the writer
+                    // was live is still concurrent (write skew hides
+                    // exactly there). Writers begun while SSI was dormant
+                    // have begin 0 and never skip (conservative).
+                    if let Some(c) = rrec.committed {
+                        if c <= begin {
+                            continue;
+                        }
+                    }
+                    rrec.out_conflict = true;
+                    in_edge = true;
+                    if rrec.in_conflict {
+                        // Dangerous structure pivoting at the reader.
+                        if rrec.committed.is_none() && !rrec.pseudo {
+                            rrec.doomed = true;
+                        } else {
+                            doom_self = true;
+                        }
+                    }
+                }
+                if in_edge {
+                    let rec = ssi.txns.entry(txn).or_default();
+                    rec.in_conflict = true;
+                    if rec.out_conflict {
+                        doom_self = true;
+                    }
+                    if rec.writes.is_empty() {
+                        rec.writes = writes.clone();
+                    }
+                } else if !writes.is_empty() {
+                    let rec = ssi.txns.entry(txn).or_default();
+                    for loc in &writes {
+                        if !rec.writes.contains(loc) {
+                            rec.writes.push(*loc);
+                        }
+                    }
+                }
+            }
+        }
+        if doom_self {
+            return Err(self.ssi_abort(txn));
+        }
+        Ok(())
+    }
+
+    /// Abort `txn` with [`AbortReason::SsiConflict`] in every shard it is
+    /// enrolled in; returns the session-facing error. Mirrors
+    /// [`Self::abort`] (the transaction is live and not pseudo-committed:
+    /// dangerous structures are decided strictly before commit entry).
+    fn ssi_abort(&self, txn: TxnId) -> CoreError {
+        let reason = AbortReason::SsiConflict;
+        let fate = TermFate::Aborted(reason);
+        let enrolled: Vec<u32> = self
+            .enroll
+            .lock()
+            .live
+            .get(&txn)
+            .map(|r| r.shards.clone())
+            .unwrap_or_default();
+        match enrolled.len() {
+            0 => {
+                if self.claim(txn, fate).is_some() {
+                    self.count_termination(fate);
+                }
+            }
+            1 => {
+                let shard = enrolled[0];
+                let (result, fx) = {
+                    let mut kernel = self.lock_shard(shard);
+                    let result = kernel.abort_with(txn, reason);
+                    let fx = drain_fx(&mut kernel);
+                    (result, fx)
+                };
+                if result.is_ok() && self.claim(txn, fate).is_some() {
+                    self.count_termination(fate);
+                }
+                self.absorb(shard, None, fx);
+            }
+            _ => {
+                let mut fxs: Vec<(u32, ShardFx)> = Vec::new();
+                {
+                    let _termination = self.termination.lock();
+                    for &s in &enrolled {
+                        let mut kernel = self.lock_shard(s);
+                        kernel.abort_coordinated(txn, reason);
+                        let fx = drain_fx(&mut kernel);
+                        drop(kernel);
+                        fxs.push((s, fx));
+                    }
+                }
+                if self.claim(txn, fate).is_some() {
+                    self.count_termination(fate);
+                }
+                for (shard, fx) in fxs {
+                    self.absorb(shard, None, fx);
+                }
+            }
+        }
+        CoreError::Aborted { txn, reason }
+    }
+
+    /// Claim-time SSI finalize (runs under the enrollment lock): stamp a
+    /// committer's pending writer entries, retract an aborter's whole
+    /// footprint, re-derive the GC floor, and clear everything once the
+    /// database quiesces.
+    fn ssi_finalize(&self, txn: TxnId, fate: TermFate, quiesced: bool) {
+        let mut ssi = self.ssi.lock();
+        match fate {
+            TermFate::Committed => {
+                // `clock.load()` over-estimates the transaction's actual
+                // fold stamp, which can only make readers flag it as
+                // concurrent when it was not — conservative, never unsafe.
+                let now = self.commit_clock.load(Ordering::SeqCst);
+                let writes = match ssi.txns.get_mut(&txn) {
+                    Some(rec)
+                        if !rec.snapshot
+                            && rec.writes.is_empty()
+                            && rec.reads.is_empty()
+                            && !rec.in_conflict
+                            && !rec.out_conflict =>
+                    {
+                        // A classified transaction that committed without
+                        // touching any SSI state (its record exists only
+                        // for the begin stamp) carries no conflict
+                        // information — drop it instead of letting one
+                        // record per transaction pile up until quiescence.
+                        ssi.txns.remove(&txn);
+                        Vec::new()
+                    }
+                    Some(rec) => {
+                        rec.committed = Some(now);
+                        rec.writes.clone()
+                    }
+                    None => Vec::new(),
+                };
+                for loc in writes {
+                    if let Some(entries) = ssi.writers.get_mut(&loc) {
+                        for entry in entries.iter_mut() {
+                            if entry.0 == txn && entry.1.is_none() {
+                                entry.1 = Some(now);
+                            }
+                        }
+                    }
+                }
+            }
+            TermFate::Aborted(_) => {
+                if let Some(rec) = ssi.txns.remove(&txn) {
+                    for loc in rec.writes {
+                        if let Some(entries) = ssi.writers.get_mut(&loc) {
+                            entries.retain(|(w, _)| *w != txn);
+                        }
+                    }
+                    for loc in rec.reads {
+                        if let Some(readers) = ssi.sireads.get_mut(&loc) {
+                            readers.retain(|r| *r != txn);
+                        }
+                    }
+                }
+            }
+        }
+        let floor = ssi
+            .txns
+            .values()
+            .filter(|t| t.snapshot && t.committed.is_none())
+            .map(|t| t.begin)
+            .min();
+        if quiesced && floor.is_none() {
+            // Full quiescence: no live transactions at all. Drop every
+            // record and close the gate — the next `begin_snapshot`
+            // reopens it.
+            ssi.txns.clear();
+            ssi.sireads.clear();
+            ssi.writers.clear();
+            self.version_floor.store(u64::MAX, Ordering::SeqCst);
+            self.ssi_enabled.store(0, Ordering::SeqCst);
+        } else {
+            // Raising the floor outside the termination lock is safe:
+            // the new value is at or below every live snapshot's begin
+            // stamp, so any fold that reads it preserves what they need.
+            self.version_floor
+                .store(floor.unwrap_or(u64::MAX), Ordering::SeqCst);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Coordination internals
     // ------------------------------------------------------------------
 
@@ -1258,6 +1894,12 @@ impl ShardedKernel {
             TermFate::Aborted(_) => TxnState::Aborted,
         };
         enroll.finished.insert(txn, state);
+        if self.ssi_enabled.load(Ordering::SeqCst) != 0 {
+            // Finalize under the enrollment lock (enroll → ssi is the
+            // one permitted nesting): stamp or retract the transaction's
+            // SSI footprint and clear everything at quiescence.
+            self.ssi_finalize(txn, fate, enroll.live.is_empty());
+        }
         Some(rec.shards)
     }
 
@@ -1269,6 +1911,7 @@ impl ShardedKernel {
                 &self.lifecycle.aborts_commit_cycle
             }
             TermFate::Aborted(AbortReason::VictimSelected) => &self.lifecycle.aborts_victim,
+            TermFate::Aborted(AbortReason::SsiConflict) => &self.lifecycle.aborts_ssi,
             TermFate::Aborted(AbortReason::Explicit) => &self.lifecycle.aborts_explicit,
         };
         counter.fetch_add(1, Ordering::Relaxed);
@@ -1412,10 +2055,13 @@ impl ShardedKernel {
         // vote in `commit_multi` (the session's pseudo-commit ack made no
         // durability promise, so nobody waits on this).
         self.wal_log_multi(txn, &shards);
+        // Like the direct unanimous vote: one stamp for every shard's
+        // fold, drawn under the termination lock.
+        let stamp = self.commit_clock.fetch_add(1, Ordering::SeqCst) + 1;
         let mut fxs = Vec::new();
         for &s in &shards {
             let mut kernel = self.lock_shard(s);
-            kernel.commit_coordinated(txn);
+            kernel.commit_coordinated(txn, stamp);
             let fx = drain_fx(&mut kernel);
             drop(kernel);
             fxs.push((s, fx));
@@ -1441,6 +2087,7 @@ impl ShardedKernel {
         aggregate.aborts_commit_cycle =
             self.lifecycle.aborts_commit_cycle.load(Ordering::Relaxed);
         aggregate.aborts_victim = self.lifecycle.aborts_victim.load(Ordering::Relaxed);
+        aggregate.aborts_ssi = self.lifecycle.aborts_ssi.load(Ordering::Relaxed);
         aggregate.aborts_explicit = self.lifecycle.aborts_explicit.load(Ordering::Relaxed);
     }
 

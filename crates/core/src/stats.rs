@@ -48,8 +48,18 @@ pub struct KernelStats {
     /// Aborts of transactions chosen as victims on behalf of another
     /// requester (only under `VictimPolicy::Youngest`).
     pub aborts_victim: u64,
+    /// Aborts of snapshot transactions that completed a dangerous SSI
+    /// structure (both in- and out-rw-antidependencies; see
+    /// [`crate::AbortReason::SsiConflict`]).
+    pub aborts_ssi: u64,
     /// Explicit, application-requested aborts.
     pub aborts_explicit: u64,
+    /// Operations answered by the multi-version snapshot-read path (no
+    /// classification, no blocking, no dependency-graph edges).
+    pub snapshot_reads: u64,
+    /// Historical object versions discarded because they became older than
+    /// the oldest live snapshot (multi-version GC).
+    pub versions_pruned: u64,
     /// Dependency-graph edges added to this kernel's **local** graph
     /// (wait-for and commit-dependency combined, post-deduplication).
     pub graph_edges: u64,
@@ -82,7 +92,10 @@ impl KernelStats {
         self.aborts_deadlock += other.aborts_deadlock;
         self.aborts_commit_cycle += other.aborts_commit_cycle;
         self.aborts_victim += other.aborts_victim;
+        self.aborts_ssi += other.aborts_ssi;
         self.aborts_explicit += other.aborts_explicit;
+        self.snapshot_reads += other.snapshot_reads;
+        self.versions_pruned += other.versions_pruned;
         self.graph_edges += other.graph_edges;
         self.escalated_edges += other.escalated_edges;
         self.escalated_checks += other.escalated_checks;
@@ -90,12 +103,16 @@ impl KernelStats {
 
     /// Total aborts of every kind.
     pub fn total_aborts(&self) -> u64 {
-        self.aborts_deadlock + self.aborts_commit_cycle + self.aborts_victim + self.aborts_explicit
+        self.aborts_deadlock
+            + self.aborts_commit_cycle
+            + self.aborts_victim
+            + self.aborts_ssi
+            + self.aborts_explicit
     }
 
     /// Aborts caused by the scheduler (everything except explicit aborts).
     pub fn scheduler_aborts(&self) -> u64 {
-        self.aborts_deadlock + self.aborts_commit_cycle + self.aborts_victim
+        self.aborts_deadlock + self.aborts_commit_cycle + self.aborts_victim + self.aborts_ssi
     }
 
     /// Blocks per commit (the paper's *blocking ratio*); zero when nothing
@@ -120,12 +137,13 @@ impl KernelStats {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "txns={} requests={} batches={}/{} executed={} blocks={} unblocks={} commit-deps={} commits={} pseudo={} aborts(deadlock={}, cycle={}, victim={}, explicit={})",
+            "txns={} requests={} batches={}/{} executed={} snapshot-reads={} blocks={} unblocks={} commit-deps={} commits={} pseudo={} aborts(deadlock={}, cycle={}, victim={}, ssi={}, explicit={}) versions-pruned={}",
             self.transactions_begun,
             self.requests,
             self.batches,
             self.batched_calls,
             self.operations_executed,
+            self.snapshot_reads,
             self.blocks,
             self.unblocks,
             self.commit_dependencies,
@@ -134,7 +152,9 @@ impl KernelStats {
             self.aborts_deadlock,
             self.aborts_commit_cycle,
             self.aborts_victim,
+            self.aborts_ssi,
             self.aborts_explicit,
+            self.versions_pruned,
         )
     }
 }
@@ -348,11 +368,12 @@ mod tests {
         s.aborts_deadlock = 1;
         s.aborts_commit_cycle = 2;
         s.aborts_victim = 1;
+        s.aborts_ssi = 4;
         s.aborts_explicit = 5;
-        assert_eq!(s.total_aborts(), 9);
-        assert_eq!(s.scheduler_aborts(), 4);
+        assert_eq!(s.total_aborts(), 13);
+        assert_eq!(s.scheduler_aborts(), 8);
         assert!((s.blocking_ratio() - 2.5).abs() < 1e-9);
-        assert!((s.abort_ratio() - 1.0).abs() < 1e-9);
+        assert!((s.abort_ratio() - 2.0).abs() < 1e-9);
     }
 
     #[test]
@@ -360,10 +381,16 @@ mod tests {
         let s = KernelStats {
             commits: 3,
             pseudo_commits: 2,
+            snapshot_reads: 7,
+            aborts_ssi: 1,
+            versions_pruned: 4,
             ..KernelStats::default()
         };
         let text = s.summary();
         assert!(text.contains("commits=3"));
         assert!(text.contains("pseudo=2"));
+        assert!(text.contains("snapshot-reads=7"));
+        assert!(text.contains("ssi=1"));
+        assert!(text.contains("versions-pruned=4"));
     }
 }

@@ -129,6 +129,21 @@ fn digests(db: &Database) -> Vec<Option<String>> {
         .collect()
 }
 
+/// What one snapshot transaction observes of the workload objects: the
+/// top of every stack plus the counter, read through the multi-version
+/// path. Handles are looked up by name so this works on recovered
+/// databases (whose registrations replayed from the log).
+fn snapshot_probe(db: &Database, txn: &sbcc_core::Transaction) -> Vec<String> {
+    let mut seen = Vec::new();
+    for i in 0..STACKS {
+        let stack = db.handle::<Stack>(&format!("stack-{i}")).unwrap();
+        seen.push(format!("{:?}", txn.exec(&stack, StackOp::Top).unwrap()));
+    }
+    let hits = db.handle::<Counter>("hits").unwrap();
+    seen.push(format!("{:?}", txn.exec(&hits, CounterOp::Read).unwrap()));
+    seen
+}
+
 /// Recover a crash image (copied first — recovery repairs files in place)
 /// and return the recovered database.
 fn recover(image: &Path, shards: usize) -> (ScratchDir, Database) {
@@ -181,6 +196,24 @@ fn crash_restart_equivalence(shards: usize) {
             prefix as u64,
             "transaction fates: exactly the {prefix} logged commits replay"
         );
+
+        // Replay rebuilds the version chain too: a snapshot begun at the
+        // recovered head must observe exactly what a snapshot at the
+        // uncrashed head observes, through the multi-version read path.
+        let snap_rec = recovered.begin_snapshot();
+        let snap_ref = reference.begin_snapshot();
+        assert_eq!(
+            snapshot_probe(&recovered, &snap_rec),
+            snapshot_probe(&reference, &snap_ref),
+            "kill after commit {prefix}/{TXNS} at {shards} shard(s): \
+             post-recovery snapshot diverges from the uncrashed snapshot"
+        );
+        snap_rec.commit().unwrap();
+        snap_ref.commit().unwrap();
+        assert!(
+            recovered.stats().snapshot_reads >= (STACKS + 1) as u64,
+            "the probe must be served by the snapshot path"
+        );
     }
 }
 
@@ -192,6 +225,76 @@ fn crash_restart_equivalence_single_shard() {
 #[test]
 fn crash_restart_equivalence_four_shards() {
     crash_restart_equivalence(4);
+}
+
+// ---------------------------------------------------------------------
+// Version chains after recovery: snapshots pin history, GC reclaims it.
+// ---------------------------------------------------------------------
+
+/// A snapshot opened on a recovered database keeps reading the recovered
+/// head while later commits stack new versions on top; closing it lets
+/// `prune_versions` reclaim every retained version.
+#[test]
+fn recovered_version_chains_serve_snapshots_and_prune() {
+    let dir = ScratchDir::new("versions");
+    {
+        let db = Database::with_config(config(4, Some(wal_always(dir.path()))));
+        let objects = register_all(&db);
+        for k in 0..TXNS {
+            run_txn(&db, &objects, k);
+        }
+    }
+    let image = ScratchDir::new("versions-image");
+    copy_dir(dir.path(), image.path());
+    let (_scratch, recovered) = recover(image.path(), 4);
+
+    let reference = Database::with_config(config(4, None));
+    let ref_objects = register_all(&reference);
+    for k in 0..TXNS {
+        run_txn(&reference, &ref_objects, k);
+    }
+
+    // Pin the recovered head with a snapshot, then keep committing: the
+    // overwritten versions must be retained for the snapshot...
+    let pinned = recovered.begin_snapshot();
+    let head = snapshot_probe(&recovered, &pinned);
+    assert_eq!(
+        head,
+        {
+            let r = reference.begin_snapshot();
+            let probe = snapshot_probe(&reference, &r);
+            r.commit().unwrap();
+            probe
+        },
+        "recovered snapshot head diverges from the uncrashed reference"
+    );
+    let objects = Objects {
+        stacks: (0..STACKS)
+            .map(|i| recovered.handle::<Stack>(&format!("stack-{i}")).unwrap())
+            .collect(),
+        hits: recovered.handle::<Counter>("hits").unwrap(),
+    };
+    for k in TXNS..TXNS + 6 {
+        run_txn(&recovered, &objects, k);
+    }
+    assert!(
+        recovered.version_depth() > 0,
+        "commits over a live snapshot must retain the overwritten versions"
+    );
+    // ...a mid-life sweep may only prune below the snapshot's stamp...
+    recovered.prune_versions();
+    assert_eq!(
+        snapshot_probe(&recovered, &pinned),
+        head,
+        "the pinned snapshot must still read the recovered head"
+    );
+    pinned.commit().unwrap();
+
+    // ...and once the oldest (only) snapshot closes, everything goes.
+    assert_eq!(recovered.oldest_snapshot_stamp(), None);
+    assert!(recovered.prune_versions() > 0, "retained versions reclaimed");
+    assert_eq!(recovered.version_depth(), 0);
+    assert!(recovered.stats().versions_pruned > 0);
 }
 
 // ---------------------------------------------------------------------

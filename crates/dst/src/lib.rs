@@ -54,6 +54,14 @@ pub struct DstConfig {
     /// Manually-polled async sessions (driving
     /// [`sbcc_core::AsyncDatabase`] over the same database).
     pub async_sessions: usize,
+    /// Snapshot sessions (driving [`sbcc_core::Database::begin_snapshot`]):
+    /// mostly-read transactions served by the multi-version path, with
+    /// occasional classified writes so SSI rw-antidependency edges — and
+    /// dangerous-structure aborts — actually form. Yields at the
+    /// snapshot-stamp, snapshot-read and ssi-edge chaos points. Default 0:
+    /// the pinned corpus seeds predate snapshot sessions and stay
+    /// byte-identical; `snapshot:`-tagged corpus lines opt in.
+    pub snapshot_sessions: usize,
     /// Transactions per session.
     pub txns_per_session: usize,
     /// Maximum operations per transaction (each draws 1..=this many).
@@ -85,6 +93,7 @@ impl Default for DstConfig {
         DstConfig {
             sync_sessions: 3,
             async_sessions: 2,
+            snapshot_sessions: 0,
             txns_per_session: 4,
             ops_per_txn: 3,
             objects: 6,

@@ -243,12 +243,67 @@ fn async_session(
     }
 }
 
+/// A snapshot session: mostly-read transactions opened with
+/// [`Database::begin_snapshot`]. Reads are served by the multi-version
+/// path (yielding at stamp acquisition and every version-chain read);
+/// the occasional classified write installs SSI rw-antidependency edges
+/// (yielding at `ssi-edge`), so dangerous structures form and
+/// `SsiConflict` aborts fire under arbitrary interleavings. The hazard
+/// classes this hunts: a snapshot aborted by the guard while another
+/// session waits on its claims (stranded waiter), and version-floor
+/// races between stamp acquisition and concurrent commit folds.
+fn snapshot_session(
+    vt: usize,
+    seed: u64,
+    cfg: &DstConfig,
+    db: &Database,
+    objects: &[Handle<Counter>],
+    sched: &Scheduler,
+    errors: &Mutex<Vec<String>>,
+) {
+    let mut rng = SplitMix64::new(seed ^ (vt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    for _ in 0..cfg.txns_per_session {
+        if sched.free_running() {
+            return;
+        }
+        let n_ops = 1 + rng.below(cfg.ops_per_txn.max(1));
+        let txn = db.begin_snapshot();
+        let mut alive = true;
+        for _ in 0..n_ops {
+            let obj = rng.below(cfg.objects.max(1));
+            // Three quarters snapshot reads, one quarter classified
+            // writes — the writes are what completes in+out structures.
+            let op = if rng.below(4) == 0 {
+                CounterOp::Increment(1 + rng.below(3) as i64)
+            } else {
+                CounterOp::Read
+            };
+            if let Err(e) = txn.exec(&objects[obj], op) {
+                if !tolerated(&e) {
+                    errors.lock().unwrap().push(format!("vt{vt} snapshot exec: {e}"));
+                }
+                alive = false;
+                break;
+            }
+        }
+        if alive {
+            if let Err(e) = txn.commit() {
+                if !tolerated(&e) {
+                    errors.lock().unwrap().push(format!("vt{vt} snapshot commit: {e}"));
+                }
+            }
+        } else {
+            drop(txn);
+        }
+    }
+}
+
 /// Execute one full simulation: build the database, run every session to
 /// completion (or to the liveness deadline) under the baton scheduler,
 /// then run the differential oracle. `script` forces the scheduler's
 /// choice sequence for replay/shrinking.
 pub fn execute(seed: u64, cfg: &DstConfig, script: Option<Vec<u32>>) -> RunReport {
-    let total = cfg.sync_sessions + cfg.async_sessions;
+    let total = cfg.sync_sessions + cfg.async_sessions + cfg.snapshot_sessions;
     assert!(total > 0, "a simulation needs at least one session");
     let sched = Arc::new(Scheduler::new(total, cfg.max_steps, seed, script));
     let faults = Arc::new(FaultPlan::new(seed, cfg.reorder_permille));
@@ -287,8 +342,10 @@ pub fn execute(seed: u64, cfg: &DstConfig, script: Option<Vec<u32>>) -> RunRepor
             sched.register(vt);
             if vt < cfg.sync_sessions {
                 sync_session(vt, seed, &cfg, &db, &objects, &sched, &errors);
-            } else {
+            } else if vt < cfg.sync_sessions + cfg.async_sessions {
                 async_session(vt, seed, &cfg, &db, &objects, &sched, &errors);
+            } else {
+                snapshot_session(vt, seed, &cfg, &db, &objects, &sched, &errors);
             }
             sched.finish(vt);
             chaos::clear_thread_hook();

@@ -112,3 +112,64 @@ fn seed_133_fills_a_waiter_slot_from_a_different_thread_than_claimed_it() {
     );
     assert_eq!(report.verdict, Verdict::Pass);
 }
+
+/// **SSI abort storm** (the unstamped-writer retry livelock).
+///
+/// A snapshot reader that commits with its in-conflict flag set leaves
+/// its SIREAD marks installed until quiescence. Every later classified
+/// writer touching that read set closes a dangerous structure whose pivot
+/// already committed, so the writer is doomed — correctly, *if* they were
+/// concurrent. Before classified transactions carried a begin stamp, the
+/// committed-reader skip test (`reader.committed <= writer.begin`) never
+/// fired for them: each doomed writer's retry began a fresh, still
+/// unstamped transaction that was doomed again by the same stale marks.
+/// Seed 234 drove that loop for ~55k virtual steps — 28 logical
+/// transactions ballooned past 12k begun ids — and blew the liveness
+/// budget. With begins stamped at `ShardedKernel::begin` while SSI is
+/// enabled, the first retry postdates the reader's commit, skips it, and
+/// commits.
+#[test]
+fn seed_234_ssi_doomed_writers_retry_once_instead_of_storming() {
+    let cfg = DstConfig {
+        snapshot_sessions: 2,
+        ..DstConfig::default()
+    };
+    let report = run_seed(234, &cfg);
+    let lines = parse(&report.trace);
+
+    // The schedule still walks every snapshot yield point…
+    for point in ["snapshot-stamp", "snapshot-read", "ssi-edge"] {
+        assert!(
+            lines.iter().any(|l| l.desc.starts_with(point)),
+            "seed 234 no longer reaches {point}; \
+             pick a new pinned seed for this hazard class\n{}",
+            report.trace
+        );
+    }
+    // …and still provokes at least one SSI abort + retry: the workload
+    // begins 28 logical transactions (7 sessions x 4), so any higher
+    // transaction id in the trace is a retry of an aborted one.
+    let max_txn = lines
+        .iter()
+        .filter_map(|l| l.desc.rsplit_once(" T")?.1.parse::<u64>().ok())
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_txn > 28,
+        "seed 234 no longer retries any transaction (max id {max_txn}); \
+         pick a new pinned seed for this hazard class\n{}",
+        report.trace
+    );
+    // The storm is the regression: bounded retries, not budget exhaustion.
+    assert_eq!(
+        report.verdict,
+        Verdict::Pass,
+        "SSI abort storm regressed (seed 234): {}",
+        report.verdict
+    );
+    assert!(
+        report.steps < 5_000,
+        "seed 234 took {} steps — the doomed-writer retry loop is back",
+        report.steps
+    );
+}

@@ -388,6 +388,73 @@ pub fn sharded_session_workload(
     workers.into_iter().map(|h| h.join().expect("bench thread")).sum()
 }
 
+/// The read-mostly contended workload behind the
+/// `read_mostly_{snapshot,blocking}_{N}shards` entries: `threads` threads
+/// share one pool of 64 counters; every transaction reads nine of them
+/// and increments one (90/10 read/write, overlapping windows into the
+/// pool so footprints genuinely collide without every transaction
+/// reading everything). In `snapshot` mode transactions
+/// begin through [`Database::begin_snapshot`], so the reads are served by
+/// the multi-version store at the begin stamp — no classification, no
+/// blocking — under the SSI rw-antidependency guard (a dangerous
+/// structure aborts and the transaction retries). In blocking mode the
+/// same reads classify against the uncommitted increments of the other
+/// threads and serialize behind them. Only committed transactions' ops
+/// count, so aborted SSI attempts are honestly paid.
+pub fn read_mostly_workload(
+    shards: usize,
+    threads: usize,
+    txns_per_thread: u64,
+    snapshot: bool,
+) -> u64 {
+    let db = Database::with_config(
+        DatabaseConfig::new(SchedulerConfig::default().with_history(false)).with_shards(shards),
+    );
+    let counters: Vec<sbcc_core::Handle<Counter>> = (0..64)
+        .map(|i| db.register(format!("ctr{i}"), Counter::new()))
+        .collect();
+    let workers: Vec<std::thread::JoinHandle<u64>> = (0..threads)
+        .map(|t| {
+            let db = db.clone();
+            let counters = counters.clone();
+            std::thread::spawn(move || {
+                let mut ops = 0u64;
+                for k in 0..txns_per_thread {
+                    let base = (t as u64).wrapping_mul(31).wrapping_add(k);
+                    loop {
+                        let txn = if snapshot { db.begin_snapshot() } else { db.begin() };
+                        let mut attempt = 0u64;
+                        let mut ok = true;
+                        for i in 0..10u64 {
+                            let counter = &counters[((base + i) % 64) as usize];
+                            let op = if i == 9 {
+                                CounterOp::Increment(1)
+                            } else {
+                                CounterOp::Read
+                            };
+                            match txn.exec(counter, op) {
+                                Ok(_) => attempt += 1,
+                                Err(_) => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if ok && txn.commit().is_ok() {
+                            ops += attempt;
+                            break;
+                        }
+                        // Scheduler abort (deadlock victim or SSI
+                        // dangerous structure): retry the transaction.
+                    }
+                }
+                ops
+            })
+        })
+        .collect();
+    workers.into_iter().map(|h| h.join().expect("bench thread")).sum()
+}
+
 /// The async-multiplexing workload: one [`LocalExecutor`] thread drives
 /// `txns` concurrent [`AsyncDatabase`] sessions, each executing
 /// `ops_per_txn` commuting increments on a shared counter pool with a
@@ -722,6 +789,19 @@ pub fn run_all(quick: bool) -> Vec<BenchResult> {
             || sharded_session_workload(shards, threads, false, sh_rounds, sh_live, sh_ops),
         ));
     }
+    // The multi-version read path: 90/10 read/write over one shared
+    // counter pool, snapshot reads (multi-version, non-blocking,
+    // SSI-guarded) vs classified blocking reads, at 1 and 4 shards.
+    let rm_txns = if quick { 16 } else { 200 };
+    for shards in [1usize, 4] {
+        for (mode, snapshot) in [("snapshot", true), ("blocking", false)] {
+            results.push(measure(
+                &format!("read_mostly_{mode}_{shards}shards"),
+                budget,
+                || read_mostly_workload(shards, threads, rm_txns, snapshot),
+            ));
+        }
+    }
     // The async front-end: a standing population multiplexed on one
     // executor thread (shard sweep), plus the blocking/wakeup workload.
     let (amux_txns, amux_ops) = if quick { (64, 3) } else { (512, 4) };
@@ -799,7 +879,7 @@ mod tests {
     #[test]
     fn quick_run_produces_all_entries_and_valid_json() {
         let results = run_all(true);
-        assert_eq!(results.len(), 30);
+        assert_eq!(results.len(), 34);
         for r in &results {
             assert!(r.ops > 0, "{} did work", r.name);
             assert!(r.ops_per_sec > 0.0);
@@ -816,6 +896,10 @@ mod tests {
         assert!(json.contains("session_percall_4thr"));
         assert!(json.contains("sharded_disjoint_4shards_4thr"));
         assert!(json.contains("sharded_hotspot_1shards_4thr"));
+        assert!(json.contains("read_mostly_snapshot_1shards"));
+        assert!(json.contains("read_mostly_blocking_1shards"));
+        assert!(json.contains("read_mostly_snapshot_4shards"));
+        assert!(json.contains("read_mostly_blocking_4shards"));
         assert!(json.contains("async_mux_64txn_1shards_1thr"));
         assert!(json.contains("async_mux_64txn_4shards_1thr"));
         assert!(json.contains("async_contended_stack_1thr"));
@@ -845,6 +929,18 @@ mod tests {
             speedup >= 2.0,
             "incremental checks should be at least 2x the oracle (got {speedup:.1}x)"
         );
+    }
+
+    #[test]
+    fn read_mostly_modes_do_identical_committed_work() {
+        // Committed work is deterministic in both modes: every committed
+        // transaction performed exactly ten operations, and aborted
+        // attempts (deadlock victims, SSI conflicts) are not counted.
+        let want = 2 * 8 * 10;
+        assert_eq!(read_mostly_workload(1, 2, 8, true), want);
+        assert_eq!(read_mostly_workload(1, 2, 8, false), want);
+        assert_eq!(read_mostly_workload(4, 2, 8, true), want);
+        assert_eq!(read_mostly_workload(4, 2, 8, false), want);
     }
 
     #[test]

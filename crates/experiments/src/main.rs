@@ -11,6 +11,7 @@
 //! repro --bench-net          closed-loop network benchmark (multi-process capable)
 //! repro --dst                explore seeds in the deterministic-simulation harness
 //! repro --dst-replay SEED    replay one seed, shrinking the schedule on failure
+//! repro --dst-snapshots      add two snapshot/SSI sessions to the DST workload
 //! repro --crash-workload     run the durable smoke workload (pair with kill -9)
 //! repro --crash-recover      recover the workload's log and self-check the prefix
 //!
@@ -54,6 +55,7 @@ struct Args {
     dst_seeds: u64,
     dst_seed_start: u64,
     dst_replay: Option<u64>,
+    dst_snapshots: bool,
     wal: Option<String>,
     crash_workload: bool,
     crash_recover: bool,
@@ -112,6 +114,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     Some(v.parse().map_err(|_| format!("invalid duration {v:?}"))?);
             }
             "--dst" => args.dst = true,
+            "--dst-snapshots" => args.dst_snapshots = true,
             "--seeds" => {
                 let v = take_value(&mut i)?;
                 args.dst_seeds = v.parse().map_err(|_| format!("invalid seed count {v:?}"))?;
@@ -235,7 +238,10 @@ fn scale_from(args: &Args) -> Scale {
 fn run_dst(args: &Args) -> Result<(), ExitCode> {
     use sbcc_dst::{explore, run_seed, shrink_failure, DstConfig};
 
-    let cfg = DstConfig::default();
+    let cfg = DstConfig {
+        snapshot_sessions: if args.dst_snapshots { 2 } else { 0 },
+        ..DstConfig::default()
+    };
     if let Some(seed) = args.dst_replay {
         eprintln!("# replaying DST seed {seed}");
         let report = run_seed(seed, &cfg);

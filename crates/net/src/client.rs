@@ -219,6 +219,16 @@ impl NetClient {
         }
     }
 
+    /// Begin a snapshot transaction; returns its wire id. Reads observe
+    /// the committed state as of the begin stamp without blocking,
+    /// guarded server-side by SSI rw-antidependency tracking.
+    pub fn begin_snapshot(&mut self) -> Result<u64, NetError> {
+        match self.call(&Request::BeginSnapshot)? {
+            Response::Begun { txn } => Ok(txn),
+            _ => Err(NetError::Unexpected("begun")),
+        }
+    }
+
     /// Execute one operation and wait for its result. Blocks for as
     /// long as the kernel blocks the operation behind a conflict.
     pub fn exec(&mut self, txn: u64, object: &str, call: OpCall) -> Result<OpResult, NetError> {

@@ -17,6 +17,7 @@
 //! | `0x06` | [`Request::Commit`] | txn `u64` |
 //! | `0x07` | [`Request::Abort`] | txn `u64` |
 //! | `0x08` | [`Request::Ping`] | — |
+//! | `0x09` | [`Request::BeginSnapshot`] | — |
 //!
 //! | Opcode | Response | Payload |
 //! |---|---|---|
@@ -297,6 +298,10 @@ pub enum Request {
     /// Fence: answered immediately and in order by the connection's
     /// router, regardless of operations still blocked in the kernel.
     Ping,
+    /// Begin a snapshot transaction: reads observe the committed state
+    /// as of the begin stamp without blocking, guarded by SSI
+    /// rw-antidependency tracking. Answered with [`Response::Begun`].
+    BeginSnapshot,
 }
 
 /// A server-to-client message (see the module docs for the wire layout).
@@ -444,6 +449,7 @@ impl Request {
                 put_u64(&mut b, *txn);
             }
             Request::Ping => b.push(0x08),
+            Request::BeginSnapshot => b.push(0x09),
         }
         finish_frame(b)
     }
@@ -615,6 +621,7 @@ impl Request {
             0x06 => Request::Commit { txn: r.u64()? },
             0x07 => Request::Abort { txn: r.u64()? },
             0x08 => Request::Ping,
+            0x09 => Request::BeginSnapshot,
             other => return Err(ProtoError::UnknownOpcode(other)),
         };
         r.finish()?;
@@ -772,6 +779,7 @@ mod tests {
         roundtrip_request(Request::Commit { txn: 42 });
         roundtrip_request(Request::Abort { txn: 42 });
         roundtrip_request(Request::Ping);
+        roundtrip_request(Request::BeginSnapshot);
     }
 
     #[test]

@@ -732,6 +732,7 @@ fn route(
                 detail: format!("unknown object {qualified:?}"),
             })
     };
+    let want_snapshot = matches!(req, Request::BeginSnapshot);
     match req {
         Request::Hello { .. } | Request::Ping => unreachable!("handled above"),
         Request::Register { name, adt } => {
@@ -748,7 +749,7 @@ fn route(
                 Err(e) => Some(error_response(&e)),
             }
         }
-        Request::Begin => {
+        Request::Begin | Request::BeginSnapshot => {
             if shared.shutdown.load(Ordering::Acquire) {
                 return Some(Response::Error {
                     code: ErrorCode::Shutdown,
@@ -766,7 +767,11 @@ fn route(
                     ),
                 });
             }
-            let txn = shared.db.begin();
+            let txn = if want_snapshot {
+                shared.db.begin_snapshot()
+            } else {
+                shared.db.begin()
+            };
             let wire = txn.id().0;
             let queue = Rc::new(TxnQueue::default());
             txns.insert(wire, queue.clone());

@@ -90,6 +90,47 @@ fn exec_batch_matches_sequential_execs() {
 }
 
 #[test]
+fn snapshot_transactions_read_their_begin_stamp_over_the_wire() {
+    let server = start_server(ServerConfig::default().with_workers(1));
+    let addr = server.local_addr();
+
+    let mut client = NetClient::connect(addr, "acme").expect("connect");
+    client.register("hits", AdtType::Counter).unwrap();
+
+    // Commit 5, then open a snapshot, then commit 100 more from a later
+    // transaction: the snapshot keeps seeing 5.
+    let w1 = client.begin().unwrap();
+    client
+        .exec(w1, "hits", CounterOp::Increment(5).to_call())
+        .unwrap();
+    client.commit(w1).unwrap();
+
+    let snap = client.begin_snapshot().unwrap();
+    let w2 = client.begin().unwrap();
+    client
+        .exec(w2, "hits", CounterOp::Increment(100).to_call())
+        .unwrap();
+    client.commit(w2).unwrap();
+
+    let r = client.exec(snap, "hits", CounterOp::Read.to_call()).unwrap();
+    assert_eq!(r, OpResult::Value(Value::Int(5)), "snapshot ignores w2");
+    let r = client.exec(snap, "hits", CounterOp::Read.to_call()).unwrap();
+    assert_eq!(r, OpResult::Value(Value::Int(5)), "snapshot reads are stable");
+    client.commit(snap).unwrap();
+
+    // A fresh classified transaction sees the full committed total.
+    let t = client.begin().unwrap();
+    let r = client.exec(t, "hits", CounterOp::Read.to_call()).unwrap();
+    assert_eq!(r, OpResult::Value(Value::Int(105)));
+    client.abort(t).unwrap();
+
+    server.db().verify_serializable().unwrap();
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(stats.transactions_in_flight, 0, "no leaked sessions");
+}
+
+#[test]
 fn tenants_get_disjoint_namespaces() {
     let server = start_server(ServerConfig::default().with_workers(1));
     let addr = server.local_addr();
