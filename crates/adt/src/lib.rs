@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod abstract_obj;
+pub mod access;
 pub mod compat;
 pub mod counter;
 pub mod op;
@@ -52,6 +53,7 @@ pub mod table;
 pub mod value;
 
 pub use abstract_obj::AbstractObject;
+pub use access::AccessSet;
 pub use compat::{Compatibility, CompatibilityTable, ConflictTable, TableEntry};
 pub use counter::{Counter, CounterOp};
 pub use op::{AdtOp, OpCall, OpResult};

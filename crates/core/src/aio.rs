@@ -649,6 +649,31 @@ impl AsyncBatch {
         self.group.push(object, call);
     }
 
+    /// Declare that this batch only *reads* `object` (chaining form); see
+    /// [`crate::Batch::declare_read`] for the group-admission contract —
+    /// the async builder shares it verbatim.
+    pub fn declare_read(mut self, object: &ObjectHandle) -> Self {
+        self.add_declare_read(object);
+        self
+    }
+
+    /// Declare that this batch may *write* `object` (chaining form; a
+    /// write declaration covers reads too).
+    pub fn declare_write(mut self, object: &ObjectHandle) -> Self {
+        self.add_declare_write(object);
+        self
+    }
+
+    /// Declare a read access (mutating form, for loops).
+    pub fn add_declare_read(&mut self, object: &ObjectHandle) {
+        self.group.declare_read(object);
+    }
+
+    /// Declare a write access (mutating form, for loops).
+    pub fn add_declare_write(&mut self, object: &ObjectHandle) {
+        self.group.declare_write(object);
+    }
+
     /// Number of calls queued so far.
     pub fn len(&self) -> usize {
         self.group.len()

@@ -134,7 +134,7 @@ use crate::policy::SchedulerConfig;
 use crate::shard::{DatabaseConfig, ObjectLoc, ShardedKernel};
 use crate::stats::{KernelStats, StatsSnapshot};
 use crate::txn::{BatchCall, TxnId, TxnState};
-use sbcc_adt::{AdtOp, AdtSpec, OpCall, OpResult, SemanticObject};
+use sbcc_adt::{AccessSet, AdtOp, AdtSpec, OpCall, OpResult, SemanticObject};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -413,6 +413,11 @@ struct Shared {
     /// exist while `T` has a parked/pending request, and `T`'s own session
     /// thread — the only reader of `T`'s entries — is not submitting then.
     delivered_count: std::sync::atomic::AtomicUsize,
+    /// Cached [`crate::shard::DECLARED_ENV`] reading: when `true`, batches
+    /// submitted without an explicit declaration derive one from their own
+    /// call list (every touched object declared written), routing the
+    /// whole workload through the group-admission path.
+    declare_by_default: bool,
 }
 
 impl Shared {
@@ -488,6 +493,7 @@ impl Database {
                 kernel: ShardedKernel::new(config),
                 sessions: Mutex::new(SessionState::default()),
                 delivered_count: std::sync::atomic::AtomicUsize::new(0),
+                declare_by_default: crate::shard::declared_from_env(),
             }),
         };
         if let Some(wal_config) = wal_config {
@@ -550,16 +556,29 @@ impl Database {
                     } else {
                         gathered.extend(ops.iter());
                     }
+                    // Replay the whole commit as one *declared* batch —
+                    // every logged object declared written. Sequential
+                    // replay means the footprint is always quiescent, so
+                    // each recovered transaction is group-admitted in a
+                    // single scan with zero per-op classification; the
+                    // per-op result comparison below still validates every
+                    // call against the log.
                     let txn = self.begin();
-                    for op in gathered {
+                    let mut batch = txn.batch();
+                    for op in &gathered {
                         let handle = handles.get(op.object.as_str()).ok_or_else(|| {
                             CoreError::Durability(format!(
                                 "log commit references unregistered object {:?}",
                                 op.object
                             ))
                         })?;
-                        let result = txn.exec_call(handle, op.call.clone())?;
-                        if result != op.result {
+                        batch.add_declare_write(handle);
+                        batch.add_call(handle, op.call.clone());
+                    }
+                    let results = batch.submit()?;
+                    debug_assert_eq!(results.len(), gathered.len());
+                    for (result, op) in results.iter().zip(&gathered) {
+                        if *result != op.result {
                             return Err(CoreError::Durability(format!(
                                 "replay diverged on object {:?} op {}: logged result \
                                  {}, replayed {}",
@@ -1240,14 +1259,25 @@ impl Database {
             self.check_loc(*loc)?;
             self.ensure_session_enrolled(txn, loc.shard, "submit a batch")?;
         }
+        if self.shared.declare_by_default {
+            run.declare_from_calls();
+        }
         let locs_kept = run.locs.clone();
         // Deliver before `?` (see `exec_call_raw`): a rejected batch may
         // still have settled other sessions' waiters.
-        let outcome = self.shared.kernel.request_batch_enrolled(
-            id,
-            std::mem::take(&mut run.calls),
-            std::mem::take(&mut run.locs),
-        );
+        let outcome = match &run.declared {
+            Some(declared) => self.shared.kernel.request_batch_declared_enrolled(
+                id,
+                std::mem::take(&mut run.calls),
+                std::mem::take(&mut run.locs),
+                declared,
+            ),
+            None => self.shared.kernel.request_batch_enrolled(
+                id,
+                std::mem::take(&mut run.calls),
+                std::mem::take(&mut run.locs),
+            ),
+        };
         self.deliver_events();
         let outcome = outcome?;
         run.results.extend(outcome.executed);
@@ -1543,6 +1573,10 @@ pub(crate) struct BatchCalls {
     /// Shard locations, parallel to `calls` (handles carry them, so a
     /// batch never consults the object directory).
     locs: Vec<ObjectLoc>,
+    /// The declared access footprint, when the caller promised one (see
+    /// [`sbcc_adt::AccessSet`]); `None` submits through the classified
+    /// path.
+    declared: Option<AccessSet<ObjectLoc>>,
 }
 
 impl BatchCalls {
@@ -1550,6 +1584,20 @@ impl BatchCalls {
     pub(crate) fn push(&mut self, object: &ObjectHandle, call: OpCall) {
         self.calls.push(BatchCall::new(object.id(), call));
         self.locs.push(object.loc());
+    }
+
+    /// Declare a read-only access to the handle's object.
+    pub(crate) fn declare_read(&mut self, object: &ObjectHandle) {
+        self.declared
+            .get_or_insert_with(AccessSet::new)
+            .declare_read(object.loc());
+    }
+
+    /// Declare a write access to the handle's object (covers reads too).
+    pub(crate) fn declare_write(&mut self, object: &ObjectHandle) {
+        self.declared
+            .get_or_insert_with(AccessSet::new)
+            .declare_write(object.loc());
     }
 
     /// Number of calls queued so far.
@@ -1573,6 +1621,9 @@ pub(crate) struct BatchRun {
     calls: Vec<BatchCall>,
     /// Shard locations, parallel to `calls`.
     locs: Vec<ObjectLoc>,
+    /// The declared footprint, carried across every pass of the run (a
+    /// resumed suffix re-submits under the same declaration).
+    declared: Option<AccessSet<ObjectLoc>>,
     results: Vec<OpResult>,
 }
 
@@ -1583,7 +1634,22 @@ impl BatchRun {
         BatchRun {
             calls: group.calls,
             locs: group.locs,
+            declared: group.declared,
             results: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// With no explicit declaration, derive one from the run's own call
+    /// list — every touched object declared written, which trivially
+    /// covers every call. Used by the `SBCC_DECLARED=1` leg to route
+    /// existing workloads through group admission unchanged.
+    pub(crate) fn declare_from_calls(&mut self) {
+        if self.declared.is_none() {
+            let mut derived = AccessSet::new();
+            for loc in &self.locs {
+                derived.declare_write(*loc);
+            }
+            self.declared = Some(derived);
         }
     }
 
@@ -1652,6 +1718,41 @@ impl Batch<'_> {
     /// Append an erased call (mutating form, for loops).
     pub fn add_call(&mut self, object: &ObjectHandle, call: OpCall) {
         self.group.push(object, call);
+    }
+
+    /// Declare that this batch only *reads* `object` (chaining form).
+    ///
+    /// Declaring any access opts the batch into Block-STM-style group
+    /// admission: when the whole declared footprint is untouched by other
+    /// live transactions, the kernel admits every call in a single
+    /// footprint scan with zero per-op classification. The declaration is
+    /// a promise, never a proof — a call outside it is detected at
+    /// admission and the batch escalates to the classifier (or the
+    /// transaction aborts with
+    /// [`crate::AbortReason::UndeclaredAccess`], per
+    /// [`crate::UndeclaredPolicy`]). A mutating call on a read-declared
+    /// object counts as outside the declaration.
+    pub fn declare_read(mut self, object: &ObjectHandle) -> Self {
+        self.add_declare_read(object);
+        self
+    }
+
+    /// Declare that this batch may *write* `object` (chaining form; a
+    /// write declaration covers reads too). See [`Batch::declare_read`]
+    /// for the group-admission contract.
+    pub fn declare_write(mut self, object: &ObjectHandle) -> Self {
+        self.add_declare_write(object);
+        self
+    }
+
+    /// Declare a read access (mutating form, for loops).
+    pub fn add_declare_read(&mut self, object: &ObjectHandle) {
+        self.group.declare_read(object);
+    }
+
+    /// Declare a write access (mutating form, for loops).
+    pub fn add_declare_write(&mut self, object: &ObjectHandle) {
+        self.group.declare_write(object);
     }
 
     /// Number of calls queued so far.

@@ -25,11 +25,11 @@ use crate::events::{
 };
 use crate::history::HistoryRecorder;
 use crate::object::{Classification, ManagedObject, ObjectId};
-use crate::policy::{CycleDetector, SchedulerConfig, VictimPolicy};
+use crate::policy::{CycleDetector, SchedulerConfig, UndeclaredPolicy, VictimPolicy};
 use crate::shard::GlobalGraph;
 use crate::stats::KernelStats;
 use crate::txn::{BatchCall, ExecutedOp, PendingRequest, TxnId, TxnRecord, TxnState};
-use sbcc_adt::{AdtObject, AdtSpec, OpCall, OpResult, SemanticObject};
+use sbcc_adt::{AccessSet, AdtObject, AdtSpec, OpCall, OpResult, SemanticObject};
 use sbcc_graph::{DependencyGraph, EdgeKind};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -659,6 +659,140 @@ impl SchedulerKernel {
         Ok(BatchOutcome {
             executed,
             commit_deps: all_deps,
+            stopped: None,
+        })
+    }
+
+    /// Request a group of operations whose read/write footprint the caller
+    /// has **declared** up front (Block-STM style; see
+    /// [`sbcc_adt::AccessSet`]).
+    ///
+    /// The declaration is a promise, never a proof — the kernel checks it
+    /// in two passes before trusting anything:
+    ///
+    /// 1. **Coverage**: every call must target a declared object, and a
+    ///    call on a read-declared object must be a pure observer
+    ///    (`is_readonly`). The first violation is a mis-declaration;
+    ///    depending on [`UndeclaredPolicy`] the batch either *escalates*
+    ///    to the per-op classifier ([`Self::request_batch`], declaration
+    ///    discarded) or the transaction aborts with
+    ///    [`AbortReason::UndeclaredAccess`].
+    /// 2. **Disjointness**: every declared object must be quiescent — no
+    ///    uncommitted operations of *other* live transactions and no
+    ///    blocked requests queued. When any declared object is busy the
+    ///    batch *falls back* to the classifier (a correct declaration,
+    ///    just not a disjoint one — the classifier may still admit it via
+    ///    recoverability).
+    ///
+    /// Only when both pass does the fast path fire: the whole group is
+    /// admitted in that single footprint scan and executed with **zero
+    /// per-op classification**, no graph edges and no cycle checks. This
+    /// is behaviourally identical to the classified path on the same
+    /// state — a quiescent footprint classifies every call as
+    /// conflict-free and dependency-free (an equivalence the
+    /// declared-vs-classified differential suite pins down) — it just
+    /// skips computing that answer per call.
+    ///
+    /// Both checks and the executions happen atomically under the
+    /// caller's exclusive access (`&mut self`; one shard-lock hold in the
+    /// sharded database), so the admitted group cannot interleave with
+    /// anything.
+    pub fn request_batch_declared(
+        &mut self,
+        txn: TxnId,
+        calls: Vec<BatchCall>,
+        declared: &AccessSet<ObjectId>,
+    ) -> Result<BatchOutcome, CoreError> {
+        for bc in &calls {
+            self.ensure_object(bc.object)?;
+        }
+        for obj in declared.objects() {
+            self.ensure_object(*obj)?;
+        }
+        let state = self
+            .txn_state(txn)
+            .ok_or(CoreError::UnknownTransaction(txn))?;
+        if state != TxnState::Active {
+            return Err(CoreError::InvalidState {
+                txn,
+                state,
+                action: "submit a batch",
+            });
+        }
+        self.stats.declared_batches += 1;
+
+        // Pass 1: coverage. A write declaration admits any call; a read
+        // declaration only admits pure observers of the data type.
+        let violation = calls.iter().position(|bc| {
+            !(declared.covers_write(&bc.object)
+                || (declared.covers_read(&bc.object)
+                    && self
+                        .object_ref(bc.object)
+                        .committed_state()
+                        .is_readonly(&bc.call)))
+        });
+        if let Some(index) = violation {
+            return match self.config.undeclared {
+                UndeclaredPolicy::Escalate => {
+                    self.stats.declared_escalations += 1;
+                    self.request_batch(txn, calls)
+                }
+                UndeclaredPolicy::Abort => {
+                    let mut calls = calls;
+                    let rest = calls.split_off(index + 1);
+                    self.abort_internal(txn, AbortReason::UndeclaredAccess);
+                    self.settle();
+                    Ok(BatchOutcome {
+                        executed: Vec::new(),
+                        commit_deps: Vec::new(),
+                        stopped: Some(BatchStop::Aborted {
+                            index,
+                            reason: AbortReason::UndeclaredAccess,
+                            rest,
+                        }),
+                    })
+                }
+            };
+        }
+
+        // Pass 2: disjointness of the declared footprint from every live
+        // transaction. The transaction's own earlier operations do not
+        // disqualify an object — classification ignores them too.
+        let disjoint = declared.objects().all(|obj| {
+            let o = self.object_ref(*obj);
+            o.blocked_len() == 0 && !o.log().iter().any(|e| e.txn != txn)
+        });
+        if !disjoint {
+            self.stats.declared_fallbacks += 1;
+            return self.request_batch(txn, calls);
+        }
+
+        // Fast path: group admission. Counters advance exactly as the
+        // classified path would on this (conflict-free) state, so the two
+        // modes stay stat-comparable.
+        self.stats.declared_admitted += 1;
+        self.stats.batches += 1;
+        let mut executed: Vec<OpResult> = Vec::with_capacity(calls.len());
+        for bc in calls {
+            self.stats.requests += 1;
+            self.stats.batched_calls += 1;
+            executed.push(self.execute_op(txn, bc.object, bc.call));
+        }
+        let rec = self.txns.get_mut(&txn).expect("checked above");
+        match &mut rec.declared {
+            Some(union) => {
+                for r in declared.reads() {
+                    union.declare_read(*r);
+                }
+                for w in declared.writes() {
+                    union.declare_write(*w);
+                }
+            }
+            none => *none = Some(declared.clone()),
+        }
+        Ok(BatchOutcome {
+            executed,
+            commit_deps: Vec::new(),
             stopped: None,
         })
     }
@@ -1304,6 +1438,7 @@ impl SchedulerKernel {
             AbortReason::CommitDependencyCycle => self.stats.aborts_commit_cycle += 1,
             AbortReason::VictimSelected => self.stats.aborts_victim += 1,
             AbortReason::SsiConflict => self.stats.aborts_ssi += 1,
+            AbortReason::UndeclaredAccess => self.stats.aborts_undeclared += 1,
             AbortReason::Explicit => self.stats.aborts_explicit += 1,
         }
         self.finished.insert(

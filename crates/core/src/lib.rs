@@ -101,7 +101,11 @@ pub use history::{
 };
 pub use kernel::SchedulerKernel;
 pub use object::{BlockedRequest, Classification, LogEntry, ManagedObject, ObjectId};
-pub use policy::{ConflictPolicy, CycleDetector, RecoveryStrategy, SchedulerConfig, VictimPolicy};
+pub use policy::{
+    ConflictPolicy, CycleDetector, RecoveryStrategy, SchedulerConfig, UndeclaredPolicy,
+    VictimPolicy,
+};
+pub use sbcc_adt::AccessSet;
 pub use sbcc_graph::{OrderTelemetry, ReorderStrategy};
 pub use sbcc_wal::{FsyncPolicy, WalConfig};
 /// The write-ahead-log crate, re-exported for crash-image surgery in

@@ -112,6 +112,40 @@ impl fmt::Display for VictimPolicy {
     }
 }
 
+/// What the scheduler does when a *declared* batch submits an operation
+/// on an object outside its declared access set (a mis-declaration —
+/// detected at admission, never trusted; see [`sbcc_adt::AccessSet`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UndeclaredPolicy {
+    /// Demote the batch to the per-op semantic classifier — the
+    /// declaration is discarded and every call goes through the normal
+    /// commutativity/recoverability machinery. Correct but slower; the
+    /// forgiving default.
+    Escalate,
+    /// Abort the transaction with
+    /// [`crate::AbortReason::UndeclaredAccess`] (scheduler-initiated, so
+    /// retry loops restart it). The strict mode a deployment can use to
+    /// surface broken declarations instead of silently paying the
+    /// classified path.
+    Abort,
+}
+
+impl UndeclaredPolicy {
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            UndeclaredPolicy::Escalate => "escalate",
+            UndeclaredPolicy::Abort => "abort",
+        }
+    }
+}
+
+impl fmt::Display for UndeclaredPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Complete scheduler configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerConfig {
@@ -143,6 +177,8 @@ pub struct SchedulerConfig {
     /// adversarial schedules and fault-injection harnesses surface as an
     /// error instead of a livelock.
     pub max_retries: usize,
+    /// What to do when a declared batch touches an undeclared object.
+    pub undeclared: UndeclaredPolicy,
 }
 
 impl Default for SchedulerConfig {
@@ -156,6 +192,7 @@ impl Default for SchedulerConfig {
             reorder: ReorderStrategy::GapLabel,
             record_history: true,
             max_retries: 10_000,
+            undeclared: UndeclaredPolicy::Escalate,
         }
     }
 }
@@ -216,6 +253,13 @@ impl SchedulerConfig {
         self.max_retries = max_retries;
         self
     }
+
+    /// Builder-style: set the undeclared-access policy for declared
+    /// batches.
+    pub fn with_undeclared(mut self, undeclared: UndeclaredPolicy) -> Self {
+        self.undeclared = undeclared;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +277,7 @@ mod tests {
         assert_eq!(c.reorder, ReorderStrategy::GapLabel);
         assert!(c.record_history);
         assert_eq!(c.max_retries, 10_000);
+        assert_eq!(c.undeclared, UndeclaredPolicy::Escalate);
     }
 
     #[test]
@@ -258,7 +303,8 @@ mod tests {
             .with_cycle_detector(CycleDetector::SccOracle)
             .with_reorder(ReorderStrategy::DenseRedistribute)
             .with_history(false)
-            .with_max_retries(7);
+            .with_max_retries(7)
+            .with_undeclared(UndeclaredPolicy::Abort);
         assert_eq!(c.policy, ConflictPolicy::CommutativityOnly);
         assert!(!c.fair_scheduling);
         assert_eq!(c.recovery, RecoveryStrategy::UndoReplay);
@@ -267,6 +313,7 @@ mod tests {
         assert_eq!(c.reorder, ReorderStrategy::DenseRedistribute);
         assert!(!c.record_history);
         assert_eq!(c.max_retries, 7);
+        assert_eq!(c.undeclared, UndeclaredPolicy::Abort);
     }
 
     #[test]
@@ -279,5 +326,7 @@ mod tests {
         assert_eq!(VictimPolicy::Youngest.to_string(), "youngest");
         assert_eq!(CycleDetector::Incremental.to_string(), "incremental");
         assert_eq!(CycleDetector::SccOracle.to_string(), "scc-oracle");
+        assert_eq!(UndeclaredPolicy::Escalate.to_string(), "escalate");
+        assert_eq!(UndeclaredPolicy::Abort.to_string(), "abort");
     }
 }

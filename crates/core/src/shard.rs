@@ -99,6 +99,26 @@ pub const WAL_ENV: &str = "SBCC_WAL";
 /// (`never` / `group` / `always`).
 pub const WAL_FSYNC_ENV: &str = "SBCC_WAL_FSYNC";
 
+/// Environment variable turning on **declaration by default** (`1` or
+/// `true`): session-layer batches submitted without an explicit access
+/// declaration derive one from their own call list (every touched object
+/// declared written), routing the whole suite through the group-admission
+/// path. Used by CI's `SBCC_DECLARED=1` leg; see
+/// [`crate::db::Batch::declare_write`].
+pub const DECLARED_ENV: &str = "SBCC_DECLARED";
+
+/// `true` when [`DECLARED_ENV`] requests declaration-by-default. Read
+/// per call (not cached) so tests can flip it; the session layer caches
+/// the answer per database.
+pub fn declared_from_env() -> bool {
+    std::env::var(DECLARED_ENV)
+        .map(|v| {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true")
+        })
+        .unwrap_or(false)
+}
+
 /// The shard count of a [`DatabaseConfig`]: either a fixed number of
 /// kernels or `Auto`, which resolves to the machine's available
 /// parallelism at [`ShardedKernel::new`] time.
@@ -273,7 +293,7 @@ pub fn shard_of_name(name: &str, shards: usize) -> u32 {
 /// Where an object lives: its shard plus its id *inside that shard's
 /// kernel*. Carried by [`crate::ObjectHandle`] so the session layer routes
 /// without a directory lookup.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectLoc {
     /// Owning shard.
     pub shard: u32,
@@ -482,6 +502,7 @@ struct Lifecycle {
     aborts_commit_cycle: AtomicU64,
     aborts_victim: AtomicU64,
     aborts_ssi: AtomicU64,
+    aborts_undeclared: AtomicU64,
     aborts_explicit: AtomicU64,
 }
 
@@ -1060,7 +1081,7 @@ impl ShardedKernel {
         calls: Vec<BatchCall>,
         locs: Vec<ObjectLoc>,
     ) -> Result<BatchOutcome, CoreError> {
-        self.request_batch_inner(txn, calls, locs, true)
+        self.request_batch_inner(txn, calls, locs, true, None)
     }
 
     /// [`Self::request_batch_located`] for a transaction the caller has
@@ -1072,7 +1093,36 @@ impl ShardedKernel {
         calls: Vec<BatchCall>,
         locs: Vec<ObjectLoc>,
     ) -> Result<BatchOutcome, CoreError> {
-        self.request_batch_inner(txn, calls, locs, false)
+        self.request_batch_inner(txn, calls, locs, false, None)
+    }
+
+    /// [`Self::request_batch_located`] with a **declared** read/write
+    /// footprint: each same-shard run is handed its projection of the
+    /// declaration and goes through
+    /// [`SchedulerKernel::request_batch_declared`] — group admission when
+    /// the declared footprint is quiescent, classifier fallback/escalation
+    /// (or an [`AbortReason::UndeclaredAccess`] abort, per policy)
+    /// otherwise.
+    pub fn request_batch_declared(
+        &self,
+        txn: TxnId,
+        calls: Vec<BatchCall>,
+        locs: Vec<ObjectLoc>,
+        declared: &sbcc_adt::AccessSet<ObjectLoc>,
+    ) -> Result<BatchOutcome, CoreError> {
+        self.request_batch_inner(txn, calls, locs, true, Some(declared))
+    }
+
+    /// [`Self::request_batch_declared`] for a transaction already enrolled
+    /// in every touched shard.
+    pub fn request_batch_declared_enrolled(
+        &self,
+        txn: TxnId,
+        calls: Vec<BatchCall>,
+        locs: Vec<ObjectLoc>,
+        declared: &sbcc_adt::AccessSet<ObjectLoc>,
+    ) -> Result<BatchOutcome, CoreError> {
+        self.request_batch_inner(txn, calls, locs, false, Some(declared))
     }
 
     fn request_batch_inner(
@@ -1081,6 +1131,7 @@ impl ShardedKernel {
         mut calls: Vec<BatchCall>,
         locs: Vec<ObjectLoc>,
         enroll: bool,
+        declared: Option<&sbcc_adt::AccessSet<ObjectLoc>>,
     ) -> Result<BatchOutcome, CoreError> {
         assert_eq!(calls.len(), locs.len(), "one location per call");
         if calls.is_empty() {
@@ -1121,9 +1172,21 @@ impl ShardedKernel {
                     )
                 })
                 .collect();
+            // Project the declaration onto this shard (other shards'
+            // declared objects are simply invisible here) before taking
+            // the lock; the whole group-admission window — coverage scan,
+            // disjointness scan, group execution — runs under one hold.
+            let local_declared =
+                declared.map(|d| d.project(|loc| (loc.shard == shard).then_some(loc.local)));
+            if local_declared.is_some() {
+                chaos::reach(ChaosPoint::GroupAdmit, Some(txn));
+            }
             let (result, fx) = {
                 let mut kernel = self.lock_shard(shard);
-                let result = kernel.request_batch(txn, run);
+                let result = match &local_declared {
+                    Some(d) => kernel.request_batch_declared(txn, run, d),
+                    None => kernel.request_batch(txn, run),
+                };
                 let fx = drain_fx(&mut kernel);
                 (result, fx)
             };
@@ -1912,6 +1975,9 @@ impl ShardedKernel {
             }
             TermFate::Aborted(AbortReason::VictimSelected) => &self.lifecycle.aborts_victim,
             TermFate::Aborted(AbortReason::SsiConflict) => &self.lifecycle.aborts_ssi,
+            TermFate::Aborted(AbortReason::UndeclaredAccess) => {
+                &self.lifecycle.aborts_undeclared
+            }
             TermFate::Aborted(AbortReason::Explicit) => &self.lifecycle.aborts_explicit,
         };
         counter.fetch_add(1, Ordering::Relaxed);
@@ -2088,6 +2154,7 @@ impl ShardedKernel {
             self.lifecycle.aborts_commit_cycle.load(Ordering::Relaxed);
         aggregate.aborts_victim = self.lifecycle.aborts_victim.load(Ordering::Relaxed);
         aggregate.aborts_ssi = self.lifecycle.aborts_ssi.load(Ordering::Relaxed);
+        aggregate.aborts_undeclared = self.lifecycle.aborts_undeclared.load(Ordering::Relaxed);
         aggregate.aborts_explicit = self.lifecycle.aborts_explicit.load(Ordering::Relaxed);
     }
 

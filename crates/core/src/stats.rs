@@ -24,6 +24,23 @@ pub struct KernelStats {
     /// is always a subset of `requests` (a blocked batch's unprocessed
     /// suffix is not counted until its resumption pass processes it).
     pub batched_calls: u64,
+    /// Batch passes that arrived with a declared access set (whether or not
+    /// the fast path ended up applying).
+    pub declared_batches: u64,
+    /// Declared batch passes admitted wholesale by the group-admission fast
+    /// path: the declared footprint was disjoint from every live
+    /// transaction, so every call executed with **zero per-op
+    /// classification**.
+    pub declared_admitted: u64,
+    /// Declared batch passes that fell back to the per-op semantic
+    /// classifier because the declared footprint overlapped live
+    /// transactions (a correct declaration, just not a disjoint one).
+    pub declared_fallbacks: u64,
+    /// Declared batch passes whose calls escaped the declared footprint
+    /// and were escalated to the per-op classifier under
+    /// [`crate::UndeclaredPolicy::Escalate`] (mis-declarations detected and
+    /// demoted, never trusted).
+    pub declared_escalations: u64,
     /// Operations actually executed (including executions that happen when a
     /// blocked request is finally admitted).
     pub operations_executed: u64,
@@ -52,6 +69,10 @@ pub struct KernelStats {
     /// structure (both in- and out-rw-antidependencies; see
     /// [`crate::AbortReason::SsiConflict`]).
     pub aborts_ssi: u64,
+    /// Aborts of declared batches that touched an object outside their
+    /// declared access set, under [`crate::UndeclaredPolicy::Abort`] (see
+    /// [`crate::AbortReason::UndeclaredAccess`]).
+    pub aborts_undeclared: u64,
     /// Explicit, application-requested aborts.
     pub aborts_explicit: u64,
     /// Operations answered by the multi-version snapshot-read path (no
@@ -83,6 +104,10 @@ impl KernelStats {
         self.requests += other.requests;
         self.batches += other.batches;
         self.batched_calls += other.batched_calls;
+        self.declared_batches += other.declared_batches;
+        self.declared_admitted += other.declared_admitted;
+        self.declared_fallbacks += other.declared_fallbacks;
+        self.declared_escalations += other.declared_escalations;
         self.operations_executed += other.operations_executed;
         self.blocks += other.blocks;
         self.unblocks += other.unblocks;
@@ -93,6 +118,7 @@ impl KernelStats {
         self.aborts_commit_cycle += other.aborts_commit_cycle;
         self.aborts_victim += other.aborts_victim;
         self.aborts_ssi += other.aborts_ssi;
+        self.aborts_undeclared += other.aborts_undeclared;
         self.aborts_explicit += other.aborts_explicit;
         self.snapshot_reads += other.snapshot_reads;
         self.versions_pruned += other.versions_pruned;
@@ -107,12 +133,17 @@ impl KernelStats {
             + self.aborts_commit_cycle
             + self.aborts_victim
             + self.aborts_ssi
+            + self.aborts_undeclared
             + self.aborts_explicit
     }
 
     /// Aborts caused by the scheduler (everything except explicit aborts).
     pub fn scheduler_aborts(&self) -> u64 {
-        self.aborts_deadlock + self.aborts_commit_cycle + self.aborts_victim + self.aborts_ssi
+        self.aborts_deadlock
+            + self.aborts_commit_cycle
+            + self.aborts_victim
+            + self.aborts_ssi
+            + self.aborts_undeclared
     }
 
     /// Blocks per commit (the paper's *blocking ratio*); zero when nothing
@@ -137,11 +168,15 @@ impl KernelStats {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "txns={} requests={} batches={}/{} executed={} snapshot-reads={} blocks={} unblocks={} commit-deps={} commits={} pseudo={} aborts(deadlock={}, cycle={}, victim={}, ssi={}, explicit={}) versions-pruned={}",
+            "txns={} requests={} batches={}/{} declared(batches={}, admitted={}, fallbacks={}, escalations={}) executed={} snapshot-reads={} blocks={} unblocks={} commit-deps={} commits={} pseudo={} aborts(deadlock={}, cycle={}, victim={}, ssi={}, undeclared={}, explicit={}) versions-pruned={}",
             self.transactions_begun,
             self.requests,
             self.batches,
             self.batched_calls,
+            self.declared_batches,
+            self.declared_admitted,
+            self.declared_fallbacks,
+            self.declared_escalations,
             self.operations_executed,
             self.snapshot_reads,
             self.blocks,
@@ -153,6 +188,7 @@ impl KernelStats {
             self.aborts_commit_cycle,
             self.aborts_victim,
             self.aborts_ssi,
+            self.aborts_undeclared,
             self.aborts_explicit,
             self.versions_pruned,
         )
@@ -308,11 +344,21 @@ mod tests {
         b.requests = 4;
         b.commits = 1;
         b.escalated_edges = 5;
+        b.declared_batches = 6;
+        b.declared_admitted = 4;
+        b.declared_fallbacks = 1;
+        b.declared_escalations = 1;
+        b.aborts_undeclared = 2;
         a.accumulate(&b);
         assert_eq!(a.requests, 7);
         assert_eq!(a.commits, 1);
         assert_eq!(a.graph_edges, 2);
         assert_eq!(a.escalated_edges, 5);
+        assert_eq!(a.declared_batches, 6);
+        assert_eq!(a.declared_admitted, 4);
+        assert_eq!(a.declared_fallbacks, 1);
+        assert_eq!(a.declared_escalations, 1);
+        assert_eq!(a.aborts_undeclared, 2);
     }
 
     #[test]
@@ -369,11 +415,12 @@ mod tests {
         s.aborts_commit_cycle = 2;
         s.aborts_victim = 1;
         s.aborts_ssi = 4;
+        s.aborts_undeclared = 4;
         s.aborts_explicit = 5;
-        assert_eq!(s.total_aborts(), 13);
-        assert_eq!(s.scheduler_aborts(), 8);
+        assert_eq!(s.total_aborts(), 17);
+        assert_eq!(s.scheduler_aborts(), 12);
         assert!((s.blocking_ratio() - 2.5).abs() < 1e-9);
-        assert!((s.abort_ratio() - 2.0).abs() < 1e-9);
+        assert!((s.abort_ratio() - 3.0).abs() < 1e-9);
     }
 
     #[test]
@@ -383,6 +430,9 @@ mod tests {
             pseudo_commits: 2,
             snapshot_reads: 7,
             aborts_ssi: 1,
+            aborts_undeclared: 6,
+            declared_batches: 9,
+            declared_admitted: 8,
             versions_pruned: 4,
             ..KernelStats::default()
         };
@@ -391,6 +441,8 @@ mod tests {
         assert!(text.contains("pseudo=2"));
         assert!(text.contains("snapshot-reads=7"));
         assert!(text.contains("ssi=1"));
+        assert!(text.contains("undeclared=6"));
+        assert!(text.contains("declared(batches=9, admitted=8"));
         assert!(text.contains("versions-pruned=4"));
     }
 }

@@ -1,38 +1,51 @@
 //! Replay the pinned seed corpus (`tests/dst_corpus.txt` at the repo
 //! root). Every corpus seed must pass: these are schedules chosen to
 //! cover the fault space (cancellations, injected aborts, re-votes,
-//! cross-thread rendezvous, snapshot/SSI interleavings) plus pinned
-//! regressions. A failure here means a kernel change broke an
-//! interleaving the corpus deliberately covers — replay it with
-//! `repro --dst-replay <seed>` (built with `--features dst`).
+//! cross-thread rendezvous, snapshot/SSI interleavings, declared group
+//! admission) plus pinned regressions. A failure here means a kernel
+//! change broke an interleaving the corpus deliberately covers — replay
+//! it with `repro --dst-replay <seed>` (built with `--features dst`).
 //!
-//! Two line formats: a bare seed runs the default mixed sync/async
+//! Three line formats: a bare seed runs the default mixed sync/async
 //! workload; `snapshot:SEED` runs the same workload with two snapshot
 //! sessions added (multi-version reads + SSI guard under the baton
-//! scheduler).
+//! scheduler); `declared:SEED` adds two declared-batch sessions instead
+//! (group admission of declared footprints, with a seeded fraction of
+//! deliberate under-declarations hitting the coverage-scan fallback).
 
 use sbcc_dst::{run_seed, DstConfig, Verdict};
 
-/// `(seed, with_snapshot_sessions)` per corpus line.
-fn corpus_seeds() -> Vec<(u64, bool)> {
+/// Which session mix a corpus line opts into.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mix {
+    Default,
+    Snapshot,
+    Declared,
+}
+
+/// `(seed, session mix)` per corpus line.
+fn corpus_seeds() -> Vec<(u64, Mix)> {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/dst_corpus.txt");
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read corpus at {path}: {e}"));
-    let seeds: Vec<(u64, bool)> = text
+    let seeds: Vec<(u64, Mix)> = text
         .lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .map(|l| match l.strip_prefix("snapshot:") {
-            Some(rest) => (
+        .map(|l| {
+            let (rest, mix) = if let Some(rest) = l.strip_prefix("snapshot:") {
+                (rest, Mix::Snapshot)
+            } else if let Some(rest) = l.strip_prefix("declared:") {
+                (rest, Mix::Declared)
+            } else {
+                (l, Mix::Default)
+            };
+            (
                 rest.trim()
                     .parse()
                     .unwrap_or_else(|_| panic!("bad corpus line {l:?}")),
-                true,
-            ),
-            None => (
-                l.parse().unwrap_or_else(|_| panic!("bad corpus line {l:?}")),
-                false,
-            ),
+                mix,
+            )
         })
         .collect();
     assert!(!seeds.is_empty(), "empty corpus");
@@ -48,17 +61,31 @@ pub fn snapshot_cfg() -> DstConfig {
     }
 }
 
+/// The corpus config for `declared:`-tagged lines (must match the sweep
+/// that picked them).
+pub fn declared_cfg() -> DstConfig {
+    DstConfig {
+        declared_sessions: 2,
+        ..DstConfig::default()
+    }
+}
+
 #[test]
 fn every_corpus_seed_passes() {
     let default_cfg = DstConfig::default();
     let snap_cfg = snapshot_cfg();
+    let decl_cfg = declared_cfg();
     let mut failures = Vec::new();
-    for (seed, with_snapshots) in corpus_seeds() {
-        let cfg = if with_snapshots { &snap_cfg } else { &default_cfg };
+    for (seed, mix) in corpus_seeds() {
+        let cfg = match mix {
+            Mix::Default => &default_cfg,
+            Mix::Snapshot => &snap_cfg,
+            Mix::Declared => &decl_cfg,
+        };
         let report = run_seed(seed, cfg);
         if report.verdict != Verdict::Pass {
             failures.push(format!(
-                "seed {seed} (snapshots={with_snapshots}): {} ({})",
+                "seed {seed}: {} ({})",
                 report.verdict,
                 report.repro_command()
             ));

@@ -23,6 +23,13 @@
 //!   (`request_batch`): the batched-vs-per-call delta is the cost of
 //!   walking the classification index once per call instead of once per
 //!   group;
+//! * `declared_disjoint_{declared,classified}` — a standing population of
+//!   live transactions, each batching increments against its own private
+//!   counter: `declared` submits with the write footprint declared up
+//!   front (`request_batch_declared`, one coverage + disjointness scan,
+//!   zero per-op classification), `classified` submits the identical
+//!   batches through the per-op classifier; the ratio is the group
+//!   admission fast path's win on declared-disjoint workloads;
 //! * `session_{percall,batched}_4thr` — the same comparison at the
 //!   [`sbcc_core::Database`] session level with 4 threads hammering one
 //!   database: batching additionally amortises the lock acquisition and
@@ -57,7 +64,7 @@
 //!   `s` shards and replay it through the ADT dispatch: pure recovery
 //!   speed.
 
-use sbcc_adt::{Counter, CounterOp, Stack, StackOp, TableObject, TableOp, Value};
+use sbcc_adt::{AccessSet, Counter, CounterOp, Stack, StackOp, TableObject, TableOp, Value};
 use sbcc_core::aio::{yield_now, AsyncDatabase, LocalExecutor};
 use sbcc_core::{
     BatchCall, ConflictPolicy, CycleDetector, Database, DatabaseConfig, FsyncPolicy,
@@ -274,6 +281,50 @@ pub fn submission_workload(batched: bool, txns: u64, ops_per_txn: u64) -> u64 {
     }
     let _ = kernel.drain_events();
     kernel.stats().operations_executed + kernel.stats().commits
+}
+
+/// The declared-admission comparison workload: a standing population of
+/// `txns` live transactions, each owning one private counter (disjoint
+/// footprints, so every declared object is quiescent) and submitting
+/// `ops_per_txn` commuting increments as a single batch. With
+/// `declared = true` the batch carries its write footprint up front and
+/// rides [`SchedulerKernel::request_batch_declared`]'s fast path: one
+/// coverage scan plus one disjointness scan admit the whole group, and
+/// every call executes with zero per-op classification. With
+/// `declared = false` the identical batches go through
+/// [`SchedulerKernel::request_batch`], which classifies each call against
+/// the object's log (including the transaction's own accumulating
+/// entries — a quadratic-in-`ops_per_txn` commute-check bill the declared
+/// path never pays). The declared-vs-classified ratio is the group
+/// admission win on a workload that declares honestly and disjointly.
+pub fn declared_workload(declared: bool, txns: u64, ops_per_txn: u64) -> u64 {
+    let mut kernel = SchedulerKernel::new(SchedulerConfig::default().with_history(false));
+    let counters: Vec<_> = (0..txns)
+        .map(|t| kernel.register(format!("c{t}"), Counter::new()).unwrap())
+        .collect();
+    let ids: Vec<_> = (0..txns).map(|_| kernel.begin()).collect();
+    for (t, counter) in ids.iter().zip(&counters) {
+        let calls: Vec<BatchCall> = (0..ops_per_txn)
+            .map(|_| BatchCall::new(*counter, sbcc_adt::AdtOp::to_call(&CounterOp::Increment(1))))
+            .collect();
+        let outcome = if declared {
+            let mut access = AccessSet::new();
+            access.declare_write(*counter);
+            kernel.request_batch_declared(*t, calls, &access).unwrap()
+        } else {
+            kernel.request_batch(*t, calls).unwrap()
+        };
+        assert!(outcome.is_complete());
+    }
+    for t in &ids {
+        let _ = kernel.commit(*t);
+    }
+    let _ = kernel.drain_events();
+    let stats = kernel.stats();
+    if declared {
+        assert_eq!(stats.declared_admitted, txns, "every batch must group-admit");
+    }
+    stats.operations_executed + stats.commits
 }
 
 /// The session-level comparison: `threads` threads each run transactions of
@@ -759,6 +810,20 @@ pub fn run_all(quick: bool) -> Vec<BenchResult> {
             || submission_workload(batched, sub_txns, sub_ops),
         ));
     }
+    // The declared-admission pair: the same disjoint standing-population
+    // shape, declared write footprints vs per-op classification.
+    let (decl_txns, decl_ops) = if quick { (48, 16) } else { (96, 24) };
+    for declared in [true, false] {
+        results.push(measure(
+            if declared {
+                "declared_disjoint_declared"
+            } else {
+                "declared_disjoint_classified"
+            },
+            budget,
+            || declared_workload(declared, decl_txns, decl_ops),
+        ));
+    }
     // Enough transactions per thread that spawn overhead is amortised away.
     let (threads, sess_txns, sess_ops) = if quick { (4, 16, 8) } else { (4, 200, 8) };
     for batched in [false, true] {
@@ -879,7 +944,7 @@ mod tests {
     #[test]
     fn quick_run_produces_all_entries_and_valid_json() {
         let results = run_all(true);
-        assert_eq!(results.len(), 34);
+        assert_eq!(results.len(), 36);
         for r in &results {
             assert!(r.ops > 0, "{} did work", r.name);
             assert!(r.ops_per_sec > 0.0);

@@ -321,6 +321,12 @@ enum TxnWork {
         id: u64,
         ops: Vec<(ObjectHandle, sbcc_adt::OpCall)>,
     },
+    BatchDeclared {
+        id: u64,
+        ops: Vec<(ObjectHandle, sbcc_adt::OpCall)>,
+        reads: Vec<ObjectHandle>,
+        writes: Vec<ObjectHandle>,
+    },
     Commit {
         id: u64,
     },
@@ -811,6 +817,41 @@ fn route(
             queue.push(TxnWork::Batch { id, ops: resolved });
             None
         }
+        Request::ExecBatchDeclared {
+            txn,
+            ops,
+            reads,
+            writes,
+        } => {
+            let Some(queue) = txns.get(&txn) else {
+                return Some(unknown_txn(txn));
+            };
+            let mut resolved = Vec::with_capacity(ops.len());
+            for (object, call) in ops {
+                match resolve(&object) {
+                    Ok(handle) => resolved.push((handle, call)),
+                    Err(resp) => return Some(resp),
+                }
+            }
+            let mut sets = [Vec::new(), Vec::new()];
+            for (set, names) in sets.iter_mut().zip([reads, writes]) {
+                set.reserve(names.len());
+                for name in names {
+                    match resolve(&name) {
+                        Ok(handle) => set.push(handle),
+                        Err(resp) => return Some(resp),
+                    }
+                }
+            }
+            let [decl_reads, decl_writes] = sets;
+            queue.push(TxnWork::BatchDeclared {
+                id,
+                ops: resolved,
+                reads: decl_reads,
+                writes: decl_writes,
+            });
+            None
+        }
         Request::Commit { txn } => match txns.remove(&txn) {
             Some(queue) => {
                 queue.push(TxnWork::Commit { id });
@@ -904,6 +945,37 @@ async fn txn_task(
                     }
                 }
                 let resp = outcome.unwrap_or(Response::Results(results));
+                write_frame(&writer, &conn, &resp.encode(id));
+            }
+            TxnWork::BatchDeclared {
+                id,
+                ops,
+                reads,
+                writes,
+            } => {
+                // Unlike the classified batch (one raced exec per op), a
+                // declared batch goes through the session's batch
+                // submission path so the whole group can be admitted in
+                // one kernel pass.
+                let mut batch = txn.batch();
+                for handle in &reads {
+                    batch.add_declare_read(handle);
+                }
+                for handle in &writes {
+                    batch.add_declare_write(handle);
+                }
+                for (handle, call) in &ops {
+                    batch.add_call(handle, call.clone());
+                }
+                let raced = race(batch.submit(), Closed { conn: conn.clone() }).await;
+                let resp = match raced {
+                    RaceWinner::Left(Ok(results)) => Response::Results(results),
+                    RaceWinner::Left(Err(e)) => error_response(&e),
+                    RaceWinner::Right(()) => {
+                        auto_abort(&shared, &txn).await;
+                        break 'task;
+                    }
+                };
                 write_frame(&writer, &conn, &resp.encode(id));
             }
             TxnWork::Commit { id } => {
